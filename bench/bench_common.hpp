@@ -1,0 +1,86 @@
+// bench_common.hpp — shared helpers for the experiment harnesses.
+//
+// Every bench prints the paper's row/series structure next to what this
+// reproduction measures, so EXPERIMENTS.md can be regenerated mechanically.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "core/apps.hpp"
+#include "core/testbed.hpp"
+#include "util/table.hpp"
+
+namespace xunet::bench {
+
+/// Abort with a location message (stderr is unbuffered, so the message
+/// survives the abort even when stdout is block-buffered).
+#define XBENCH_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                    \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+/// Print a section banner in a uniform style.
+inline void banner(const std::string& title) {
+  std::printf("\n################################################################\n");
+  std::printf("# %s\n", title.c_str());
+  std::printf("################################################################\n\n");
+}
+
+/// Print one "paper vs measured" comparison line.
+inline void compare(const std::string& what, const std::string& paper,
+                    const std::string& measured) {
+  std::printf("  %-52s paper: %-18s measured: %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+/// Bring up the canonical testbed with a server registered, returning the
+/// pieces most benches need.
+struct CanonicalRig {
+  std::unique_ptr<core::Testbed> tb;
+  std::unique_ptr<core::CallServer> server;
+  std::unique_ptr<core::CallClient> client;
+};
+
+inline CanonicalRig make_rig(core::TestbedConfig cfg = {},
+                             const std::string& service = "bench",
+                             std::uint16_t port = 5000) {
+  CanonicalRig rig;
+  rig.tb = core::Testbed::canonical(cfg);
+  auto up = rig.tb->bring_up();
+  if (!up.ok()) {
+    std::fprintf(stderr, "bring_up failed: %d\n", static_cast<int>(up.error()));
+    std::abort();
+  }
+  auto& r1 = rig.tb->router(1);
+  rig.server = std::make_unique<core::CallServer>(
+      *r1.kernel, r1.kernel->ip_node().address(), service, port);
+  rig.server->start([](util::Result<void>) {});
+  rig.tb->sim().run_for(sim::milliseconds(300));
+  rig.client = std::make_unique<core::CallClient>(
+      *rig.tb->router(0).kernel, rig.tb->router(0).kernel->ip_node().address());
+  return rig;
+}
+
+/// Open one call synchronously (drives the simulator until completion).
+inline std::optional<core::CallClient::Call> open_call(
+    CanonicalRig& rig, const std::string& service, const std::string& qos = "") {
+  std::optional<core::CallClient::Call> call;
+  bool done = false;
+  rig.client->open("berkeley.rt", service, qos,
+                   [&](util::Result<core::CallClient::Call> r) {
+                     if (r.ok()) call = *r;
+                     done = true;
+                   });
+  for (int i = 0; i < 2000 && !done; ++i) {
+    rig.tb->sim().run_for(sim::milliseconds(5));
+  }
+  return call;
+}
+
+}  // namespace xunet::bench

@@ -1,0 +1,119 @@
+// bench_micro_datapath — google-benchmark micro-benchmarks of this library's
+// hot paths: AAL5 segmentation/reassembly, CRC-32, the encapsulation header,
+// signaling message (de)serialization, and event-loop dispatch.  These are
+// wall-clock benchmarks of the reproduction itself (not simulated time);
+// they guard against performance regressions in the substrate.
+#include <benchmark/benchmark.h>
+
+#include "atm/aal5.hpp"
+#include "ip/packet.hpp"
+#include "signaling/messages.hpp"
+#include "sim/simulator.hpp"
+#include "tcpsim/segment.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xunet;
+
+util::Buffer random_payload(std::size_t n) {
+  util::Rng rng(n);
+  util::Buffer b(n);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next());
+  return b;
+}
+
+void BM_Crc32(benchmark::State& state) {
+  auto data = random_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::crc32(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Aal5Segment(benchmark::State& state) {
+  atm::Aal5Segmenter seg;
+  auto data = random_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto cells = seg.segment(42, data);
+    benchmark::DoNotOptimize(cells);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Aal5Segment)->Arg(48)->Arg(1024)->Arg(9180)->Arg(65535);
+
+void BM_Aal5RoundTrip(benchmark::State& state) {
+  atm::Aal5Segmenter seg;
+  std::size_t delivered = 0;
+  atm::Aal5Reassembler reasm([&](atm::Aal5Frame f) { delivered += f.payload.size(); });
+  auto data = random_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto cells = seg.segment(42, data);
+    for (const atm::Cell& c : *cells) reasm.cell_arrival(c);
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Aal5RoundTrip)->Arg(1024)->Arg(9180);
+
+void BM_IpSerializeParse(benchmark::State& state) {
+  ip::IpPacket p;
+  p.src = ip::make_ip(1, 2, 3, 4);
+  p.dst = ip::make_ip(5, 6, 7, 8);
+  p.payload = random_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto wire = ip::serialize(p);
+    auto back = ip::parse_ip_packet(wire);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IpSerializeParse)->Arg(256)->Arg(4096);
+
+void BM_SignalingMsgRoundTrip(benchmark::State& state) {
+  sig::Msg m;
+  m.type = sig::MsgType::connect_req;
+  m.service = "file-service";
+  m.qos = "class=guaranteed,bw=1500000";
+  m.dst = "mh.rt";
+  for (auto _ : state) {
+    auto wire = sig::serialize(m);
+    auto back = sig::parse_msg(wire);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_SignalingMsgRoundTrip);
+
+void BM_TcpSegmentRoundTrip(benchmark::State& state) {
+  tcp::Segment s;
+  s.seq = 12345;
+  s.flags.ack = true;
+  s.payload = random_payload(1400);
+  for (auto _ : state) {
+    auto wire = tcp::serialize(s);
+    auto back = tcp::parse_segment(wire);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(state.iterations() * 1400);
+}
+BENCHMARK(BM_TcpSegmentRoundTrip);
+
+void BM_SimulatorDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(sim::microseconds(i), [&sum, i] { sum += std::uint64_t(i); });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorDispatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

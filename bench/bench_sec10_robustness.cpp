@@ -1,0 +1,156 @@
+// bench_sec10_robustness — reproduces the §10 robustness experience:
+//   * the 100-call burst workload, each call held one second, torn down;
+//   * thousands of cumulative setups/teardowns;
+//   * clients and servers killed "during various stages of the call setup
+//     process", with "network and signaling state ... always correctly
+//     restored".
+#include "bench_common.hpp"
+
+namespace xunet::bench {
+namespace {
+
+core::TestbedConfig fixed_config() {
+  core::TestbedConfig cfg;
+  cfg.kernel.fd_table_size = 100;  // the paper's fixed kernel
+  cfg.kernel.anand_buffers = 80;
+  cfg.kernel.tcp_msl = sim::seconds(5);  // compressed timescale
+  return cfg;
+}
+
+void hundred_call_workload() {
+  auto tb = core::Testbed::canonical(fixed_config());
+  if (!tb->bring_up().ok()) std::abort();
+  auto& r1 = tb->router(1);
+  core::CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "load",
+                          5300);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+
+  core::CallClient client(*tb->router(0).kernel,
+                          tb->router(0).kernel->ip_node().address());
+  int completed = 0, failed = 0;
+  sim::SimTime start = tb->sim().now();
+  sim::SimTime last_done = start;
+  for (int i = 0; i < 100; ++i) {
+    client.open("berkeley.rt", "load", "",
+                [&](util::Result<core::CallClient::Call> r) {
+                  if (!r.ok()) {
+                    ++failed;
+                    return;
+                  }
+                  tb->sim().schedule(sim::seconds(1), [&, call = *r] {
+                    client.close_call(call);
+                    ++completed;
+                    last_done = tb->sim().now();
+                  });
+                });
+  }
+  tb->sim().run_for(sim::seconds(120));
+  double wall = (last_done - start).sec();
+  auto rep = tb->audit();
+
+  compare("100-call burst, 1 s hold", "all succeed; state restored",
+          std::to_string(completed) + " completed, " + std::to_string(failed) +
+              " failed, audit " + (rep.clean() ? "clean" : rep.describe()));
+  compare("workload duration", "(not reported)",
+          util::fmt(wall, 1) + " s simulated");
+}
+
+void thousands_of_calls() {
+  auto cfg = fixed_config();
+  cfg.kernel.tcp_msl = sim::seconds(1);
+  cfg.sighost.per_call_log_cost = sim::milliseconds(1);
+  auto tb = core::Testbed::canonical(cfg);
+  if (!tb->bring_up().ok()) std::abort();
+  auto& r1 = tb->router(1);
+  core::CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "churn",
+                          5301);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+  core::CallClient client(*tb->router(0).kernel,
+                          tb->router(0).kernel->ip_node().address());
+  int done = 0;
+  std::function<void()> next = [&] {
+    if (done >= 2000) return;
+    client.open("berkeley.rt", "churn", "",
+                [&](util::Result<core::CallClient::Call> r) {
+                  if (r.ok()) client.close_call(*r);
+                  ++done;
+                  next();
+                });
+  };
+  next();
+  tb->sim().run_for(sim::seconds(1200));
+  auto rep = tb->audit();
+  compare("thousands of sequential setups/teardowns",
+          "routers stayed up; state restored",
+          std::to_string(done) + " calls, audit " +
+              (rep.clean() ? "clean" : rep.describe()));
+}
+
+void kill_sweep() {
+  const char* stage_names[] = {
+      "client killed right after CONNECT_REQ",
+      "client killed during server negotiation",
+      "client killed holding an unbound VCI",
+      "client killed with a live data socket",
+      "server killed before the call",
+      "server killed holding the incoming request",
+      "server killed with a bound data socket",
+  };
+  int clean_count = 0;
+  for (int stage = 0; stage < 7; ++stage) {
+    auto tb = core::Testbed::canonical(fixed_config());
+    if (!tb->bring_up().ok()) std::abort();
+    auto& r1 = tb->router(1);
+    core::CallServer server(*r1.kernel, r1.kernel->ip_node().address(),
+                            "victim", 5302);
+    server.start([](util::Result<void>) {});
+    tb->sim().run_for(sim::milliseconds(300));
+    core::CallClient client(*tb->router(0).kernel,
+                            tb->router(0).kernel->ip_node().address());
+
+    if (stage == 4) server.kill();
+    client.open("berkeley.rt", "victim", "",
+                [](util::Result<core::CallClient::Call>) {});
+    switch (stage) {
+      case 0: client.kill(); break;
+      case 1:
+      case 5:
+        tb->sim().run_for(sim::milliseconds(200));
+        (stage == 1 ? static_cast<void>(client.kill())
+                    : static_cast<void>(server.kill()));
+        break;
+      case 2:
+      case 3:
+        tb->sim().run_for(sim::seconds(2));
+        client.kill();
+        break;
+      case 6:
+        tb->sim().run_for(sim::seconds(2));
+        server.kill();
+        break;
+      default: break;
+    }
+    tb->sim().run_for(sim::seconds(30));
+    auto rep = tb->audit();
+    bool clean = rep.clean();
+    clean_count += clean;
+    compare(stage_names[stage], "state correctly restored",
+            clean ? "clean" : rep.describe());
+  }
+  compare("kill sweep overall", "always restored",
+          std::to_string(clean_count) + "/7 stages clean");
+}
+
+}  // namespace
+}  // namespace xunet::bench
+
+int main() {
+  xunet::bench::banner(
+      "Section 10: robustness (burst workload, churn, kill-at-every-stage)");
+  xunet::bench::hundred_call_workload();
+  xunet::bench::thousands_of_calls();
+  xunet::bench::kill_sweep();
+  return 0;
+}

@@ -1,0 +1,152 @@
+// bench_sec9_signaling_latency — reproduces the §9 timing measurements:
+//   * service registration: 17–20 ms (four context switches),
+//   * accepting an incoming call: ~20 ms (context switches again),
+//   * establishing a router-to-router call: ~330 ms (dominated by per-call
+//     maintenance logging by the signaling entities).
+// The testbed is the paper's: two routers across a three-hop two-switch
+// ATM path.
+#include "bench_common.hpp"
+#include "userlib/userlib.hpp"
+#include "util/stats.hpp"
+
+namespace xunet::bench {
+namespace {
+
+void run() {
+  banner("Section 9: signaling latency on the two-router, two-switch testbed");
+
+  core::TestbedConfig cfg;
+  cfg.kernel.fd_table_size = 200;
+  auto tb = core::Testbed::canonical(cfg);
+  if (!tb->bring_up().ok()) std::abort();
+  auto& r0 = *tb->router(0).kernel;
+  auto& r1 = *tb->router(1).kernel;
+
+  // ---- registration time ---------------------------------------------------
+  kern::Pid spid = r1.spawn("bench-server");
+  app::UserLib slib(r1, spid, r1.ip_node().address());
+  util::Summary reg_times;
+  // One throwaway registration to warm the signaling channel (the paper's
+  // RPC accounting starts from a connected IPC path).
+  bool warm = false;
+  slib.export_service("warmup", 5100, [&](util::Result<void>) { warm = true; });
+  tb->sim().run_for(sim::seconds(1));
+  XBENCH_CHECK(warm);
+
+  for (int i = 0; i < 20; ++i) {
+    sim::SimTime start = tb->sim().now();
+    bool done = false;
+    slib.export_service("svc" + std::to_string(i), 5101,
+                        [&](util::Result<void> r) {
+                          if (r.ok()) done = true;
+                        });
+    tb->sim().run_for(sim::seconds(2));
+    XBENCH_CHECK(done);
+    reg_times.add((tb->sim().now().ns() - start.ns()) / 1e6);
+    // run_for overshoots; recompute precisely next round (the overshoot does
+    // not contaminate the sample because we timestamp completion below).
+  }
+
+  // The loop above measures with run_for overshoot; measure precisely using
+  // completion timestamps instead.
+  util::Summary reg_precise;
+  for (int i = 0; i < 20; ++i) {
+    sim::SimTime start = tb->sim().now();
+    std::optional<sim::SimTime> done_at;
+    slib.export_service("precise" + std::to_string(i), 5102,
+                        [&](util::Result<void> r) {
+                          if (r.ok()) done_at = tb->sim().now();
+                        });
+    tb->sim().run_for(sim::seconds(2));
+    XBENCH_CHECK(done_at);
+    reg_precise.add((*done_at - start).ms());
+  }
+
+  double cs_ms = cfg.kernel.context_switch.ms();
+  compare("service registration time",
+          "17-20 ms (4 context switches)",
+          util::fmt(reg_precise.min(), 1) + "-" + util::fmt(reg_precise.max(), 1) +
+              " ms (4 x " + util::fmt(cs_ms, 1) + " ms crossings)");
+
+  // ---- accept time + call-establishment time -------------------------------
+  // Manual server so the accept RPC can be timed on its own.
+  kern::Pid apid = r1.spawn("accept-server");
+  app::UserLib alib(r1, apid, r1.ip_node().address());
+  util::Summary accept_times;
+  std::function<void()> accept_loop = [&] {
+    alib.await_service_request([&](util::Result<app::IncomingRequest> r) {
+      if (!r.ok()) return;
+      sim::SimTime t0 = tb->sim().now();
+      alib.accept_connection(*r, r->qos,
+                             [&, t0](util::Result<app::OpenResult> rr) {
+                               if (rr.ok()) {
+                                 accept_times.add((tb->sim().now() - t0).ms());
+                                 (void)alib.bind_data_socket(*rr);
+                               }
+                             });
+      accept_loop();
+    });
+  };
+  bool areg = false;
+  alib.export_service("timed", 5103, [&](util::Result<void>) { areg = true; });
+  tb->sim().run_for(sim::seconds(1));
+  XBENCH_CHECK(areg);
+  accept_loop();
+
+  kern::Pid cpid = r0.spawn("bench-client");
+  app::UserLib clib(r0, cpid, r0.ip_node().address());
+  util::Summary setup_times;
+  for (int i = 0; i < 20; ++i) {
+    sim::SimTime start = tb->sim().now();
+    std::optional<sim::SimTime> got_vci;
+    std::optional<app::OpenResult> res;
+    clib.open_connection("berkeley.rt", "timed", "", "class=predicted,bw=1000000",
+                         [&](util::Result<app::OpenResult> r) {
+                           if (r.ok()) {
+                             got_vci = tb->sim().now();
+                             res = *r;
+                           } else {
+                             std::fprintf(stderr, "open failed: %d\n",
+                                          static_cast<int>(r.error()));
+                           }
+                         });
+    tb->sim().run_for(sim::seconds(5));
+    XBENCH_CHECK(got_vci);
+    setup_times.add((*got_vci - start).ms());
+    // Attach + release the call so state drains between samples.
+    auto fd = clib.connect_data_socket(*res);
+    tb->sim().run_for(sim::seconds(1));
+    if (fd.ok()) (void)r0.close(cpid, *fd);
+    tb->sim().run_for(sim::seconds(1));
+  }
+
+  compare("time to accept an incoming call", "~20 ms",
+          util::fmt(accept_times.mean(), 1) + " ms (mean of " +
+              std::to_string(accept_times.count()) + ")");
+  compare("router-to-router call establishment", "~330 ms",
+          util::fmt(setup_times.mean(), 1) + " ms (mean), " +
+              util::fmt(setup_times.min(), 1) + "-" +
+              util::fmt(setup_times.max(), 1) + " ms");
+  std::printf(
+      "\nDecomposition of call establishment (mean %s ms):\n"
+      "  2 x %s ms per-call maintenance logging (one per sighost)   = %s ms\n"
+      "  ~18 user-kernel crossings of %s ms across the 5 RPC legs\n"
+      "  (CONNECT_REQ, INCOMING_CONN, ACCEPT, VCI_FOR_CONN to the\n"
+      "  server + its bind confirmation, VCI_FOR_CONN to the client) = %s ms\n"
+      "  VC setup through 2 switches (2 x 2 ms + propagation)       = ~5.4 ms\n"
+      "The paper attributes the bulk to 'the large amount of maintenance\n"
+      "information logged per call by the signaling entities' - the same\n"
+      "attribution this model reproduces.\n",
+      util::fmt(setup_times.mean(), 1).c_str(),
+      util::fmt(cfg.sighost.per_call_log_cost.ms(), 0).c_str(),
+      util::fmt(2 * cfg.sighost.per_call_log_cost.ms(), 0).c_str(),
+      util::fmt(cs_ms, 1).c_str(), util::fmt(18 * cs_ms, 0).c_str());
+}
+
+}  // namespace
+}  // namespace xunet::bench
+
+int main() {
+  xunet::bench::run();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// bench_table1_instructions — reproduces Table 1: "Instruction counts for
+// the send and receive paths at a host".
+//
+// Method (mirroring §9): drive single frames of m mbufs (m = 1..32) through
+// the real host send path (PF_XUNET → Orc → IPPROTO_ATM → IP) and the real
+// host receive path (IP → IPPROTO_ATM → Orc → PF_XUNET), read the charged
+// per-component instruction counters, and fit the linear per-mbuf model.
+// Also measures the +39-instruction router switching cost of an
+// encapsulated packet.
+#include "bench_common.hpp"
+#include "kern/instr.hpp"
+#include "util/stats.hpp"
+
+namespace xunet::bench {
+namespace {
+
+using kern::InstrComponent;
+using kern::InstrDir;
+
+void run() {
+  banner("Table 1: instruction counts for send/receive paths at a host");
+
+  auto tb = core::Testbed::canonical_with_hosts();
+  if (!tb->bring_up().ok()) std::abort();
+  auto& h0 = tb->host(0);
+  auto& h1 = tb->host(1);
+
+  core::CallServer server(*h1.kernel, h1.home->kernel->ip_node().address(),
+                          "t1", 5001);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+
+  core::CallClient client(*h0.kernel, h0.home->kernel->ip_node().address());
+  std::optional<core::CallClient::Call> call;
+  client.open("berkeley.rt", "t1", "",
+              [&](util::Result<core::CallClient::Call> r) {
+                if (r.ok()) call = *r;
+              });
+  tb->sim().run_for(sim::seconds(3));
+  if (!call) std::abort();
+
+  const std::size_t mbuf_bytes = h0.kernel->config().mbuf_bytes;
+  const std::vector<std::size_t> mbuf_counts{1, 2, 4, 8, 16, 32};
+
+  struct Row {
+    std::size_t m;
+    std::uint64_t pfx_r, orc_r, atm_r, ip_r, total_r;
+    std::uint64_t pfx_s, orc_s, atm_s, ip_s, total_s;
+    std::uint64_t router_switch;
+  };
+  std::vector<Row> rows;
+  std::vector<double> xs, send_totals, recv_totals;
+
+  for (std::size_t m : mbuf_counts) {
+    h0.kernel->instr().reset();
+    h1.kernel->instr().reset();
+    tb->router(0).kernel->instr().reset();
+    // A frame of exactly m mbufs on the send side arrives as m mbufs on the
+    // receive side (the board DMA fills mbuf_bytes-sized buffers).
+    auto chain = kern::MbufChain::shaped(m, mbuf_bytes);
+    if (!h0.kernel->xunet_send_chain(client.pid(), call->fd, chain).ok()) {
+      std::abort();
+    }
+    tb->sim().run_for(sim::seconds(1));
+
+    Row r;
+    r.m = m;
+    auto& si = h0.kernel->instr();
+    auto& ri = h1.kernel->instr();
+    r.pfx_s = si.total(InstrComponent::pf_xunet, InstrDir::send);
+    r.orc_s = si.total(InstrComponent::orc_driver, InstrDir::send);
+    r.atm_s = si.total(InstrComponent::proto_atm, InstrDir::send);
+    r.ip_s = si.total(InstrComponent::ip_layer, InstrDir::send);
+    r.total_s = si.path_total(InstrDir::send);
+    r.pfx_r = ri.total(InstrComponent::pf_xunet, InstrDir::receive);
+    r.orc_r = ri.total(InstrComponent::orc_driver, InstrDir::receive);
+    r.atm_r = ri.total(InstrComponent::proto_atm, InstrDir::receive);
+    r.ip_r = ri.total(InstrComponent::ip_layer, InstrDir::receive);
+    r.total_r = ri.path_total(InstrDir::receive);
+    r.router_switch = tb->router(0).kernel->instr().total(
+        InstrComponent::router_switch, InstrDir::receive);
+    rows.push_back(r);
+    xs.push_back(static_cast<double>(m));
+    send_totals.push_back(static_cast<double>(r.total_s));
+    recv_totals.push_back(static_cast<double>(r.total_r));
+  }
+
+  util::TextTable t("Measured per-component instruction counts (one frame of m mbufs)");
+  t.header({"m", "PF_XUNET rx", "Driver rx", "IPPROTO_ATM rx", "IP rx",
+            "TOTAL rx", "PF_XUNET tx", "Driver tx", "IPPROTO_ATM tx", "IP tx",
+            "TOTAL tx", "router +"});
+  for (const Row& r : rows) {
+    t.row({std::to_string(r.m), std::to_string(r.pfx_r), std::to_string(r.orc_r),
+           std::to_string(r.atm_r), std::to_string(r.ip_r),
+           std::to_string(r.total_r), std::to_string(r.pfx_s),
+           std::to_string(r.orc_s), std::to_string(r.atm_s),
+           std::to_string(r.ip_s), std::to_string(r.total_s),
+           std::to_string(r.router_switch)});
+  }
+  t.print();
+
+  auto fit_rx = util::fit_linear(xs, recv_totals);
+  auto fit_tx = util::fit_linear(xs, send_totals);
+
+  std::printf("Linear fits over m (the paper's '+ 8 * #mbufs' model):\n");
+  compare("receive total", "194 + 8*m",
+          util::fmt(fit_rx.intercept, 0) + " + " + util::fmt(fit_rx.slope, 0) +
+              "*m (max residual " + util::fmt(fit_rx.max_residual, 2) + ")");
+  compare("send total", "119 + 8*m",
+          util::fmt(fit_tx.intercept, 0) + " + " + util::fmt(fit_tx.slope, 0) +
+              "*m (max residual " + util::fmt(fit_tx.max_residual, 2) + ")");
+  compare("PF_XUNET receive", "99 + 8*m",
+          std::to_string(rows[0].pfx_r - 8) + " + 8*m");
+  compare("IPPROTO_ATM receive", "36", std::to_string(rows[0].atm_r));
+  compare("Device driver receive", "2", std::to_string(rows[0].orc_r));
+  compare("IP receive", "57", std::to_string(rows[0].ip_r));
+  compare("IPPROTO_ATM send", "58 + 8*m",
+          std::to_string(rows[0].atm_s - 8) + " + 8*m");
+  compare("IP send", "61", std::to_string(rows[0].ip_s));
+  compare("PF_XUNET / driver send", "0 / 0",
+          std::to_string(rows[0].pfx_s) + " / " + std::to_string(rows[0].orc_s));
+  compare("router switching of encapsulated packet", "+39",
+          "+" + std::to_string(rows[0].router_switch));
+}
+
+}  // namespace
+}  // namespace xunet::bench
+
+int main() {
+  xunet::bench::run();
+  return 0;
+}

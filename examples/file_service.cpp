@@ -1,0 +1,183 @@
+// file_service.cpp — the paper's motivating scenario (§3): "a file server
+// might advertise the name 'file-service' with the signaling entity on host
+// with ATM address 'mh.rt'.  A client application that wanted to access a
+// file on this server would request the local signaling entity to initiate
+// a connection to <'mh.rt', 'file-service', QoS>."
+//
+// The server registers on mh.rt; a client on berkeley.rt requests a file.
+// Since calls are simplex, the request travels client→server on one call
+// and the file body returns on a server→client call, chunked into AAL
+// frames.  The client verifies the received bytes against the original.
+#include <cstdio>
+#include <map>
+
+#include "core/testbed.hpp"
+#include "userlib/userlib.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+using namespace xunet;
+
+namespace {
+
+/// A tiny in-memory "filesystem" for the server.
+std::map<std::string, util::Buffer> make_files() {
+  std::map<std::string, util::Buffer> files;
+  util::Rng rng(2024);
+  util::Buffer big(100'000);
+  for (auto& b : big) b = static_cast<std::uint8_t>(rng.next());
+  files["/etc/motd"] = util::to_buffer(std::string_view(
+      "Welcome to Xunet II - a nationwide testbed in high-speed networking\n"));
+  files["/data/trace.bin"] = std::move(big);
+  return files;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== file-service: the paper's motivating scenario ==\n\n");
+
+  auto tb = core::Testbed::canonical();
+  if (!tb->bring_up().ok()) return 1;
+  auto& mh = *tb->router(0).kernel;        // file server lives here
+  auto& berkeley = *tb->router(1).kernel;  // client lives here
+
+  const auto files = make_files();
+
+  // ---- the file server on mh.rt -------------------------------------------
+  kern::Pid spid = mh.spawn("file-server");
+  app::UserLib server(mh, spid, mh.ip_node().address());
+  server.export_service("file-service", 4100, [](util::Result<void> r) {
+    std::printf("[server] file-service %s on mh.rt\n",
+                r.ok() ? "advertised" : "FAILED");
+  });
+
+  std::function<void()> serve = [&] {
+    server.await_service_request([&](util::Result<app::IncomingRequest> req) {
+      if (!req.ok()) return;
+      // The comment carries the requested path; the QoS is negotiated down
+      // to the server's disk bandwidth.
+      std::string path = req->comment;
+      std::printf("[server] request for %s, offered qos=<%s>\n", path.c_str(),
+                  req->qos.c_str());
+      atm::Qos offered = atm::parse_qos(req->qos).value_or(atm::Qos{});
+      atm::Qos granted =
+          atm::negotiate(offered, atm::Qos{atm::ServiceClass::predicted,
+                                           20'000'000});  // disk-limited
+
+      server.accept_connection(
+          *req, atm::to_string(granted),
+          [&, path, granted](util::Result<app::OpenResult> res) {
+            if (!res.ok()) return;
+            (void)server.bind_data_socket(*res);  // request channel (unused
+                                                  // further in this example)
+            auto it = files.find(path);
+            if (it == files.end()) {
+              std::printf("[server] no such file: %s\n", path.c_str());
+              return;
+            }
+            // Return connection: server -> client, carrying the file.
+            const util::Buffer& body = it->second;
+            server.open_connection(
+                "berkeley.rt", "file-sink", path, atm::to_string(granted),
+                [&, body, path](util::Result<app::OpenResult> rr) {
+                  if (!rr.ok()) return;
+                  auto fd = server.connect_data_socket(*rr);
+                  if (!fd.ok()) return;
+                  // Chunk the file into 8 KB AAL frames; a tiny header
+                  // frame announces the total size first.
+                  util::Writer hdr;
+                  hdr.u32(static_cast<std::uint32_t>(body.size()));
+                  hdr.u32(util::crc32(body));
+                  (void)mh.xunet_send(spid, *fd, hdr.view());
+                  const std::size_t chunk = 8192;
+                  for (std::size_t off = 0; off < body.size(); off += chunk) {
+                    std::size_t n = std::min(chunk, body.size() - off);
+                    (void)mh.xunet_send(
+                        spid, *fd, util::BytesView{body.data() + off, n});
+                  }
+                  std::printf("[server] sent %s (%zu bytes + header)\n",
+                              path.c_str(), body.size());
+                });
+          });
+      serve();
+    });
+  };
+  serve();
+
+  // ---- the client on berkeley.rt -------------------------------------------
+  kern::Pid cpid = berkeley.spawn("file-client");
+  app::UserLib client(berkeley, cpid, berkeley.ip_node().address());
+
+  struct Download {
+    std::string path;
+    std::uint32_t expected_size = 0;
+    std::uint32_t expected_crc = 0;
+    util::Buffer data;
+    bool have_header = false;
+    bool verified = false;
+  };
+  std::map<std::string, Download> downloads;
+
+  client.export_service("file-sink", 4101, [](util::Result<void>) {});
+  std::function<void()> sink = [&] {
+    client.await_service_request([&](util::Result<app::IncomingRequest> req) {
+      if (!req.ok()) return;
+      std::string path = req->comment;
+      downloads[path].path = path;
+      client.accept_connection(
+          *req, req->qos, [&, path](util::Result<app::OpenResult> res) {
+            if (!res.ok()) return;
+            auto fd = client.bind_data_socket(*res);
+            if (!fd.ok()) return;
+            (void)berkeley.xunet_on_receive(
+                cpid, *fd, [&, path](util::BytesView frame) {
+                  Download& d = downloads[path];
+                  if (!d.have_header) {
+                    util::Reader r(frame);
+                    d.expected_size = r.u32().value_or(0);
+                    d.expected_crc = r.u32().value_or(0);
+                    d.have_header = true;
+                    return;
+                  }
+                  d.data.insert(d.data.end(), frame.begin(), frame.end());
+                  if (d.data.size() >= d.expected_size && !d.verified) {
+                    bool ok = d.data.size() == d.expected_size &&
+                              util::crc32(d.data) == d.expected_crc;
+                    d.verified = ok;
+                    std::printf("[client] %s: %u bytes, crc %s\n",
+                                path.c_str(), d.expected_size,
+                                ok ? "OK" : "MISMATCH");
+                  }
+                });
+          });
+      sink();
+    });
+  };
+  sink();
+
+  // Fetch both files with different QoS asks.
+  auto fetch = [&](const std::string& path, const std::string& qos) {
+    client.open_connection("mh.rt", "file-service", path, qos,
+                           [&, path](util::Result<app::OpenResult> r) {
+                             if (!r.ok()) {
+                               std::printf("[client] fetch %s failed\n",
+                                           path.c_str());
+                               return;
+                             }
+                             std::printf(
+                                 "[client] %s: call granted, negotiated <%s>\n",
+                                 path.c_str(), r->qos.c_str());
+                             (void)client.connect_data_socket(*r);
+                           });
+  };
+  fetch("/etc/motd", "class=best_effort,bw=0");
+  fetch("/data/trace.bin", "class=guaranteed,bw=40000000");  // trimmed to 20M
+
+  tb->sim().run_for(sim::seconds(30));
+
+  int verified = 0;
+  for (const auto& [path, d] : downloads) verified += d.verified;
+  std::printf("\nfiles verified: %d/2\n", verified);
+  return verified == 2 ? 0 : 1;
+}

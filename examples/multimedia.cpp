@@ -1,0 +1,165 @@
+// multimedia.cpp — the future the paper is built for (§12: "essential in
+// any future multimedia network"): a video server streams to several
+// clients over guaranteed-bandwidth VCs, the network's admission control
+// protects established streams from oversubscription, and tearing a stream
+// down frees its bandwidth for a waiting client.
+#include <cstdio>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "userlib/userlib.hpp"
+
+using namespace xunet;
+
+int main() {
+  std::printf("== multimedia: QoS streams with admission control ==\n\n");
+
+  // DS3 trunk: 45 Mb/s.  Each video stream asks for 15 Mb/s guaranteed, so
+  // three fit and the fourth must be refused by admission control.
+  auto tb = core::Testbed::canonical();
+  if (!tb->bring_up().ok()) return 1;
+  auto& mh = *tb->router(0).kernel;        // viewers
+  auto& berkeley = *tb->router(1).kernel;  // video server machine
+
+  // ---- viewers: each exports a sink for its stream -------------------------
+  struct Viewer {
+    kern::Pid pid;
+    std::unique_ptr<app::UserLib> lib;
+    std::size_t bytes = 0;
+  };
+  std::vector<std::unique_ptr<Viewer>> viewers;
+  // Accept loops outlive their own invocations; owning them here (instead
+  // of a self-capturing shared_ptr) avoids a reference cycle.
+  std::vector<std::shared_ptr<std::function<void()>>> loops;
+  for (int i = 0; i < 4; ++i) {
+    auto v = std::make_unique<Viewer>();
+    v->pid = mh.spawn("viewer" + std::to_string(i));
+    v->lib = std::make_unique<app::UserLib>(mh, v->pid,
+                                            mh.ip_node().address());
+    std::string svc = "viewer" + std::to_string(i);
+    v->lib->export_service(svc, static_cast<std::uint16_t>(4300 + i),
+                           [](util::Result<void>) {});
+    Viewer* vp = v.get();
+    auto accept_all = std::make_shared<std::function<void()>>();
+    loops.push_back(accept_all);
+    std::function<void()>* loop = accept_all.get();
+    *accept_all = [vp, loop, &mh] {
+      vp->lib->await_service_request(
+          [vp, loop, &mh](util::Result<app::IncomingRequest> req) {
+            if (!req.ok()) return;
+            vp->lib->accept_connection(
+                *req, req->qos, [vp, &mh](util::Result<app::OpenResult> res) {
+                  if (!res.ok()) return;
+                  auto fd = vp->lib->bind_data_socket(*res);
+                  if (!fd.ok()) return;
+                  (void)mh.xunet_on_receive(vp->pid, *fd,
+                                            [vp](util::BytesView d) {
+                                              vp->bytes += d.size();
+                                            });
+                  // Release the descriptor when the stream is torn down.
+                  (void)mh.xunet_on_disconnect(vp->pid, *fd, [vp, &mh, fd = *fd] {
+                    (void)mh.close(vp->pid, fd);
+                  });
+                });
+            (*loop)();
+          });
+    };
+    (*accept_all)();
+    viewers.push_back(std::move(v));
+  }
+
+  // ---- the video server ----------------------------------------------------
+  kern::Pid spid = berkeley.spawn("video-server");
+  app::UserLib server(berkeley, spid, berkeley.ip_node().address());
+
+  struct Stream {
+    int viewer = -1;
+    int fd = -1;
+    bool admitted = false;
+    std::string verdict;
+  };
+  auto streams = std::make_shared<std::vector<Stream>>(4);
+
+  // Start one 15 Mb/s guaranteed stream per viewer; number 4 must bounce.
+  for (int i = 0; i < 4; ++i) {
+    (*streams)[static_cast<std::size_t>(i)].viewer = i;
+    server.open_connection(
+        "mh.rt", "viewer" + std::to_string(i), "video stream",
+        "class=guaranteed,bw=15000000",
+        [&, i, streams](util::Result<app::OpenResult> r) {
+          Stream& st = (*streams)[static_cast<std::size_t>(i)];
+          if (!r.ok()) {
+            st.verdict = r.error() == util::Errc::no_resources
+                             ? "REFUSED by admission control (trunk full)"
+                             : "failed";
+            std::printf("[server] stream %d: %s\n", i, st.verdict.c_str());
+            return;
+          }
+          auto fd = server.connect_data_socket(*r);
+          if (!fd.ok()) return;
+          st.fd = *fd;
+          st.admitted = true;
+          st.verdict = "admitted at <" + r->qos + ">";
+          std::printf("[server] stream %d: vci=%u %s\n", i, r->vci,
+                      st.verdict.c_str());
+          // "Transmit" a second of video: ~120 frames of 12.5 kB.
+          for (int f = 0; f < 120; ++f) {
+            (void)berkeley.xunet_send(spid, st.fd,
+                                      util::Buffer(12'500, 0x3C));
+          }
+        });
+  }
+
+  tb->sim().run_for(sim::seconds(10));
+
+  int admitted = 0, refused = 0;
+  int refused_idx = -1;
+  for (int i = 0; i < 4; ++i) {
+    const Stream& st = (*streams)[static_cast<std::size_t>(i)];
+    if (st.admitted) {
+      ++admitted;
+    } else {
+      ++refused;
+      refused_idx = i;
+    }
+  }
+  std::printf("\nadmitted %d streams, refused %d (DS3 fits 3 x 15 Mb/s)\n",
+              admitted, refused);
+
+  // ---- teardown frees bandwidth: retry the refused stream ------------------
+  int first_admitted = -1;
+  for (int i = 0; i < 4; ++i) {
+    if ((*streams)[static_cast<std::size_t>(i)].admitted) {
+      first_admitted = i;
+      break;
+    }
+  }
+  if (first_admitted >= 0 && refused_idx >= 0) {
+    std::printf("closing stream %d; retrying viewer %d...\n", first_admitted,
+                refused_idx);
+    (void)berkeley.close(spid, (*streams)[static_cast<std::size_t>(first_admitted)].fd);
+    tb->sim().run_for(sim::seconds(2));
+
+    bool retried_ok = false;
+    server.open_connection(
+        "mh.rt", "viewer" + std::to_string(refused_idx), "video stream",
+        "class=guaranteed,bw=15000000",
+        [&](util::Result<app::OpenResult> r) {
+          retried_ok = r.ok();
+          if (r.ok()) {
+            (void)server.connect_data_socket(*r);
+          } else {
+            std::printf("retry error: %d\n", static_cast<int>(r.error()));
+          }
+        });
+    tb->sim().run_for(sim::seconds(5));
+    std::printf("retry after teardown: %s\n",
+                retried_ok ? "admitted (bandwidth reclaimed)" : "still refused");
+
+    std::size_t delivered = 0;
+    for (const auto& v : viewers) delivered += v->bytes;
+    std::printf("total video bytes delivered: %zu\n", delivered);
+    return (admitted == 3 && refused == 1 && retried_ok) ? 0 : 1;
+  }
+  return 1;
+}

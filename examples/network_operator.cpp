@@ -1,0 +1,103 @@
+// network_operator.cpp — the operator's view of a running Xunet (§5.1:
+// "Signaling state information is easily available and can be used by
+// network management software").
+//
+// A three-site network carries native-mode calls and classical IP-over-ATM
+// side by side.  The "operator" inspects sighost state with
+// management_report(), watches a server crash get cleaned up automatically,
+// and retires a service with WITHDRAW_SRV.
+#include <cstdio>
+
+#include "core/apps.hpp"
+#include "core/testbed.hpp"
+
+using namespace xunet;
+
+int main() {
+  std::printf("== network_operator: managing a live Xunet ==\n\n");
+
+  core::TestbedConfig cfg;
+  cfg.ip_over_atm = true;  // the pre-existing Xunet IP service (§1)
+  auto tb = std::make_unique<core::Testbed>(cfg);
+  auto& s1 = tb->add_switch("chicago");
+  auto& s2 = tb->add_switch("newark");
+  tb->connect_switches(s1, s2);
+  tb->add_router("mh.rt", ip::make_ip(10, 1, 0, 1), s2);
+  tb->add_router("berkeley.rt", ip::make_ip(10, 2, 0, 1), s1);
+  tb->add_router("illinois.rt", ip::make_ip(10, 3, 0, 1), s1);
+  if (!tb->bring_up().ok()) return 1;
+  std::printf("three routers up; %zu PVCs provisioned (signaling + IP)\n\n",
+              tb->network().active_vc_count());
+
+  // Two services on berkeley; traffic from mh and illinois.
+  auto& bk = tb->router(1);
+  core::CallServer files(*bk.kernel, bk.kernel->ip_node().address(),
+                         "file-service", 4000);
+  core::CallServer video(*bk.kernel, bk.kernel->ip_node().address(),
+                         "video-service", 4001);
+  files.start([](util::Result<void>) {});
+  video.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(500));
+
+  core::CallClient mh_client(*tb->router(0).kernel,
+                             tb->router(0).kernel->ip_node().address());
+  core::CallClient il_client(*tb->router(2).kernel,
+                             tb->router(2).kernel->ip_node().address());
+  std::vector<core::CallClient::Call> calls;
+  auto keep = [&](util::Result<core::CallClient::Call> r) {
+    if (r.ok()) calls.push_back(*r);
+  };
+  mh_client.open("berkeley.rt", "file-service", "class=predicted,bw=4000000", keep);
+  mh_client.open("berkeley.rt", "video-service", "class=guaranteed,bw=15000000", keep);
+  il_client.open("berkeley.rt", "file-service", "class=best_effort,bw=0", keep);
+  tb->sim().run_for(sim::seconds(5));
+  std::printf("established %zu calls; operator inspects the callee sighost:\n\n%s\n",
+              calls.size(), bk.sighost->management_report().c_str());
+
+  // Meanwhile ordinary IP crosses the same WAN.
+  int pings = 0;
+  (void)tb->router(2).kernel->udp().bind(
+      9000, [&](ip::IpAddress, std::uint16_t, util::BytesView) { ++pings; });
+  for (int i = 0; i < 5; ++i) {
+    (void)tb->router(0).kernel->udp().send(
+        tb->router(2).kernel->ip_node().address(), 9000, 9001,
+        util::to_buffer(std::string_view("ping")));
+  }
+  tb->sim().run_for(sim::seconds(1));
+  std::printf("classical IP over ATM: %d/5 datagrams mh.rt -> illinois.rt\n\n",
+              pings);
+
+  // Incident: the video server crashes.  The kernel tells sighost, sighost
+  // tears the call down network-wide and disconnects the client's socket.
+  std::printf("-- incident: video-service process crashes --\n");
+  video.kill();
+  tb->sim().run_for(sim::seconds(5));
+  std::printf("after cleanup:\n\n%s\n", bk.sighost->management_report().c_str());
+
+  // Planned change: retire file-service via WITHDRAW_SRV.
+  std::printf("-- maintenance: withdrawing file-service --\n");
+  bool withdrawn = false;
+  files.lib().unexport_service("file-service",
+                               [&](util::Result<void> r) { withdrawn = r.ok(); });
+  tb->sim().run_for(sim::seconds(1));
+  std::optional<util::Errc> err;
+  mh_client.open("berkeley.rt", "file-service", "",
+                 [&](util::Result<core::CallClient::Call> r) {
+                   if (!r.ok()) err = r.error();
+                 });
+  tb->sim().run_for(sim::seconds(3));
+  std::printf("withdrawn=%s; new call to file-service: %s\n",
+              withdrawn ? "yes" : "no",
+              err.has_value() ? std::string(to_string(*err)).c_str()
+                              : "unexpectedly succeeded");
+
+  // Drain the remaining calls and audit.
+  for (const auto& c : calls) mh_client.close_call(c);
+  (void)il_client.kill(), tb->sim().run_for(sim::seconds(10));
+  auto rep = tb->audit();
+  std::printf("\nfinal audit: %s\n", rep.clean() ? "clean" : rep.describe().c_str());
+  return (pings == 5 && withdrawn && err == util::Errc::not_found &&
+          rep.clean())
+             ? 0
+             : 1;
+}

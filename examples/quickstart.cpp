@@ -1,0 +1,163 @@
+// quickstart.cpp — the paper's §8 example, end to end: an echo server that
+// registers with the signaling entity (Figure 5) and a client that opens a
+// QoS-parameterized call to it (Figure 6), over the canonical two-router
+// Xunet testbed.  Because calls are simplex, the "echo" is completed with a
+// second call back from server to client — exactly the pattern §3 describes
+// ("the server application would have to establish a return connection").
+//
+// Build & run:   ./examples/quickstart
+#include <cstdio>
+
+#include "core/testbed.hpp"
+#include "userlib/userlib.hpp"
+
+using namespace xunet;
+
+int main() {
+  std::printf("== quickstart: native-mode ATM echo ==\n\n");
+
+  // 1. Bring up the Xunet testbed of §9: two routers ("mh.rt" and
+  //    "berkeley.rt") joined by a three-hop, two-switch DS3 ATM path, with
+  //    sighost + anand server running on each router.
+  auto tb = core::Testbed::canonical();
+  if (auto r = tb->bring_up(); !r.ok()) {
+    std::fprintf(stderr, "bring-up failed\n");
+    return 1;
+  }
+  auto& mh = *tb->router(0).kernel;        // client machine
+  auto& berkeley = *tb->router(1).kernel;  // server machine
+
+  // 2. The server side (paper Figure 5).
+  //    export_service("echo", TCP_PORT) + create_receive_connection are one
+  //    call here; await_service_request / accept_connection / bind follow.
+  kern::Pid server_pid = berkeley.spawn("echo-server");
+  app::UserLib server(berkeley, server_pid, berkeley.ip_node().address());
+
+  server.export_service("echo", 4000, [&](util::Result<void> r) {
+    std::printf("[server] export_service(\"echo\"): %s\n",
+                r.ok() ? "registered" : "FAILED");
+  });
+
+  // The server's accept loop: take the incoming call, negotiate the QoS
+  // down to what it can serve, bind a PF_XUNET socket to the VCI, and echo
+  // every frame back over a reverse call.
+  std::function<void()> serve = [&] {
+    server.await_service_request([&](util::Result<app::IncomingRequest> req) {
+      if (!req.ok()) return;
+      std::printf("[server] INCOMING_CONN: service=%s comment=\"%s\" qos=<%s>\n",
+                  req->service.c_str(), req->comment.c_str(), req->qos.c_str());
+
+      // "A server may modify the QoS and return it to the client."
+      atm::Qos offered = atm::parse_qos(req->qos).value_or(atm::Qos{});
+      atm::Qos granted = atm::negotiate(
+          offered, atm::Qos{atm::ServiceClass::guaranteed, 2'000'000});
+
+      server.accept_connection(
+          *req, atm::to_string(granted),
+          [&, granted](util::Result<app::OpenResult> res) {
+            if (!res.ok()) return;
+            std::printf("[server] VCI_FOR_CONN: vci=%u (accept granted <%s>)\n",
+                        res->vci, res->qos.c_str());
+            auto recv_sock = server.bind_data_socket(*res);  // bind(addr.VCI)
+            if (!recv_sock.ok()) return;
+
+            // Open the reverse (echo) call back to the client's machine.
+            auto pending = std::make_shared<std::vector<util::Buffer>>();
+            auto back_fd = std::make_shared<int>(-1);
+            server.open_connection(
+                "mh.rt", "echo-sink", "reverse channel", atm::to_string(granted),
+                [&, pending, back_fd](util::Result<app::OpenResult> rr) {
+                  if (!rr.ok()) return;
+                  auto fd = server.connect_data_socket(*rr);
+                  if (!fd.ok()) return;
+                  *back_fd = *fd;
+                  for (const auto& frame : *pending) {
+                    (void)berkeley.xunet_send(server_pid, *back_fd, frame);
+                  }
+                  pending->clear();
+                });
+
+            (void)berkeley.xunet_on_receive(
+                server_pid, *recv_sock,
+                [&, pending, back_fd](util::BytesView data) {
+                  std::printf("[server] received %zu bytes, echoing\n",
+                              data.size());
+                  if (*back_fd >= 0) {
+                    (void)berkeley.xunet_send(server_pid, *back_fd,
+                                              util::to_buffer(data));
+                  } else {
+                    pending->push_back(util::to_buffer(data));
+                  }
+                });
+          });
+      serve();  // keep accepting
+    });
+  };
+  serve();
+
+  // 3. The client side (paper Figure 6): one call to open_connection(),
+  //    then a PF_XUNET socket connect()ed to the returned VCI.
+  kern::Pid client_pid = mh.spawn("echo-client");
+  app::UserLib client(mh, client_pid, mh.ip_node().address());
+
+  // The client also exports a sink service so the server's reverse call has
+  // somewhere to land (calls are simplex!).
+  int echoes_received = 0;
+  client.export_service("echo-sink", 4001, [](util::Result<void>) {});
+  std::function<void()> sink = [&] {
+    client.await_service_request([&](util::Result<app::IncomingRequest> req) {
+      if (!req.ok()) return;
+      client.accept_connection(*req, req->qos,
+                               [&](util::Result<app::OpenResult> res) {
+                                 if (!res.ok()) return;
+                                 auto fd = client.bind_data_socket(*res);
+                                 if (!fd.ok()) return;
+                                 (void)mh.xunet_on_receive(
+                                     client_pid, *fd, [&](util::BytesView d) {
+                                       std::printf(
+                                           "[client] echo came back: \"%.*s\"\n",
+                                           static_cast<int>(d.size()),
+                                           reinterpret_cast<const char*>(
+                                               d.data()));
+                                       ++echoes_received;
+                                     });
+                               });
+      sink();
+    });
+  };
+  sink();
+
+  int send_sock = -1;
+  client.open_connection(
+      "berkeley.rt", "echo", "this is a comment",
+      "class=guaranteed,bw=8000000",  // ask high; the server will trim it
+      [&](util::Result<app::OpenResult> r) {
+        if (!r.ok()) {
+          std::fprintf(stderr, "[client] open_connection failed\n");
+          return;
+        }
+        std::printf("[client] VCI granted: vci=%u negotiated qos=<%s>\n",
+                    r->vci, r->qos.c_str());
+        auto fd = client.connect_data_socket(*r);  // connect(addr.VCI)
+        if (!fd.ok()) return;
+        send_sock = *fd;
+        // Send a few frames over the native-mode circuit.
+        for (const char* msg : {"hello ATM", "native mode", "goodbye"}) {
+          (void)mh.xunet_send(client_pid, send_sock,
+                              util::to_buffer(std::string_view(msg)));
+        }
+      });
+
+  // 4. Run the simulation.
+  tb->sim().run_for(sim::seconds(10));
+  std::printf("\nechoes received: %d/3\n", echoes_received);
+
+  // 5. Exit both applications; the kernels notify the signaling entities,
+  //    which tear down every call and release all network resources.
+  (void)mh.exit_process(client_pid);
+  (void)berkeley.exit_process(server_pid);
+  tb->sim().run_for(sim::seconds(5));
+  std::printf("after process exit, leak audit: %s\n",
+              tb->audit().clean() ? "clean" : tb->audit().describe().c_str());
+  return (echoes_received == 3 && tb->audit().clean()) ? 0 : 1;
+}

@@ -1,0 +1,134 @@
+#include "atm/aal5.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/crc32.hpp"
+
+namespace xunet::atm {
+
+using util::Errc;
+
+std::string_view to_string(Aal5Error e) noexcept {
+  switch (e) {
+    case Aal5Error::crc_mismatch: return "crc_mismatch";
+    case Aal5Error::length_mismatch: return "length_mismatch";
+    case Aal5Error::out_of_order: return "out_of_order";
+    case Aal5Error::oversize: return "oversize";
+  }
+  return "?";
+}
+
+util::Result<std::vector<Cell>> Aal5Segmenter::segment(Vci vci,
+                                                       util::BytesView payload) {
+  if (payload.size() > kMaxFramePayload) return Errc::message_too_long;
+  if (vci == kInvalidVci) return Errc::invalid_argument;
+
+  std::uint8_t seq = 0;
+  if (auto it = seq_.find(vci); it != seq_.end()) {
+    seq = it->second;
+  }
+  seq_[vci] = static_cast<std::uint8_t>(seq + 1);
+
+  // CPCS-PDU = payload | pad | trailer, a multiple of the cell payload size.
+  const std::size_t ncells = cells_for_payload(payload.size());
+  const std::size_t pdu_size = ncells * kCellPayload;
+  util::Buffer pdu(pdu_size, 0);
+  if (!payload.empty()) {
+    std::memcpy(pdu.data(), payload.data(), payload.size());
+  }
+
+  std::uint8_t* trailer = pdu.data() + pdu_size - kAal5TrailerBytes;
+  trailer[0] = seq;  // UU: Xunet-variant frame sequence number
+  trailer[1] = 0;    // CPI
+  trailer[2] = static_cast<std::uint8_t>(payload.size() >> 8);
+  trailer[3] = static_cast<std::uint8_t>(payload.size());
+  // CRC-32 covers the whole PDU except the CRC field itself.
+  std::uint32_t crc = util::crc32({pdu.data(), pdu_size - 4});
+  trailer[4] = static_cast<std::uint8_t>(crc >> 24);
+  trailer[5] = static_cast<std::uint8_t>(crc >> 16);
+  trailer[6] = static_cast<std::uint8_t>(crc >> 8);
+  trailer[7] = static_cast<std::uint8_t>(crc);
+
+  std::vector<Cell> cells(ncells);
+  for (std::size_t i = 0; i < ncells; ++i) {
+    cells[i].vci = vci;
+    cells[i].end_of_frame = (i + 1 == ncells);
+    std::memcpy(cells[i].payload.data(), pdu.data() + i * kCellPayload,
+                kCellPayload);
+  }
+  return cells;
+}
+
+std::uint8_t Aal5Segmenter::next_seq(Vci vci) const noexcept {
+  auto it = seq_.find(vci);
+  return it == seq_.end() ? 0 : it->second;
+}
+
+Aal5Reassembler::Aal5Reassembler(FrameHandler on_frame, ErrorHandler on_error)
+    : on_frame_(std::move(on_frame)), on_error_(std::move(on_error)) {
+  assert(on_frame_);
+}
+
+void Aal5Reassembler::fail(Vci vci, Aal5Error e) {
+  ++errors_;
+  if (on_error_) on_error_(vci, e);
+}
+
+void Aal5Reassembler::cell_arrival(const Cell& cell) {
+  VcState& vc = vcs_[cell.vci];
+  if (vc.partial.size() + kCellPayload > kMaxFramePayload + kCellPayload * 2) {
+    // A lost end-of-frame cell would otherwise grow this buffer without
+    // bound; discard and report, as the Hobbit hardware would.
+    vc.partial.clear();
+    fail(cell.vci, Aal5Error::oversize);
+    return;
+  }
+  vc.partial.insert(vc.partial.end(), cell.payload.begin(), cell.payload.end());
+  if (!cell.end_of_frame) return;
+
+  util::Buffer pdu = std::move(vc.partial);
+  vc.partial.clear();
+
+  // The PDU is a whole number of cells >= 1, so the trailer is present.
+  const std::uint8_t* trailer = pdu.data() + pdu.size() - kAal5TrailerBytes;
+  const std::uint8_t seq = trailer[0];
+  const std::size_t length =
+      static_cast<std::size_t>(trailer[2]) << 8 | trailer[3];
+  const std::uint32_t wire_crc = static_cast<std::uint32_t>(trailer[4]) << 24 |
+                                 static_cast<std::uint32_t>(trailer[5]) << 16 |
+                                 static_cast<std::uint32_t>(trailer[6]) << 8 |
+                                 trailer[7];
+
+  if (util::crc32({pdu.data(), pdu.size() - 4}) != wire_crc) {
+    fail(cell.vci, Aal5Error::crc_mismatch);
+    return;
+  }
+  // Length consistency: payload must fit the PDU with <48 bytes of pad.
+  const std::size_t expected_pdu =
+      cells_for_payload(length) * kCellPayload;
+  if (expected_pdu != pdu.size()) {
+    fail(cell.vci, Aal5Error::length_mismatch);
+    return;
+  }
+  if (vc.has_expected_seq && seq != vc.expected_seq) {
+    fail(cell.vci, Aal5Error::out_of_order);
+    // Resynchronize to the received frame so one loss does not poison the VC.
+    vc.expected_seq = static_cast<std::uint8_t>(seq + 1);
+    vc.has_expected_seq = true;
+    return;
+  }
+  vc.expected_seq = static_cast<std::uint8_t>(seq + 1);
+  vc.has_expected_seq = true;
+
+  Aal5Frame frame;
+  frame.vci = cell.vci;
+  frame.seq = seq;
+  frame.payload.assign(pdu.begin(), pdu.begin() + static_cast<long>(length));
+  ++frames_;
+  on_frame_(std::move(frame));
+}
+
+void Aal5Reassembler::release(Vci vci) noexcept { vcs_.erase(vci); }
+
+}  // namespace xunet::atm

@@ -1,0 +1,30 @@
+// cell.hpp — the 53-byte ATM cell.
+//
+// We model the 5-byte header as structured fields (VCI plus the AAL5
+// end-of-frame indication carried in the payload-type field) and the 48-byte
+// payload as raw bytes.  Cells are value types; links and switches copy them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "atm/types.hpp"
+
+namespace xunet::atm {
+
+/// Payload bytes per cell (ATM standard).
+inline constexpr std::size_t kCellPayload = 48;
+/// Total cell size on the wire, header included.
+inline constexpr std::size_t kCellBytes = 53;
+/// Bits per cell on the wire (used for link serialization delay).
+inline constexpr std::uint64_t kCellBits = kCellBytes * 8;
+
+/// One ATM cell.
+struct Cell {
+  Vci vci = kInvalidVci;
+  /// AAL5 end-of-frame marker (payload-type field bit 0 in real cells).
+  bool end_of_frame = false;
+  std::array<std::uint8_t, kCellPayload> payload{};
+};
+
+}  // namespace xunet::atm

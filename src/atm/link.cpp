@@ -1,0 +1,33 @@
+#include "atm/link.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xunet::atm {
+
+CellLink::CellLink(sim::Simulator& sim, std::uint64_t rate_bps,
+                   sim::SimDuration propagation, CellSink& sink)
+    : sim_(sim), rate_bps_(rate_bps), propagation_(propagation), sink_(sink) {
+  assert(rate_bps_ > 0);
+}
+
+void CellLink::send(const Cell& cell) {
+  if (down_) {
+    ++cells_dropped_;
+    return;
+  }
+  if (loss_prob_ > 0.0 && rng_ != nullptr && rng_->chance(loss_prob_)) {
+    ++cells_dropped_;
+    return;
+  }
+  // Serialization: the cell starts when the transmitter frees up, takes one
+  // cell-time on the wire, then propagates.
+  const sim::SimTime start = std::max(line_free_at_, sim_.now());
+  const sim::SimTime tx_done = start + cell_time();
+  line_free_at_ = tx_done;
+  ++cells_sent_;
+  sim_.schedule_at(tx_done + propagation_,
+                   [this, cell] { sink_.cell_arrival(cell); });
+}
+
+}  // namespace xunet::atm

@@ -1,0 +1,311 @@
+#include "atm/network.hpp"
+
+#include <cassert>
+#include <deque>
+#include <optional>
+
+namespace xunet::atm {
+
+using util::Errc;
+
+util::Result<Vci> VciAllocator::allocate() {
+  for (Vci v = next_hint_; v <= kMaxVci; ++v) {
+    if (!used_.contains(v)) {
+      used_.insert(v);
+      next_hint_ = static_cast<Vci>(v + 1);
+      return v;
+    }
+  }
+  // Wrap: scan from the start of the switched range.
+  for (Vci v = kFirstSwitchedVci; v < next_hint_; ++v) {
+    if (!used_.contains(v)) {
+      used_.insert(v);
+      next_hint_ = static_cast<Vci>(v + 1);
+      return v;
+    }
+  }
+  return Errc::no_resources;
+}
+
+util::Result<void> VciAllocator::reserve(Vci vci) {
+  if (vci == kInvalidVci || vci > kMaxVci) return Errc::invalid_argument;
+  if (!used_.insert(vci).second) return Errc::duplicate;
+  return {};
+}
+
+void VciAllocator::release(Vci vci) noexcept {
+  used_.erase(vci);
+  if (vci >= kFirstSwitchedVci && vci < next_hint_) next_hint_ = vci;
+}
+
+AtmNetwork::AtmNetwork(sim::Simulator& sim, sim::SimDuration per_switch_setup)
+    : sim_(sim), per_switch_setup_(per_switch_setup) {}
+
+int AtmNetwork::add_node(Node n) {
+  nodes_.push_back(std::move(n));
+  out_edges_.emplace_back();
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+AtmSwitch& AtmNetwork::make_switch(const std::string& name) {
+  switches_.push_back(std::make_unique<AtmSwitch>(sim_, name));
+  AtmSwitch& sw = *switches_.back();
+  add_node(Node{Node::Kind::sw, name, &sw, nullptr});
+  return sw;
+}
+
+int AtmNetwork::node_of_switch(const AtmSwitch& sw) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].sw == &sw) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+util::Result<CellLink*> AtmNetwork::attach_endpoint(
+    const AtmAddress& addr, CellSink& sink, AtmSwitch& sw,
+    std::uint64_t rate_bps, sim::SimDuration propagation) {
+  if (endpoint_nodes_.contains(addr)) return Errc::duplicate;
+  int sw_node = node_of_switch(sw);
+  if (sw_node < 0) return Errc::invalid_argument;
+
+  int ep_node = add_node(Node{Node::Kind::endpoint, addr.name, nullptr, &sink});
+  endpoint_nodes_.emplace(addr, ep_node);
+  auto shared_vcis = std::make_shared<VciAllocator>();
+
+  // Uplink: endpoint -> switch input port.
+  int in_port = sw.add_port();
+  Edge up;
+  up.from = ep_node;
+  up.to = sw_node;
+  up.to_port = in_port;
+  up.vcis = shared_vcis;
+  up.link = std::make_unique<CellLink>(sim_, rate_bps, propagation,
+                                       sw.input(in_port));
+  edges_.push_back(std::move(up));
+  out_edges_[static_cast<std::size_t>(ep_node)].push_back(
+      static_cast<int>(edges_.size()) - 1);
+  CellLink* uplink = edges_.back().link.get();
+
+  // Downlink: switch output port -> endpoint sink.
+  int out_port = sw.add_port();
+  Edge down;
+  down.from = sw_node;
+  down.to = ep_node;
+  down.from_port = out_port;
+  down.vcis = shared_vcis;
+  down.link = std::make_unique<CellLink>(sim_, rate_bps, propagation, sink);
+  sw.set_output(out_port, *down.link);
+  edges_.push_back(std::move(down));
+  out_edges_[static_cast<std::size_t>(sw_node)].push_back(
+      static_cast<int>(edges_.size()) - 1);
+
+  return uplink;
+}
+
+void AtmNetwork::connect_switches(AtmSwitch& a, AtmSwitch& b,
+                                  std::uint64_t rate_bps,
+                                  sim::SimDuration propagation) {
+  int na = node_of_switch(a);
+  int nb = node_of_switch(b);
+  assert(na >= 0 && nb >= 0);
+  auto one_way = [&](AtmSwitch& from, int nfrom, AtmSwitch& to, int nto) {
+    int out_port = from.add_port();
+    int in_port = to.add_port();
+    Edge e;
+    e.from = nfrom;
+    e.to = nto;
+    e.from_port = out_port;
+    e.to_port = in_port;
+    e.link = std::make_unique<CellLink>(sim_, rate_bps, propagation,
+                                        to.input(in_port));
+    from.set_output(out_port, *e.link);
+    edges_.push_back(std::move(e));
+    out_edges_[static_cast<std::size_t>(nfrom)].push_back(
+        static_cast<int>(edges_.size()) - 1);
+  };
+  one_way(a, na, b, nb);
+  one_way(b, nb, a, na);
+}
+
+std::vector<int> AtmNetwork::find_path(int src, int dst) const {
+  std::vector<int> prev(nodes_.size(), -1);
+  std::deque<int> queue{src};
+  std::vector<bool> seen(nodes_.size(), false);
+  seen[static_cast<std::size_t>(src)] = true;
+  while (!queue.empty()) {
+    int n = queue.front();
+    queue.pop_front();
+    if (n == dst) break;
+    for (int ei : out_edges_[static_cast<std::size_t>(n)]) {
+      int m = edges_[static_cast<std::size_t>(ei)].to;
+      // Paths may not transit other endpoints.
+      if (m != dst && nodes_[static_cast<std::size_t>(m)].kind == Node::Kind::endpoint) continue;
+      if (!seen[static_cast<std::size_t>(m)]) {
+        seen[static_cast<std::size_t>(m)] = true;
+        prev[static_cast<std::size_t>(m)] = n;
+        queue.push_back(m);
+      }
+    }
+  }
+  if (!seen[static_cast<std::size_t>(dst)]) return {};
+  std::vector<int> path;
+  for (int n = dst; n != -1; n = prev[static_cast<std::size_t>(n)]) {
+    path.push_back(n);
+    if (n == src) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path.front() == src ? path : std::vector<int>{};
+}
+
+int AtmNetwork::edge_between(int a, int b) const {
+  for (int ei : out_edges_[static_cast<std::size_t>(a)]) {
+    if (edges_[static_cast<std::size_t>(ei)].to == b) return ei;
+  }
+  return -1;
+}
+
+util::Result<AtmNetwork::ActiveVc> AtmNetwork::install_path(
+    const std::vector<int>& path, const Qos& qos,
+    std::optional<Vci> fixed_vci) {
+  ActiveVc vc;
+  // Allocate a VCI on every edge of the path.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    int ei = edge_between(path[i], path[i + 1]);
+    if (ei < 0) {
+      uninstall(vc);
+      return Errc::no_route;
+    }
+    Edge& e = edges_[static_cast<std::size_t>(ei)];
+    util::Result<Vci> vci = fixed_vci ? (e.vcis->reserve(*fixed_vci)
+                                             ? util::Result<Vci>(*fixed_vci)
+                                             : util::Result<Vci>(Errc::duplicate))
+                                      : e.vcis->allocate();
+    if (!vci) {
+      uninstall(vc);
+      return vci.error();
+    }
+    vc.hops.push_back(HopState{ei, *vci});
+  }
+  // Install switch routes: for each switch node path[i] (0<i<n-1), route
+  // (incoming edge's port, incoming VCI) -> (outgoing edge's port, out VCI).
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    const Node& n = nodes_[static_cast<std::size_t>(path[i])];
+    assert(n.kind == Node::Kind::sw);
+    const HopState& in = vc.hops[i - 1];
+    const HopState& out = vc.hops[i];
+    const Edge& in_e = edges_[static_cast<std::size_t>(in.edge)];
+    const Edge& out_e = edges_[static_cast<std::size_t>(out.edge)];
+    auto r = n.sw->install_route(in_e.to_port, in.vci, out_e.from_port,
+                                 out.vci, qos);
+    if (!r) {
+      uninstall(vc);
+      return r.error();
+    }
+    vc.routes.emplace_back(n.sw, std::make_pair(in_e.to_port, in.vci));
+  }
+  return vc;
+}
+
+void AtmNetwork::uninstall(ActiveVc& vc) {
+  for (auto& [sw, key] : vc.routes) {
+    (void)sw->remove_route(key.first, key.second);
+  }
+  vc.routes.clear();
+  for (const HopState& h : vc.hops) {
+    edges_[static_cast<std::size_t>(h.edge)].vcis->release(h.vci);
+  }
+  vc.hops.clear();
+}
+
+void AtmNetwork::setup_vc(const AtmAddress& src, const AtmAddress& dst,
+                          const Qos& qos, SetupHandler done) {
+  ++setups_attempted_;
+  auto finish = [this, done = std::move(done)](
+                    util::Result<VcHandle> r, sim::SimDuration latency) {
+    sim_.schedule(latency, [done, r = std::move(r)] { done(r); });
+  };
+
+  auto s = endpoint_nodes_.find(src);
+  auto d = endpoint_nodes_.find(dst);
+  if (s == endpoint_nodes_.end() || d == endpoint_nodes_.end() || src == dst) {
+    ++setups_denied_;
+    finish(Errc::no_route, per_switch_setup_);
+    return;
+  }
+  std::vector<int> path = find_path(s->second, d->second);
+  if (path.empty()) {
+    ++setups_denied_;
+    finish(Errc::no_route, per_switch_setup_);
+    return;
+  }
+
+  // Model latency: each switch on the path processes the call once on the
+  // way out, and the confirmation crosses every link twice.
+  sim::SimDuration latency{};
+  int switches_on_path = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    int ei = edge_between(path[i], path[i + 1]);
+    latency += edges_[static_cast<std::size_t>(ei)].link->propagation() * 2;
+  }
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) ++switches_on_path;
+  latency += per_switch_setup_ * switches_on_path;
+
+  auto vc = install_path(path, qos, std::nullopt);
+  if (!vc) {
+    ++setups_denied_;
+    finish(vc.error(), latency);
+    return;
+  }
+  VcHandle h;
+  h.id = next_vc_id_++;
+  h.src_vci = vc->hops.front().vci;
+  h.dst_vci = vc->hops.back().vci;
+  h.hop_count = static_cast<int>(vc->hops.size());
+  active_.emplace(h.id, std::move(*vc));
+  finish(h, latency);
+}
+
+util::Result<VcHandle> AtmNetwork::setup_pvc(const AtmAddress& src,
+                                             const AtmAddress& dst, Vci vci,
+                                             const Qos& qos) {
+  auto s = endpoint_nodes_.find(src);
+  auto d = endpoint_nodes_.find(dst);
+  if (s == endpoint_nodes_.end() || d == endpoint_nodes_.end()) {
+    return Errc::no_route;
+  }
+  std::vector<int> path = find_path(s->second, d->second);
+  if (path.empty()) return Errc::no_route;
+  auto vc = install_path(path, qos, vci);
+  if (!vc) return vc.error();
+  VcHandle h;
+  h.id = next_vc_id_++;
+  h.src_vci = vc->hops.front().vci;
+  h.dst_vci = vc->hops.back().vci;
+  h.hop_count = static_cast<int>(vc->hops.size());
+  active_.emplace(h.id, std::move(*vc));
+  return h;
+}
+
+std::size_t AtmNetwork::set_trunk_down(const AtmSwitch& a, const AtmSwitch& b,
+                                       bool down) {
+  int na = node_of_switch(a);
+  int nb = node_of_switch(b);
+  std::size_t touched = 0;
+  for (Edge& e : edges_) {
+    if ((e.from == na && e.to == nb) || (e.from == nb && e.to == na)) {
+      e.link->set_down(down);
+      ++touched;
+    }
+  }
+  return touched;
+}
+
+util::Result<void> AtmNetwork::teardown(VcId id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return Errc::not_found;
+  uninstall(it->second);
+  active_.erase(it);
+  return {};
+}
+
+}  // namespace xunet::atm

@@ -1,0 +1,170 @@
+// network.hpp — the ATM network controller (the "network side" of Xunet
+// signaling).
+//
+// The paper's host-side signaling (sighost) hands VC setup requests to the
+// proprietary Xunet network signaling, which computes a route, installs VC
+// table entries hop-by-hop with admission control, and returns the VCIs the
+// endpoints should use.  AtmNetwork is that substrate: it owns the switches
+// and links of a topology, allocates per-link VCIs, and models per-switch
+// call-processing latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "atm/switch.hpp"
+#include "atm/types.hpp"
+
+namespace xunet::atm {
+
+/// Per-directed-link VCI allocator.  Switched VCIs start at
+/// kFirstSwitchedVci; lower values are reservable for PVCs.
+class VciAllocator {
+ public:
+  /// Lowest free switched VCI, or no_resources when exhausted.
+  [[nodiscard]] util::Result<Vci> allocate();
+  /// Reserve a specific VCI (PVC setup).  Fails with duplicate when taken.
+  [[nodiscard]] util::Result<void> reserve(Vci vci);
+  void release(Vci vci) noexcept;
+  [[nodiscard]] std::size_t in_use() const noexcept { return used_.size(); }
+
+ private:
+  std::set<Vci> used_;
+  Vci next_hint_ = kFirstSwitchedVci;
+};
+
+/// Identifies an established VC within the network controller.
+using VcId = std::uint64_t;
+
+/// What the endpoints learn from a successful setup: the VCI the source
+/// transmits on (its uplink) and the VCI the destination receives on (its
+/// downlink).
+struct VcHandle {
+  VcId id = 0;
+  Vci src_vci = kInvalidVci;
+  Vci dst_vci = kInvalidVci;
+  int hop_count = 0;  ///< number of links traversed
+};
+
+/// The ATM network: topology owner + VC signaling controller.
+class AtmNetwork {
+ public:
+  explicit AtmNetwork(sim::Simulator& sim,
+                      sim::SimDuration per_switch_setup = sim::milliseconds(2));
+
+  // -- Topology construction (done once, before traffic) ------------------
+
+  /// Create a switch owned by the network.
+  AtmSwitch& make_switch(const std::string& name);
+
+  /// Attach an endpoint (a Hobbit interface model) to `sw`.  Creates the
+  /// uplink (endpoint→switch) and downlink (switch→endpoint) at `rate_bps` /
+  /// `propagation`.  Returns the uplink the endpoint must transmit into.
+  /// `sink` receives the endpoint's incoming cells and must outlive the
+  /// network.  Fails with `duplicate` if the address is already attached.
+  [[nodiscard]] util::Result<CellLink*> attach_endpoint(
+      const AtmAddress& addr, CellSink& sink, AtmSwitch& sw,
+      std::uint64_t rate_bps, sim::SimDuration propagation);
+
+  /// Connect two switches with a link pair.
+  void connect_switches(AtmSwitch& a, AtmSwitch& b, std::uint64_t rate_bps,
+                        sim::SimDuration propagation);
+
+  // -- VC signaling --------------------------------------------------------
+
+  using SetupHandler = std::function<void(util::Result<VcHandle>)>;
+
+  /// Establish a simplex VC from `src` to `dst` with admission control for
+  /// `qos` at every hop.  Admission and routing are evaluated immediately
+  /// (so state is consistent), but the completion callback fires after the
+  /// modeled signaling latency: per-switch processing plus two propagation
+  /// passes (request out, confirm back).
+  void setup_vc(const AtmAddress& src, const AtmAddress& dst, const Qos& qos,
+                SetupHandler done);
+
+  /// Synchronous variant used for PVC provisioning at simulation start; the
+  /// requested VCI is used verbatim on every hop (PVCs use well-known
+  /// low VCIs on Xunet).
+  [[nodiscard]] util::Result<VcHandle> setup_pvc(const AtmAddress& src,
+                                                 const AtmAddress& dst,
+                                                 Vci vci, const Qos& qos);
+
+  /// Tear down an established VC, releasing switch routes, reservations and
+  /// VCIs at every hop.  not_found when the id is unknown (e.g. torn down
+  /// twice — callers treat that as already-gone).
+  util::Result<void> teardown(VcId id);
+
+  /// Number of VCs currently established (leak audits).
+  [[nodiscard]] std::size_t active_vc_count() const noexcept { return active_.size(); }
+
+  /// Fault injection: set every link between two switches up or down
+  /// (both directions).  Returns the number of directed links touched.
+  std::size_t set_trunk_down(const AtmSwitch& a, const AtmSwitch& b, bool down);
+
+  /// Lookup: does this address exist?
+  [[nodiscard]] bool has_endpoint(const AtmAddress& addr) const noexcept {
+    return endpoint_nodes_.contains(addr);
+  }
+
+  [[nodiscard]] std::uint64_t setups_attempted() const noexcept { return setups_attempted_; }
+  [[nodiscard]] std::uint64_t setups_denied() const noexcept { return setups_denied_; }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  struct Node {
+    enum class Kind { endpoint, sw } kind;
+    std::string name;
+    AtmSwitch* sw = nullptr;     // for Kind::sw
+    CellSink* ep_sink = nullptr; // for Kind::endpoint
+  };
+  struct Edge {
+    int from = -1;
+    int to = -1;
+    std::unique_ptr<CellLink> link;
+    int from_port = -1;  ///< output port on `from` when it is a switch
+    int to_port = -1;    ///< input port on `to` when it is a switch
+    /// VCI space of this link.  An endpoint's uplink and downlink SHARE one
+    /// allocator: the paper's kernels use the VCI as "a single index into a
+    /// table of protocol control blocks", so the two directions of one
+    /// host interface must never hand out the same number twice.
+    std::shared_ptr<VciAllocator> vcis = std::make_shared<VciAllocator>();
+  };
+  struct HopState {
+    int edge = -1;
+    Vci vci = kInvalidVci;
+  };
+  struct ActiveVc {
+    std::vector<HopState> hops;             ///< one per traversed edge
+    std::vector<std::pair<AtmSwitch*, std::pair<int, Vci>>> routes;  ///< installed switch routes
+  };
+
+  int add_node(Node n);
+  int node_of_switch(const AtmSwitch& sw) const;
+  /// BFS route; empty when unreachable.
+  [[nodiscard]] std::vector<int> find_path(int src, int dst) const;
+  /// Directed edge index from `a` to `b`; -1 when absent.
+  [[nodiscard]] int edge_between(int a, int b) const;
+  [[nodiscard]] util::Result<ActiveVc> install_path(
+      const std::vector<int>& path, const Qos& qos,
+      std::optional<Vci> fixed_vci);
+  void uninstall(ActiveVc& vc);
+
+  sim::Simulator& sim_;
+  sim::SimDuration per_switch_setup_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> out_edges_;  ///< per node, indices into edges_
+  std::vector<std::unique_ptr<AtmSwitch>> switches_;
+  std::unordered_map<AtmAddress, int> endpoint_nodes_;
+  std::unordered_map<VcId, ActiveVc> active_;
+  VcId next_vc_id_ = 1;
+  std::uint64_t setups_attempted_ = 0;
+  std::uint64_t setups_denied_ = 0;
+};
+
+}  // namespace xunet::atm

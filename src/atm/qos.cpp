@@ -1,0 +1,71 @@
+#include "atm/qos.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace xunet::atm {
+
+using util::Errc;
+
+std::string_view to_string(ServiceClass c) noexcept {
+  switch (c) {
+    case ServiceClass::best_effort: return "best_effort";
+    case ServiceClass::predicted: return "predicted";
+    case ServiceClass::guaranteed: return "guaranteed";
+  }
+  return "?";
+}
+
+util::Result<ServiceClass> parse_service_class(std::string_view s) noexcept {
+  if (s == "best_effort") return ServiceClass::best_effort;
+  if (s == "predicted") return ServiceClass::predicted;
+  if (s == "guaranteed") return ServiceClass::guaranteed;
+  return Errc::invalid_argument;
+}
+
+std::string to_string(const Qos& q) {
+  std::string out = "class=";
+  out += to_string(q.service_class);
+  out += ",bw=";
+  out += std::to_string(q.bandwidth_bps);
+  return out;
+}
+
+util::Result<Qos> parse_qos(std::string_view s) {
+  Qos q;
+  if (s.empty()) return q;
+  while (!s.empty()) {
+    auto comma = s.find(',');
+    std::string_view field = s.substr(0, comma);
+    s = comma == std::string_view::npos ? std::string_view{} : s.substr(comma + 1);
+    auto eq = field.find('=');
+    if (eq == std::string_view::npos) return Errc::invalid_argument;
+    std::string_view key = field.substr(0, eq);
+    std::string_view val = field.substr(eq + 1);
+    if (key == "class") {
+      auto c = parse_service_class(val);
+      if (!c) return c.error();
+      q.service_class = *c;
+    } else if (key == "bw") {
+      std::uint64_t bw = 0;
+      auto [ptr, ec] = std::from_chars(val.data(), val.data() + val.size(), bw);
+      if (ec != std::errc{} || ptr != val.data() + val.size()) {
+        return Errc::invalid_argument;
+      }
+      q.bandwidth_bps = bw;
+    } else {
+      // Unknown keys are ignored: the QoS string is extensible by design
+      // ("we plan to extend this framework", §10).
+    }
+  }
+  return q;
+}
+
+Qos negotiate(const Qos& offered, const Qos& server_limit) noexcept {
+  Qos granted;
+  granted.service_class = std::min(offered.service_class, server_limit.service_class);
+  granted.bandwidth_bps = std::min(offered.bandwidth_bps, server_limit.bandwidth_bps);
+  return granted;
+}
+
+}  // namespace xunet::atm

@@ -1,0 +1,52 @@
+// qos.hpp — Quality-of-Service specification and negotiation.
+//
+// The paper treats QoS as an uninterpreted string carried from client to
+// server and back; its contents are a <service class, bandwidth> pair in the
+// sense of Saran et al. [17] (the Xunet scheduling discipline).  We keep the
+// uninterpreted string on the wire and provide a typed view for the switch
+// admission-control substrate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace xunet::atm {
+
+/// Xunet service classes (after ref [17]): guaranteed-bandwidth traffic,
+/// predicted (measurement-based) traffic, and uncontrolled best-effort.
+enum class ServiceClass : std::uint8_t {
+  best_effort = 0,
+  predicted = 1,
+  guaranteed = 2,
+};
+
+[[nodiscard]] std::string_view to_string(ServiceClass c) noexcept;
+[[nodiscard]] util::Result<ServiceClass> parse_service_class(std::string_view s) noexcept;
+
+/// Typed QoS: service class plus a bandwidth request in bits/second.
+struct Qos {
+  ServiceClass service_class = ServiceClass::best_effort;
+  std::uint64_t bandwidth_bps = 0;
+
+  /// True when the network must reserve capacity for this call.
+  [[nodiscard]] bool needs_reservation() const noexcept {
+    return service_class != ServiceClass::best_effort && bandwidth_bps > 0;
+  }
+  bool operator==(const Qos&) const = default;
+};
+
+/// Render as the wire string, e.g. "class=guaranteed,bw=1500000".
+[[nodiscard]] std::string to_string(const Qos& q);
+
+/// Parse the wire string.  The empty string parses as best-effort/0 so that
+/// applications that do not care about QoS need not construct one.
+[[nodiscard]] util::Result<Qos> parse_qos(std::string_view s);
+
+/// Server-side negotiation: the callee may accept the offer as-is or shrink
+/// it (lower class and/or bandwidth).  Returns the granted QoS, which is
+/// what travels back to the client in VCI_FOR_CONN.
+[[nodiscard]] Qos negotiate(const Qos& offered, const Qos& server_limit) noexcept;
+
+}  // namespace xunet::atm

@@ -1,0 +1,154 @@
+#include "atm/switch.hpp"
+
+#include <cassert>
+
+namespace xunet::atm {
+
+using util::Errc;
+
+AtmSwitch::AtmSwitch(sim::Simulator& sim, std::string name,
+                     sim::SimDuration per_cell_latency,
+                     std::size_t port_queue_cells)
+    : sim_(sim),
+      name_(std::move(name)),
+      per_cell_latency_(per_cell_latency),
+      port_queue_cells_(port_queue_cells) {}
+
+int AtmSwitch::add_port() {
+  int index = static_cast<int>(ports_.size());
+  ports_.push_back(std::make_unique<Port>(*this, index));
+  return index;
+}
+
+CellSink& AtmSwitch::input(int port) {
+  assert(port >= 0 && port < port_count());
+  return *ports_[static_cast<std::size_t>(port)];
+}
+
+void AtmSwitch::set_output(int port, CellLink& out) {
+  assert(port >= 0 && port < port_count());
+  ports_[static_cast<std::size_t>(port)]->out = &out;
+}
+
+util::Result<void> AtmSwitch::install_route(int in_port, Vci in_vci,
+                                            int out_port, Vci out_vci,
+                                            const Qos& qos) {
+  if (in_port < 0 || in_port >= port_count() || out_port < 0 ||
+      out_port >= port_count() || in_vci == kInvalidVci ||
+      out_vci == kInvalidVci) {
+    return Errc::invalid_argument;
+  }
+  RouteKey key{in_port, in_vci};
+  if (table_.contains(key)) return Errc::duplicate;
+
+  Port& out = *ports_[static_cast<std::size_t>(out_port)];
+  std::uint64_t reserve = 0;
+  if (qos.needs_reservation()) {
+    if (out.out == nullptr) return Errc::no_route;
+    if (out.reserved_bps + qos.bandwidth_bps > out.out->rate_bps()) {
+      return Errc::no_resources;
+    }
+    reserve = qos.bandwidth_bps;
+    out.reserved_bps += reserve;
+  }
+  table_.emplace(key, Route{out_port, out_vci, reserve, qos.service_class});
+  return {};
+}
+
+util::Result<void> AtmSwitch::remove_route(int in_port, Vci in_vci) {
+  auto it = table_.find(RouteKey{in_port, in_vci});
+  if (it == table_.end()) return Errc::not_found;
+  Port& out = *ports_[static_cast<std::size_t>(it->second.out_port)];
+  assert(out.reserved_bps >= it->second.reserved_bps);
+  out.reserved_bps -= it->second.reserved_bps;
+  table_.erase(it);
+  return {};
+}
+
+std::uint64_t AtmSwitch::reserved_bps(int port) const {
+  assert(port >= 0 && port < port_count());
+  return ports_[static_cast<std::size_t>(port)]->reserved_bps;
+}
+
+void AtmSwitch::handle_cell(int in_port, const Cell& cell) {
+  auto it = table_.find(RouteKey{in_port, cell.vci});
+  if (it == table_.end()) {
+    ++cells_unroutable_;
+    return;
+  }
+  Port& out = *ports_[static_cast<std::size_t>(it->second.out_port)];
+  if (out.out == nullptr) {
+    ++cells_unroutable_;
+    return;
+  }
+  ++cells_switched_;
+  Cell forwarded = cell;
+  forwarded.vci = it->second.out_vci;
+  // Cross the fabric (fixed per-cell latency), then join the output port's
+  // class queue; the port scheduler serves one cell per cell-time.
+  ServiceClass c = it->second.svc_class;
+  sim_.schedule(per_cell_latency_, [this, port = it->second.out_port,
+                                    forwarded, c] {
+    enqueue_out(*ports_[static_cast<std::size_t>(port)], forwarded, c);
+  });
+}
+
+void AtmSwitch::enqueue_out(Port& out, const Cell& cell, ServiceClass c) {
+  std::size_t depth = 0;
+  for (const auto& q : out.queues) depth += q.size();
+  if (depth >= port_queue_cells_) {
+    // Bounded output buffer with push-out: a higher-class arrival evicts
+    // the youngest cell of the lowest occupied class, so best-effort
+    // buffer occupancy can never crowd out reserved traffic.
+    int victim = -1;
+    for (int v = 0; v < static_cast<int>(c); ++v) {
+      if (!out.queues[static_cast<std::size_t>(v)].empty()) {
+        victim = v;
+        break;
+      }
+    }
+    if (victim < 0) {
+      ++out.drops[static_cast<std::size_t>(c)];
+      return;
+    }
+    out.queues[static_cast<std::size_t>(victim)].pop_back();
+    ++out.drops[static_cast<std::size_t>(victim)];
+  }
+  out.queues[static_cast<std::size_t>(c)].push_back(cell);
+  if (!out.draining) {
+    out.draining = true;
+    drain(out);
+  }
+}
+
+void AtmSwitch::drain(Port& out) {
+  // Static priority: guaranteed (2) over predicted (1) over best effort (0).
+  for (int c = 2; c >= 0; --c) {
+    auto& q = out.queues[static_cast<std::size_t>(c)];
+    if (q.empty()) continue;
+    Cell cell = q.front();
+    q.pop_front();
+    out.out->send(cell);
+    // Serve the next cell after one cell-time on the output line.
+    sim_.schedule(out.out->cell_time(), [this, &out] { drain(out); });
+    return;
+  }
+  out.draining = false;
+}
+
+std::uint64_t AtmSwitch::cells_dropped(int port, ServiceClass c) const {
+  assert(port >= 0 && port < port_count());
+  return ports_[static_cast<std::size_t>(port)]
+      ->drops[static_cast<std::size_t>(c)];
+}
+
+std::size_t AtmSwitch::queue_depth(int port) const {
+  assert(port >= 0 && port < port_count());
+  std::size_t depth = 0;
+  for (const auto& q : ports_[static_cast<std::size_t>(port)]->queues) {
+    depth += q.size();
+  }
+  return depth;
+}
+
+}  // namespace xunet::atm

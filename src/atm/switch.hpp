@@ -1,0 +1,115 @@
+// switch.hpp — output-buffered ATM switch with per-port VC tables, call
+// admission control, and class-based output scheduling.
+//
+// The measurement testbed in §9 is "a three hop (two switch) ATM path"
+// between two routers; core::Testbed builds exactly that out of these
+// switches.  Output ports serve cells by static priority over the Xunet
+// service classes (guaranteed > predicted > best effort) from bounded
+// queues — the simplest of the scheduling disciplines the paper points to
+// as future work (refs [17], [18]); overflowing cells are dropped per
+// class, which is what congests first under best-effort load.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atm/link.hpp"
+#include "atm/qos.hpp"
+#include "util/result.hpp"
+
+namespace xunet::atm {
+
+/// One ATM switch.  Ports are numbered from 0; each port is a CellSink for
+/// its incoming link and may have an outgoing CellLink attached.  The VC
+/// table maps (input port, VCI) to (output port, VCI); entries are installed
+/// and removed by the network signaling controller (AtmNetwork), never by
+/// the data path.
+class AtmSwitch {
+ public:
+  AtmSwitch(sim::Simulator& sim, std::string name,
+            sim::SimDuration per_cell_latency = sim::microseconds(10),
+            std::size_t port_queue_cells = 2048);
+
+  /// Add a port; returns its index.
+  int add_port();
+  [[nodiscard]] int port_count() const noexcept { return static_cast<int>(ports_.size()); }
+
+  /// The sink incoming links should deliver to for `port`.
+  [[nodiscard]] CellSink& input(int port);
+
+  /// Attach the outgoing link of `port`.  The link must outlive the switch.
+  void set_output(int port, CellLink& out);
+
+  /// Install a VC route, performing admission control on the output port
+  /// when `qos` requires a reservation (capacity = output link rate).
+  /// Fails with `duplicate` when (in_port, in_vci) is already routed and
+  /// `no_resources` when the reservation does not fit.
+  [[nodiscard]] util::Result<void> install_route(int in_port, Vci in_vci,
+                                                 int out_port, Vci out_vci,
+                                                 const Qos& qos);
+
+  /// Remove a route and release its reservation.  Returns not_found when
+  /// there is no such route.
+  util::Result<void> remove_route(int in_port, Vci in_vci);
+
+  /// Bandwidth currently reserved on `port`'s output.
+  [[nodiscard]] std::uint64_t reserved_bps(int port) const;
+  /// Number of installed VC routes (leak audits use this).
+  [[nodiscard]] std::size_t route_count() const noexcept { return table_.size(); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t cells_switched() const noexcept { return cells_switched_; }
+  [[nodiscard]] std::uint64_t cells_unroutable() const noexcept { return cells_unroutable_; }
+  /// Cells dropped at `port`'s bounded output queue for `c`-class traffic.
+  [[nodiscard]] std::uint64_t cells_dropped(int port, ServiceClass c) const;
+  /// Cells currently queued at `port` (all classes).
+  [[nodiscard]] std::size_t queue_depth(int port) const;
+
+ private:
+  struct Port : CellSink {
+    Port(AtmSwitch& sw, int index) : owner(sw), index(index) {}
+    void cell_arrival(const Cell& cell) override {
+      owner.handle_cell(index, cell);
+    }
+    AtmSwitch& owner;
+    int index;
+    CellLink* out = nullptr;
+    std::uint64_t reserved_bps = 0;
+    /// Output queues, one per service class (index = ServiceClass value).
+    std::array<std::deque<Cell>, 3> queues;
+    std::array<std::uint64_t, 3> drops{};
+    bool draining = false;
+  };
+
+  struct RouteKey {
+    int in_port;
+    Vci in_vci;
+    auto operator<=>(const RouteKey&) const = default;
+  };
+  struct Route {
+    int out_port;
+    Vci out_vci;
+    std::uint64_t reserved_bps;
+    ServiceClass svc_class;
+  };
+
+  void handle_cell(int in_port, const Cell& cell);
+  void enqueue_out(Port& out, const Cell& cell, ServiceClass c);
+  void drain(Port& out);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  sim::SimDuration per_cell_latency_;
+  std::size_t port_queue_cells_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::map<RouteKey, Route> table_;
+  std::uint64_t cells_switched_ = 0;
+  std::uint64_t cells_unroutable_ = 0;
+};
+
+}  // namespace xunet::atm

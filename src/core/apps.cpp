@@ -1,0 +1,87 @@
+#include "core/apps.hpp"
+
+namespace xunet::core {
+
+using util::Errc;
+
+CallServer::CallServer(kern::Kernel& k, ip::IpAddress sighost_ip,
+                       std::string service, std::uint16_t notify_port)
+    : k_(k), service_(std::move(service)), port_(notify_port) {
+  pid_ = k_.spawn("server:" + service_);
+  lib_ = std::make_unique<app::UserLib>(k_, pid_, sighost_ip);
+}
+
+void CallServer::start(app::UserLib::VoidFn on_registered) {
+  lib_->export_service(service_, port_,
+                       [this, on_registered = std::move(on_registered)](
+                           util::Result<void> r) {
+                         if (r) accept_loop();
+                         on_registered(r);
+                       });
+}
+
+void CallServer::accept_loop() {
+  lib_->await_service_request([this](util::Result<app::IncomingRequest> r) {
+    if (!r) return;  // server torn down
+    const app::IncomingRequest req = *r;
+    if (!k_.alive(pid_)) return;
+    if (!auto_accept_) {
+      lib_->reject_connection(req);
+      ++rejected_;
+      accept_loop();
+      return;
+    }
+    // Negotiate: shrink the client's ask to our ceiling (§3's "negotiated
+    // (possibly modified) QoS").
+    atm::Qos offered = atm::parse_qos(req.qos).value_or(atm::Qos{});
+    atm::Qos granted = atm::negotiate(offered, qos_limit_);
+    lib_->accept_connection(
+        req, atm::to_string(granted), [this](util::Result<app::OpenResult> rr) {
+          if (!rr) return;
+          auto fd = lib_->bind_data_socket(*rr);
+          if (!fd) return;
+          ++accepted_;
+          socks_.emplace(rr->vci, *fd);
+          (void)k_.xunet_on_receive(pid_, *fd, [this](util::BytesView data) {
+            ++frames_;
+            bytes_ += data.size();
+          });
+          // Release the descriptor when the signaling entity marks the
+          // socket unusable (peer closed / call torn down), like a real
+          // server reacting to a dead connection.
+          (void)k_.xunet_on_disconnect(pid_, *fd, [this, vci = rr->vci,
+                                                   fd = *fd] {
+            if (socks_.erase(vci) != 0) (void)k_.close(pid_, fd);
+          });
+        });
+    accept_loop();
+  });
+}
+
+CallClient::CallClient(kern::Kernel& k, ip::IpAddress sighost_ip) : k_(k) {
+  pid_ = k_.spawn("client");
+  lib_ = std::make_unique<app::UserLib>(k_, pid_, sighost_ip);
+}
+
+void CallClient::open(const std::string& dst, const std::string& service,
+                      const std::string& qos, CallFn on_done) {
+  lib_->open_connection(
+      dst, service, "", qos,
+      [this, on_done = std::move(on_done)](util::Result<app::OpenResult> r) {
+        if (!r) {
+          ++failed_;
+          on_done(r.error());
+          return;
+        }
+        auto fd = lib_->connect_data_socket(*r);
+        if (!fd) {
+          ++failed_;
+          on_done(fd.error());
+          return;
+        }
+        ++ok_;
+        on_done(Call{*fd, *r});
+      });
+}
+
+}  // namespace xunet::core

@@ -1,0 +1,105 @@
+// apps.hpp — reusable application processes for tests, benches and examples.
+//
+// CallServer registers a service and (by default) accepts every incoming
+// call after QoS negotiation, binding a PF_XUNET socket and counting what
+// arrives.  CallClient opens parameterized calls and sends frames.  Both
+// are ordinary applications: everything they do goes through UserLib and
+// the kernel syscall surface, so killing them exercises the same cleanup
+// paths a real crashed program would.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "atm/qos.hpp"
+#include "kern/kernel.hpp"
+#include "userlib/userlib.hpp"
+
+namespace xunet::core {
+
+/// A server application.
+class CallServer {
+ public:
+  /// `sighost_ip`: the router where this machine's signaling entity runs
+  /// (the machine's own router — its own IP when the server runs on a
+  /// router).
+  CallServer(kern::Kernel& k, ip::IpAddress sighost_ip, std::string service,
+             std::uint16_t notify_port);
+
+  /// Behaviour knobs (set before start()).
+  void set_auto_accept(bool v) noexcept { auto_accept_ = v; }
+  /// Server-side QoS ceiling: offered QoS is negotiated down to this.
+  void set_qos_limit(const atm::Qos& q) noexcept { qos_limit_ = q; }
+
+  /// Register and start the accept loop.
+  void start(app::UserLib::VoidFn on_registered);
+
+  /// Kill the server process abnormally (robustness experiments).
+  void kill() { (void)k_.kill_process(pid_); }
+
+  [[nodiscard]] kern::Pid pid() const noexcept { return pid_; }
+  [[nodiscard]] app::UserLib& lib() noexcept { return *lib_; }
+  [[nodiscard]] std::uint64_t calls_accepted() const noexcept { return accepted_; }
+  [[nodiscard]] std::uint64_t calls_rejected() const noexcept { return rejected_; }
+  [[nodiscard]] std::uint64_t frames_received() const noexcept { return frames_; }
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t open_sockets() const noexcept { return socks_.size(); }
+
+ private:
+  void accept_loop();
+
+  kern::Kernel& k_;
+  std::string service_;
+  std::uint16_t port_;
+  kern::Pid pid_ = -1;
+  std::unique_ptr<app::UserLib> lib_;
+  bool auto_accept_ = true;
+  atm::Qos qos_limit_{atm::ServiceClass::guaranteed, 10'000'000};
+  std::map<atm::Vci, int> socks_;  ///< bound data sockets by VCI
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// A client application.
+class CallClient {
+ public:
+  CallClient(kern::Kernel& k, ip::IpAddress sighost_ip);
+
+  /// One open call.
+  struct Call {
+    int fd = -1;
+    app::OpenResult info;
+  };
+  using CallFn = std::function<void(util::Result<Call>)>;
+
+  /// Open <dst, service, qos> and connect a data socket to the resulting VCI.
+  void open(const std::string& dst, const std::string& service,
+            const std::string& qos, CallFn on_done);
+
+  /// Send one frame on an open call.
+  util::Result<void> send(const Call& c, util::BytesView data) {
+    return k_.xunet_send(pid_, c.fd, data);
+  }
+
+  /// Close the data socket; the signaling entity tears the call down.
+  void close_call(const Call& c) { (void)k_.close(pid_, c.fd); }
+
+  /// Kill the client process abnormally.
+  void kill() { (void)k_.kill_process(pid_); }
+
+  [[nodiscard]] kern::Pid pid() const noexcept { return pid_; }
+  [[nodiscard]] app::UserLib& lib() noexcept { return *lib_; }
+  [[nodiscard]] std::uint64_t opens_ok() const noexcept { return ok_; }
+  [[nodiscard]] std::uint64_t opens_failed() const noexcept { return failed_; }
+
+ private:
+  kern::Kernel& k_;
+  kern::Pid pid_ = -1;
+  std::unique_ptr<app::UserLib> lib_;
+  std::uint64_t ok_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace xunet::core

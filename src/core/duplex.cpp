@@ -1,0 +1,188 @@
+#include "core/duplex.hpp"
+
+namespace xunet::core {
+
+using util::Errc;
+
+namespace {
+constexpr std::string_view kPrefix = "dup-ret=";
+}
+
+std::string duplex_comment(const std::string& ret_service) {
+  return std::string(kPrefix) + ret_service;
+}
+
+std::string parse_duplex_comment(const std::string& comment) {
+  if (comment.rfind(kPrefix, 0) != 0) return {};
+  return comment.substr(kPrefix.size());
+}
+
+// ---------------------------------------------------------------- client
+
+DuplexClient::DuplexClient(kern::Kernel& k, ip::IpAddress sighost_ip,
+                           std::uint16_t notify_port)
+    : k_(k), notify_port_(notify_port) {
+  pid_ = k_.spawn("duplex-client");
+  lib_ = std::make_unique<app::UserLib>(k_, pid_, sighost_ip);
+}
+
+void DuplexClient::maybe_finish(const std::shared_ptr<Pending>& p) {
+  if (p->failed || !p->forward_done || !p->reverse_done) return;
+  auto cb = std::move(p->on_done);
+  p->on_done = {};
+  if (cb) cb(p->end);
+}
+
+void DuplexClient::accept_loop() {
+  lib_->await_service_request([this](util::Result<app::IncomingRequest> r) {
+    if (!r.ok()) return;
+    const app::IncomingRequest req = *r;
+    std::string ret = req.service;  // the reverse call targets the unique
+                                    // return service by name
+    auto it = pending_.find(ret);
+    if (it == pending_.end()) {
+      lib_->reject_connection(req);
+      accept_loop();
+      return;
+    }
+    auto p = it->second;
+    lib_->accept_connection(
+        req, req.qos, [this, p, ret](util::Result<app::OpenResult> res) {
+          if (!res.ok()) {
+            p->failed = true;
+            pending_.erase(ret);
+            if (p->on_done) p->on_done(res.error());
+            return;
+          }
+          auto fd = lib_->bind_data_socket(*res);
+          if (!fd.ok()) {
+            p->failed = true;
+            pending_.erase(ret);
+            if (p->on_done) p->on_done(fd.error());
+            return;
+          }
+          p->end.recv_fd = *fd;
+          p->end.recv_vci = res->vci;
+          p->end.qos_reverse = res->qos;
+          p->reverse_done = true;
+          pending_.erase(ret);
+          maybe_finish(p);
+        });
+    accept_loop();
+  });
+}
+
+void DuplexClient::open(const std::string& dst, const std::string& service,
+                        const std::string& qos, OpenFn on_done) {
+  auto p = std::make_shared<Pending>();
+  p->on_done = std::move(on_done);
+  std::string ret = "dup-ret." + std::to_string(pid_) + "." +
+                    std::to_string(next_ret_++);
+  pending_.emplace(ret, p);
+
+  // Export the unique return service (shares the one notify listener).
+  lib_->export_service(ret, notify_port_, [this, p, ret, dst, service,
+                                           qos](util::Result<void> r) {
+    if (!r.ok()) {
+      p->failed = true;
+      pending_.erase(ret);
+      if (p->on_done) p->on_done(r.error());
+      return;
+    }
+    if (!exporting_) {
+      exporting_ = true;
+      accept_loop();
+    }
+    lib_->open_connection(
+        dst, service, duplex_comment(ret), qos,
+        [this, p, ret](util::Result<app::OpenResult> res) {
+          if (!res.ok()) {
+            p->failed = true;
+            pending_.erase(ret);
+            if (p->on_done) p->on_done(res.error());
+            return;
+          }
+          auto fd = lib_->connect_data_socket(*res);
+          if (!fd.ok()) {
+            p->failed = true;
+            pending_.erase(ret);
+            if (p->on_done) p->on_done(fd.error());
+            return;
+          }
+          p->end.send_fd = *fd;
+          p->end.send_vci = res->vci;
+          p->end.qos_forward = res->qos;
+          p->forward_done = true;
+          maybe_finish(p);
+        });
+  });
+}
+
+void DuplexClient::close(const DuplexEnd& end) {
+  if (end.send_fd >= 0) (void)k_.close(pid_, end.send_fd);
+  if (end.recv_fd >= 0) (void)k_.close(pid_, end.recv_fd);
+}
+
+// ---------------------------------------------------------------- server
+
+DuplexServer::DuplexServer(kern::Kernel& k, ip::IpAddress sighost_ip,
+                           std::string service, std::uint16_t notify_port)
+    : k_(k), service_(std::move(service)), port_(notify_port) {
+  pid_ = k_.spawn("duplex-server:" + service_);
+  lib_ = std::make_unique<app::UserLib>(k_, pid_, sighost_ip);
+}
+
+void DuplexServer::start(app::UserLib::VoidFn on_registered,
+                         ChannelFn on_channel) {
+  on_channel_ = std::move(on_channel);
+  lib_->export_service(service_, port_,
+                       [this, on_registered = std::move(on_registered)](
+                           util::Result<void> r) {
+                         if (r.ok()) accept_loop();
+                         on_registered(r);
+                       });
+}
+
+void DuplexServer::accept_loop() {
+  lib_->await_service_request([this](util::Result<app::IncomingRequest> r) {
+    if (!r.ok()) return;
+    const app::IncomingRequest req = *r;
+    std::string ret = parse_duplex_comment(req.comment);
+    if (ret.empty() || req.origin.empty()) {
+      lib_->reject_connection(req);  // not a duplex open: decline
+      accept_loop();
+      return;
+    }
+    atm::Qos offered = atm::parse_qos(req.qos).value_or(atm::Qos{});
+    atm::Qos granted = atm::negotiate(offered, qos_limit_);
+    lib_->accept_connection(
+        req, atm::to_string(granted),
+        [this, ret, origin = req.origin,
+         granted](util::Result<app::OpenResult> res) {
+          if (!res.ok()) return;
+          auto recv_fd = lib_->bind_data_socket(*res);
+          if (!recv_fd.ok()) return;
+          auto end = std::make_shared<DuplexEnd>();
+          end->recv_fd = *recv_fd;
+          end->recv_vci = res->vci;
+          end->qos_forward = res->qos;
+          // The return connection, addressed straight to the originating
+          // sighost carried in INCOMING_CONN.
+          lib_->open_connection(
+              origin, ret, "dup-ack", atm::to_string(granted),
+              [this, end](util::Result<app::OpenResult> rr) {
+                if (!rr.ok()) return;
+                auto send_fd = lib_->connect_data_socket(*rr);
+                if (!send_fd.ok()) return;
+                end->send_fd = *send_fd;
+                end->send_vci = rr->vci;
+                end->qos_reverse = rr->qos;
+                ++opened_;
+                if (on_channel_) on_channel_(*end);
+              });
+        });
+    accept_loop();
+  });
+}
+
+}  // namespace xunet::core

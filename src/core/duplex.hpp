@@ -1,0 +1,118 @@
+// duplex.hpp — duplex channels composed from simplex calls.
+//
+// §3: "the client-to-server connection is simplex, so ... the server
+// application would have to establish a return connection."  Every example
+// in the paper that needs two-way data builds this pattern by hand; these
+// helpers package it: the client exports a unique return service and names
+// it in the forward call's comment, and the server calls back to the
+// originating sighost (whose address rides in INCOMING_CONN).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "userlib/userlib.hpp"
+
+namespace xunet::core {
+
+/// One end of a duplex channel: a sending and a receiving PF_XUNET socket.
+struct DuplexEnd {
+  int send_fd = -1;
+  int recv_fd = -1;
+  atm::Vci send_vci = atm::kInvalidVci;  ///< local VCI of the sending socket
+  atm::Vci recv_vci = atm::kInvalidVci;  ///< local VCI of the receiving socket
+  std::string qos_forward;   ///< negotiated QoS, client→server direction
+  std::string qos_reverse;   ///< negotiated QoS, server→client direction
+  [[nodiscard]] bool ready() const noexcept {
+    return send_fd >= 0 && recv_fd >= 0;
+  }
+};
+
+/// Client side: open(dst, service, qos) yields a ready DuplexEnd.
+class DuplexClient {
+ public:
+  using OpenFn = std::function<void(util::Result<DuplexEnd>)>;
+
+  /// `notify_port`: the TCP port this client listens on for reverse calls.
+  DuplexClient(kern::Kernel& k, ip::IpAddress sighost_ip,
+               std::uint16_t notify_port);
+
+  /// Open a duplex channel.  The same `qos` is requested in both
+  /// directions; each direction is negotiated independently.
+  void open(const std::string& dst, const std::string& service,
+            const std::string& qos, OpenFn on_done);
+
+  /// Register the receive handler for a ready channel.
+  util::Result<void> on_receive(const DuplexEnd& end, kern::Kernel::DataFn fn) {
+    return k_.xunet_on_receive(pid_, end.recv_fd, std::move(fn));
+  }
+  /// Send on a ready channel.
+  util::Result<void> send(const DuplexEnd& end, util::BytesView data) {
+    return k_.xunet_send(pid_, end.send_fd, data);
+  }
+  /// Close both directions; the signaling entities tear both calls down.
+  void close(const DuplexEnd& end);
+
+  [[nodiscard]] kern::Pid pid() const noexcept { return pid_; }
+
+ private:
+  struct Pending {
+    OpenFn on_done;
+    DuplexEnd end;
+    bool forward_done = false;
+    bool reverse_done = false;
+    bool failed = false;
+  };
+  void maybe_finish(const std::shared_ptr<Pending>& p);
+  void accept_loop();
+
+  kern::Kernel& k_;
+  kern::Pid pid_ = -1;
+  std::unique_ptr<app::UserLib> lib_;
+  std::uint16_t notify_port_;
+  bool exporting_ = false;
+  std::map<std::string, std::shared_ptr<Pending>> pending_;  ///< by return-service name
+  int next_ret_ = 1;
+};
+
+/// Server side: accepts duplex calls and surfaces ready channels.
+class DuplexServer {
+ public:
+  /// Fired once per fully established duplex channel.
+  using ChannelFn = std::function<void(DuplexEnd)>;
+
+  DuplexServer(kern::Kernel& k, ip::IpAddress sighost_ip, std::string service,
+               std::uint16_t notify_port);
+
+  void set_qos_limit(const atm::Qos& q) noexcept { qos_limit_ = q; }
+  void start(app::UserLib::VoidFn on_registered, ChannelFn on_channel);
+
+  util::Result<void> on_receive(const DuplexEnd& end, kern::Kernel::DataFn fn) {
+    return k_.xunet_on_receive(pid_, end.recv_fd, std::move(fn));
+  }
+  util::Result<void> send(const DuplexEnd& end, util::BytesView data) {
+    return k_.xunet_send(pid_, end.send_fd, data);
+  }
+
+  [[nodiscard]] kern::Pid pid() const noexcept { return pid_; }
+  [[nodiscard]] std::uint64_t channels_opened() const noexcept { return opened_; }
+
+ private:
+  void accept_loop();
+
+  kern::Kernel& k_;
+  std::string service_;
+  std::uint16_t port_;
+  kern::Pid pid_ = -1;
+  std::unique_ptr<app::UserLib> lib_;
+  atm::Qos qos_limit_{atm::ServiceClass::guaranteed, 10'000'000};
+  ChannelFn on_channel_;
+  std::uint64_t opened_ = 0;
+};
+
+/// Wire convention: the forward call's comment field.
+[[nodiscard]] std::string duplex_comment(const std::string& ret_service);
+/// Parse the comment; empty when the call is not a duplex open.
+[[nodiscard]] std::string parse_duplex_comment(const std::string& comment);
+
+}  // namespace xunet::core

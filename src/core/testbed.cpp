@@ -1,0 +1,173 @@
+#include "core/testbed.hpp"
+
+#include <cassert>
+
+namespace xunet::core {
+
+using util::Errc;
+
+std::string LeakReport::describe() const {
+  std::string s;
+  auto add = [&s](const char* what, std::size_t n) {
+    if (n != 0) {
+      s += std::string(what) + "=" + std::to_string(n) + " ";
+    }
+  };
+  add("network_vcs", network_vcs);
+  add("outgoing", sighost_outgoing);
+  add("incoming", sighost_incoming);
+  add("wait_bind", sighost_wait_bind);
+  add("vci_mappings", sighost_vci_mappings);
+  add("cookie_vcis", cookie_vcis);
+  return s.empty() ? "clean" : s;
+}
+
+Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
+  sim_ = std::make_unique<sim::Simulator>();
+  net_ = std::make_unique<atm::AtmNetwork>(*sim_, cfg_.switch_setup);
+}
+
+Testbed::~Testbed() = default;
+
+atm::AtmSwitch& Testbed::add_switch(const std::string& name) {
+  return net_->make_switch(name);
+}
+
+void Testbed::connect_switches(atm::AtmSwitch& a, atm::AtmSwitch& b) {
+  net_->connect_switches(a, b, cfg_.atm_rate_bps, cfg_.atm_propagation);
+}
+
+Router& Testbed::add_router(const std::string& atm_name, ip::IpAddress ip,
+                            atm::AtmSwitch& sw) {
+  auto r = std::make_unique<Router>();
+  r->kernel = std::make_unique<kern::Kernel>(
+      *sim_, atm_name, kern::Kernel::Role::router, ip,
+      atm::AtmAddress{atm_name}, cfg_.kernel);
+  auto attached = r->kernel->attach_atm(*net_, sw, cfg_.atm_rate_bps,
+                                        cfg_.atm_propagation);
+  assert(attached.ok());
+  (void)attached;
+  r->sw = &sw;
+  r->anand_server = std::make_unique<sig::AnandServerStub>(
+      *r->kernel, cfg_.sighost.anand_server_port);
+  r->sighost = std::make_unique<sig::Sighost>(*r->kernel, *net_, cfg_.sighost);
+  routers_.push_back(std::move(r));
+  return *routers_.back();
+}
+
+Host& Testbed::add_host(const std::string& name, ip::IpAddress ip,
+                        Router& via) {
+  auto h = std::make_unique<Host>();
+  h->kernel = std::make_unique<kern::Kernel>(
+      *sim_, name, kern::Kernel::Role::host, ip, atm::AtmAddress{name},
+      cfg_.kernel);
+  h->home = &via;
+  h->link = std::make_unique<ip::IpLink>(*sim_, cfg_.ip_rate_bps,
+                                         cfg_.ip_propagation, cfg_.ip_mtu);
+  h->link->attach(h->kernel->ip_node(), via.kernel->ip_node());
+  h->kernel->ip_node().set_default_route(*h->link);
+  via.kernel->ip_node().add_route(ip, *h->link);
+  h->anand_client = std::make_unique<sig::AnandClientStub>(
+      *h->kernel, via.kernel->ip_node().address(),
+      cfg_.sighost.anand_server_port);
+  hosts_.push_back(std::move(h));
+  return *hosts_.back();
+}
+
+util::Result<void> Testbed::bring_up() {
+  if (up_) return Errc::duplicate;
+  up_ = true;
+  for (auto& r : routers_) {
+    if (auto rc = r->anand_server->start(); !rc) return rc;
+    if (auto rc = r->sighost->start(); !rc) return rc;
+  }
+  // PVC full mesh: one simplex PVC per ordered router pair, with a
+  // well-known (sub-32) VCI reserved end to end.
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    for (std::size_t j = i + 1; j < routers_.size(); ++j) {
+      atm::Vci ij = next_pvc_vci_++;
+      atm::Vci ji = next_pvc_vci_++;
+      assert(ji < atm::kFirstSwitchedVci && "too many routers for PVC VCIs");
+      const atm::AtmAddress& a = routers_[i]->kernel->atm_address();
+      const atm::AtmAddress& b = routers_[j]->kernel->atm_address();
+      atm::Qos pvc_qos;  // best effort: signaling traffic is tiny
+      auto p1 = net_->setup_pvc(a, b, ij, pvc_qos);
+      if (!p1) return p1.error();
+      auto p2 = net_->setup_pvc(b, a, ji, pvc_qos);
+      if (!p2) return p2.error();
+      pvc_count_ += 2;
+      if (auto rc = routers_[i]->sighost->add_peer(b, ij, ji); !rc) return rc;
+      if (auto rc = routers_[j]->sighost->add_peer(a, ji, ij); !rc) return rc;
+    }
+  }
+  if (cfg_.ip_over_atm) {
+    // One PVC pair per ordered router pair carries classical IP.
+    for (std::size_t i = 0; i < routers_.size(); ++i) {
+      for (std::size_t j = i + 1; j < routers_.size(); ++j) {
+        atm::Vci ij = next_pvc_vci_++;
+        atm::Vci ji = next_pvc_vci_++;
+        assert(ji < atm::kFirstSwitchedVci && "PVC VCI space exhausted");
+        const atm::AtmAddress& a = routers_[i]->kernel->atm_address();
+        const atm::AtmAddress& b = routers_[j]->kernel->atm_address();
+        atm::Qos q;  // IP rides best-effort, as on Xunet
+        auto p1 = net_->setup_pvc(a, b, ij, q);
+        if (!p1) return p1.error();
+        auto p2 = net_->setup_pvc(b, a, ji, q);
+        if (!p2) return p2.error();
+        pvc_count_ += 2;
+        auto& if_a = routers_[i]->kernel->add_ip_over_atm(ij, ji);
+        auto& if_b = routers_[j]->kernel->add_ip_over_atm(ji, ij);
+        // Routes: the peer router itself plus every host behind it.
+        auto add_routes = [this](Router& from, Router& to, kern::IpOverAtm& via) {
+          from.kernel->ip_node().add_route(to.kernel->ip_node().address(), via);
+          for (auto& h : hosts_) {
+            if (h->home == &to) {
+              from.kernel->ip_node().add_route(h->kernel->ip_node().address(),
+                                               via);
+            }
+          }
+        };
+        add_routes(*routers_[i], *routers_[j], if_a);
+        add_routes(*routers_[j], *routers_[i], if_b);
+      }
+    }
+  }
+  for (auto& h : hosts_) {
+    if (auto rc = h->anand_client->start(); !rc) return rc;
+  }
+  // Let control-plane TCP connections establish.
+  sim_->run_for(sim::milliseconds(200));
+  return {};
+}
+
+std::unique_ptr<Testbed> Testbed::canonical(TestbedConfig cfg) {
+  auto tb = std::make_unique<Testbed>(cfg);
+  auto& s1 = tb->add_switch("s1");
+  auto& s2 = tb->add_switch("s2");
+  tb->connect_switches(s1, s2);
+  tb->add_router("mh.rt", ip::make_ip(10, 0, 0, 1), s1);
+  tb->add_router("berkeley.rt", ip::make_ip(10, 0, 1, 1), s2);
+  return tb;
+}
+
+std::unique_ptr<Testbed> Testbed::canonical_with_hosts(TestbedConfig cfg) {
+  auto tb = canonical(cfg);
+  tb->add_host("mh.host1", ip::make_ip(10, 0, 0, 2), tb->router(0));
+  tb->add_host("berkeley.host1", ip::make_ip(10, 0, 1, 2), tb->router(1));
+  return tb;
+}
+
+LeakReport Testbed::audit() const {
+  LeakReport rep;
+  rep.network_vcs = net_->active_vc_count() - pvc_count_;
+  for (const auto& r : routers_) {
+    rep.sighost_outgoing += r->sighost->outgoing_requests_size();
+    rep.sighost_incoming += r->sighost->incoming_requests_size();
+    rep.sighost_wait_bind += r->sighost->wait_for_bind_size();
+    rep.sighost_vci_mappings += r->sighost->vci_mapping_size();
+    rep.cookie_vcis += r->sighost->cookies().vci_count();
+  }
+  return rep;
+}
+
+}  // namespace xunet::core

@@ -1,0 +1,122 @@
+// testbed.hpp — builds complete simulated Xunet deployments.
+//
+// A Testbed owns the simulator, the ATM network, every machine's kernel,
+// the signaling entities and the anand stubs, wires PVC signaling channels
+// between all routers, and offers the canonical measurement topology of §9:
+// two routers (SGI 4D/30 class) joined by a three-hop, two-switch ATM path,
+// each optionally serving IP-connected hosts over FDDI.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kern/kernel.hpp"
+#include "signaling/anand_stubs.hpp"
+#include "signaling/sighost.hpp"
+
+namespace xunet::core {
+
+/// All tunables of a deployment in one place; benches sweep these.
+struct TestbedConfig {
+  kern::KernelConfig kernel;          ///< default kernel config (all machines)
+  sig::SighostConfig sighost;         ///< default sighost config (all routers)
+  std::uint64_t atm_rate_bps = atm::kDs3Bps;
+  sim::SimDuration atm_propagation = sim::microseconds(500);
+  sim::SimDuration switch_setup = sim::milliseconds(2);
+  std::uint64_t ip_rate_bps = ip::kFddiBps;
+  std::size_t ip_mtu = ip::kFddiMtu;
+  sim::SimDuration ip_propagation = sim::microseconds(50);
+  /// Provision classical IP-over-ATM between every router pair at bring-up
+  /// (§1's Xunet IP service): cross-router IP connectivity for hosts.
+  bool ip_over_atm = false;
+};
+
+/// One router: kernel + Hobbit + sighost + anand server.
+struct Router {
+  std::unique_ptr<kern::Kernel> kernel;
+  std::unique_ptr<sig::AnandServerStub> anand_server;
+  std::unique_ptr<sig::Sighost> sighost;
+  atm::AtmSwitch* sw = nullptr;  ///< the switch this router attaches to
+};
+
+/// One IP-connected host: kernel + anand client, homed on a router.
+struct Host {
+  std::unique_ptr<kern::Kernel> kernel;
+  std::unique_ptr<sig::AnandClientStub> anand_client;
+  Router* home = nullptr;
+  std::unique_ptr<ip::IpLink> link;  ///< host↔router FDDI link
+};
+
+/// Post-run resource audit (§4 "frugal use of resources").
+struct LeakReport {
+  std::size_t network_vcs = 0;          ///< VCs beyond the signaling PVCs
+  std::size_t sighost_outgoing = 0;
+  std::size_t sighost_incoming = 0;
+  std::size_t sighost_wait_bind = 0;
+  std::size_t sighost_vci_mappings = 0;
+  std::size_t cookie_vcis = 0;
+  /// True when every call's state is fully reclaimed.
+  [[nodiscard]] bool clean() const noexcept {
+    return network_vcs == 0 && sighost_outgoing == 0 && sighost_incoming == 0 &&
+           sighost_wait_bind == 0 && sighost_vci_mappings == 0 &&
+           cookie_vcis == 0;
+  }
+  [[nodiscard]] std::string describe() const;
+};
+
+/// The deployment builder/owner.
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig cfg = TestbedConfig{});
+  ~Testbed();
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return *sim_; }
+  [[nodiscard]] atm::AtmNetwork& network() noexcept { return *net_; }
+  [[nodiscard]] const TestbedConfig& config() const noexcept { return cfg_; }
+
+  // -- topology -------------------------------------------------------------
+  atm::AtmSwitch& add_switch(const std::string& name);
+  void connect_switches(atm::AtmSwitch& a, atm::AtmSwitch& b);
+  /// Create a router attached to `sw`.  `atm_name` is its sighost address
+  /// (e.g. "mh.rt"); `ip` its IP address.
+  Router& add_router(const std::string& atm_name, ip::IpAddress ip,
+                     atm::AtmSwitch& sw);
+  /// Create a host homed on `via`, connected over a point-to-point IP link.
+  Host& add_host(const std::string& name, ip::IpAddress ip, Router& via);
+
+  /// Bring everything up: anand servers, sighosts, the PVC full mesh
+  /// between routers, anand clients.  Then run the simulator briefly so all
+  /// control connections establish.
+  util::Result<void> bring_up();
+
+  // -- access ----------------------------------------------------------------
+  [[nodiscard]] Router& router(std::size_t i) { return *routers_.at(i); }
+  [[nodiscard]] Host& host(std::size_t i) { return *hosts_.at(i); }
+  [[nodiscard]] std::size_t router_count() const noexcept { return routers_.size(); }
+  [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
+
+  /// §9's measurement topology: router "mh.rt" — switch s1 — switch s2 —
+  /// router "berkeley.rt" (three hops), no hosts.
+  static std::unique_ptr<Testbed> canonical(TestbedConfig cfg = TestbedConfig{});
+  /// The canonical topology plus one IP host behind each router.
+  static std::unique_ptr<Testbed> canonical_with_hosts(
+      TestbedConfig cfg = TestbedConfig{});
+
+  // -- audits ------------------------------------------------------------------
+  [[nodiscard]] LeakReport audit() const;
+
+ private:
+  TestbedConfig cfg_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<atm::AtmNetwork> net_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::size_t pvc_count_ = 0;  ///< PVCs provisioned at bring-up
+  atm::Vci next_pvc_vci_ = 1;
+  bool up_ = false;
+};
+
+}  // namespace xunet::core

@@ -1,0 +1,50 @@
+// addr.hpp — IPv4-style addresses for the simulated internetwork.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace xunet::ip {
+
+/// 32-bit IP address, dotted-quad text form.
+struct IpAddress {
+  std::uint32_t value = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return value != 0; }
+  auto operator<=>(const IpAddress&) const = default;
+};
+
+/// Render as "a.b.c.d".
+[[nodiscard]] std::string to_string(IpAddress a);
+
+/// Parse "a.b.c.d"; invalid_argument on malformed text.
+[[nodiscard]] util::Result<IpAddress> parse_ip(std::string_view s);
+
+/// Convenience literal-ish constructor.
+[[nodiscard]] constexpr IpAddress make_ip(std::uint8_t a, std::uint8_t b,
+                                          std::uint8_t c, std::uint8_t d) noexcept {
+  return IpAddress{static_cast<std::uint32_t>(a) << 24 |
+                   static_cast<std::uint32_t>(b) << 16 |
+                   static_cast<std::uint32_t>(c) << 8 | d};
+}
+
+/// IP protocol numbers used in the simulation.  IPPROTO_ATM is the new raw
+/// protocol the paper defines for AAL-over-IP encapsulation (§5.4); the
+/// value is ours to choose since the paper never names one.
+enum class IpProto : std::uint8_t {
+  tcp = 6,
+  udp = 17,
+  atm = 121,  ///< IPPROTO_ATM: AAL frame encapsulation
+};
+
+}  // namespace xunet::ip
+
+template <>
+struct std::hash<xunet::ip::IpAddress> {
+  std::size_t operator()(const xunet::ip::IpAddress& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};

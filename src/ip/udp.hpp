@@ -1,0 +1,54 @@
+// udp.hpp — minimal UDP over the simulated IP layer.
+//
+// §9 expects host↔router throughput of AAL-over-IP "to be comparable to
+// that of UDP"; this layer is the baseline that the encapsulation bench
+// compares against.  It is also a realistic port-demultiplexed datagram
+// service for tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "ip/node.hpp"
+
+namespace xunet::ip {
+
+/// UDP header size.
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+
+/// Port-demultiplexed datagram service bound to one IpNode.
+class UdpLayer {
+ public:
+  /// Datagram delivery: source address/port plus payload bytes.
+  using Handler =
+      std::function<void(IpAddress src, std::uint16_t src_port, util::BytesView)>;
+
+  /// Registers itself as the node's IpProto::udp handler.
+  explicit UdpLayer(IpNode& node);
+
+  /// Claim `port`; address_in_use when already bound.
+  util::Result<void> bind(std::uint16_t port, Handler handler);
+  void unbind(std::uint16_t port) { ports_.erase(port); }
+
+  /// Allocate an unused ephemeral port (>= 1024), bind it, return it.
+  util::Result<std::uint16_t> bind_ephemeral(Handler handler);
+
+  /// Send a datagram.
+  util::Result<void> send(IpAddress dst, std::uint16_t dst_port,
+                          std::uint16_t src_port, util::BytesView data);
+
+  [[nodiscard]] std::uint64_t datagrams_received() const noexcept { return received_; }
+  [[nodiscard]] std::uint64_t datagrams_dropped() const noexcept { return dropped_; }
+
+ private:
+  void packet_arrival(const IpPacket& p);
+
+  IpNode& node_;
+  std::unordered_map<std::uint16_t, Handler> ports_;
+  std::uint16_t next_ephemeral_ = 1024;
+  std::uint64_t received_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace xunet::ip

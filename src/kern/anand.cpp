@@ -1,0 +1,33 @@
+#include "kern/anand.hpp"
+
+namespace xunet::kern {
+
+std::string_view to_string(AnandUpType t) noexcept {
+  switch (t) {
+    case AnandUpType::process_terminated: return "process_terminated";
+    case AnandUpType::bind_indication: return "bind_indication";
+    case AnandUpType::connect_indication: return "connect_indication";
+  }
+  return "?";
+}
+
+bool AnandDevice::post(const AnandUpMsg& msg) {
+  if (queue_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  bool was_empty = queue_.empty();
+  queue_.push_back(msg);
+  ++posted_;
+  if (was_empty && readable_) readable_();
+  return true;
+}
+
+util::Result<AnandUpMsg> AnandDevice::read() {
+  if (queue_.empty()) return util::Errc::would_block;
+  AnandUpMsg msg = queue_.front();
+  queue_.pop_front();
+  return msg;
+}
+
+}  // namespace xunet::kern

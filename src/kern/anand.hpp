@@ -1,0 +1,96 @@
+// anand.hpp — the /dev/anand pseudo-device (signaling–kernel interface).
+//
+// §5.3/§7.2: state exchange between the signaling entity and the kernel is
+// mediated by a character pseudo-device.  The kernel posts small messages
+// upward (process termination, bind/connect indications); the signaling
+// side writes downward (disconnect a socket whose peer vanished).  The
+// device supports select()-style readiness notification and has a BOUNDED
+// message buffer — the paper's first scaling problem was losing bind
+// indications when it was configured with only eight buffers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "atm/types.hpp"
+#include "util/result.hpp"
+
+namespace xunet::kern {
+
+/// Process identifier within one simulated kernel.
+using Pid = int;
+
+/// Messages flowing UP (kernel → signaling entity).
+enum class AnandUpType : std::uint8_t {
+  process_terminated,  ///< a process holding the VCI died
+  bind_indication,     ///< a process bound a PF_XUNET socket to the VCI
+  connect_indication,  ///< a process connected a PF_XUNET socket to the VCI
+};
+[[nodiscard]] std::string_view to_string(AnandUpType t) noexcept;
+
+/// One upward message.  "each message is small (4 bytes)": VCI + cookie is
+/// exactly what travels; pid rides along for the simulation's audit trail.
+struct AnandUpMsg {
+  AnandUpType type = AnandUpType::process_terminated;
+  atm::Vci vci = atm::kInvalidVci;
+  std::uint16_t cookie = 0;
+  Pid pid = -1;
+};
+
+/// Messages flowing DOWN (signaling entity → kernel).
+enum class AnandDownType : std::uint8_t {
+  disconnect_socket,  ///< soisdisconnected(): mark the VCI's socket unusable
+};
+
+struct AnandDownMsg {
+  AnandDownType type = AnandDownType::disconnect_socket;
+  atm::Vci vci = atm::kInvalidVci;
+};
+
+/// The pseudo-device.  Owned by a Kernel; the signaling-side process holds
+/// it open through a descriptor.
+class AnandDevice {
+ public:
+  /// Invoked when the read queue becomes non-empty (the select() wakeup).
+  using ReadableHandler = std::function<void()>;
+  /// Kernel-side consumer of downward writes.
+  using DownHandler = std::function<void(const AnandDownMsg&)>;
+
+  explicit AnandDevice(std::size_t buffer_count) : capacity_(buffer_count) {}
+
+  /// Kernel side: enqueue an upward message.  Returns false — and counts a
+  /// drop — when all buffers are in use (the §10 scaling failure).
+  bool post(const AnandUpMsg& msg);
+
+  /// User side: non-blocking read.  would_block when empty.
+  [[nodiscard]] util::Result<AnandUpMsg> read();
+
+  /// User side: does select() report readable?
+  [[nodiscard]] bool readable() const noexcept { return !queue_.empty(); }
+
+  /// User side: write a downward message.
+  void write(const AnandDownMsg& msg) {
+    if (down_) down_(msg);
+  }
+
+  void set_readable_handler(ReadableHandler h) { readable_ = std::move(h); }
+  void set_down_handler(DownHandler h) { down_ = std::move(h); }
+
+  void set_capacity(std::size_t n) noexcept { capacity_ = n; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t posted() const noexcept { return posted_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<AnandUpMsg> queue_;
+  ReadableHandler readable_;
+  DownHandler down_;
+  std::uint64_t posted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace xunet::kern

@@ -1,0 +1,51 @@
+// config.hpp — tunables of the simulated kernel.
+//
+// The defaults reproduce the paper's measurement environment (§9–§10):
+// four ~4.5 ms context switches per signaling RPC, an 80-buffer pseudo-device
+// (the fixed configuration; the broken original had 8), and a 20-slot
+// per-process descriptor table (the broken original; the fix raised it
+// to 100).  The scaling benches sweep these.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace xunet::kern {
+
+struct KernelConfig {
+  /// Per-process descriptor table size.  Paper: "typically around twenty";
+  /// raised to 100 to survive the 100-call burst workload.
+  std::size_t fd_table_size = 20;
+
+  /// /dev/anand message buffer count.  Paper: 8 initially ("some bind
+  /// indications were lost"), 80 in the fixed configuration.
+  std::size_t anand_buffers = 80;
+
+  /// Bytes of data per mbuf when the kernel builds a chain from user bytes.
+  std::size_t mbuf_bytes = 128;
+
+  /// TCP Maximum Segment Lifetime.  Closed descriptors stay pinned for
+  /// 2×MSL (§10).  30 s is the BSD default; experiments that compress the
+  /// paper's multi-minute workloads into shorter simulated runs scale this
+  /// down to keep the setup-rate : TIME_WAIT-lifetime ratio comparable.
+  sim::SimDuration tcp_msl = sim::seconds(30);
+
+  /// Cost of a context switch (process yield or wakeup).  Charged on
+  /// signaling IPC crossings: a blocking RPC costs four of these, matching
+  /// the paper's 17–20 ms registration time.
+  sim::SimDuration context_switch = sim::microseconds(4500);
+
+  /// §7.4 extension: "A header checksum could be added to the encapsulation
+  /// header if needed."  Off by default ("our IP links are over reliable
+  /// FDDI links"); when on, IPPROTO_ATM messages carry an Internet checksum
+  /// over header and data, and corrupted arrivals are dropped and counted.
+  bool encap_checksum = false;
+
+  /// Cheap syscall/upcall cost on the data path (PF_XUNET and UDP send and
+  /// delivery).  Data transfer does not reschedule another process, so this
+  /// is small.
+  sim::SimDuration data_syscall = sim::microseconds(30);
+};
+
+}  // namespace xunet::kern

@@ -1,0 +1,37 @@
+#include "kern/hobbit.hpp"
+
+namespace xunet::kern {
+
+using util::Errc;
+
+HobbitInterface::HobbitInterface(atm::AtmAddress addr, std::size_t mbuf_bytes)
+    : addr_(std::move(addr)),
+      mbuf_bytes_(mbuf_bytes),
+      reasm_([this](atm::Aal5Frame f) {
+        ++frames_received_;
+        if (on_frame_) {
+          on_frame_(f.vci, MbufChain::from_bytes(f.payload, mbuf_bytes_));
+        }
+      }) {}
+
+util::Result<void> HobbitInterface::send(atm::Vci vci, const MbufChain& chain) {
+  if (uplink_ == nullptr) return Errc::not_connected;
+  auto cells = seg_.segment(vci, chain.linearize());
+  if (!cells) return cells.error();
+  for (const atm::Cell& c : *cells) {
+    uplink_->send(c);
+  }
+  ++frames_sent_;
+  return {};
+}
+
+void HobbitInterface::cell_arrival(const atm::Cell& cell) {
+  reasm_.cell_arrival(cell);
+}
+
+void HobbitInterface::release_vc(atm::Vci vci) {
+  seg_.release(vci);
+  reasm_.release(vci);
+}
+
+}  // namespace xunet::kern

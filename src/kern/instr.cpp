@@ -1,0 +1,38 @@
+#include "kern/instr.hpp"
+
+namespace xunet::kern {
+
+std::string_view to_string(InstrComponent c) noexcept {
+  switch (c) {
+    case InstrComponent::pf_xunet: return "PF_XUNET";
+    case InstrComponent::orc_driver: return "Device driver";
+    case InstrComponent::proto_atm: return "IPPROTO_ATM";
+    case InstrComponent::ip_layer: return "IP";
+    case InstrComponent::router_switch: return "Router switching";
+    case InstrComponent::count_: break;
+  }
+  return "?";
+}
+
+std::string_view to_string(InstrDir d) noexcept {
+  switch (d) {
+    case InstrDir::send: return "send";
+    case InstrDir::receive: return "receive";
+    case InstrDir::count_: break;
+  }
+  return "?";
+}
+
+std::uint64_t InstrCounter::path_total(InstrDir d) const noexcept {
+  std::uint64_t sum = 0;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(InstrComponent::count_);
+       ++c) {
+    // Router switching is reported separately in the paper, not as part of
+    // the host path totals.
+    if (static_cast<InstrComponent>(c) == InstrComponent::router_switch) continue;
+    sum += totals_[index(static_cast<InstrComponent>(c), d)];
+  }
+  return sum;
+}
+
+}  // namespace xunet::kern

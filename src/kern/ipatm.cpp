@@ -1,0 +1,25 @@
+#include "kern/ipatm.hpp"
+
+#include "kern/kernel.hpp"
+
+namespace xunet::kern {
+
+IpOverAtm::IpOverAtm(Kernel& k, atm::Vci send_vci, atm::Vci recv_vci,
+                     std::size_t mtu)
+    : k_(k), send_vci_(send_vci), recv_vci_(recv_vci), mtu_(mtu) {
+  // Frames arriving on the receive VCI re-enter the IP input path, like a
+  // network interface's receive interrupt.
+  k_.orc().set_vci_handler(recv_vci_, [this](atm::Vci, const MbufChain& chain) {
+    ++in_;
+    k_.ip_node().frame_arrival(chain.linearize());
+  });
+}
+
+void IpOverAtm::transmit(const ip::IpNode& from, util::Buffer wire) {
+  (void)from;
+  ++out_;
+  (void)k_.orc().output(send_vci_,
+                        MbufChain::from_bytes(wire, k_.config().mbuf_bytes));
+}
+
+}  // namespace xunet::kern

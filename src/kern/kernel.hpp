@@ -1,0 +1,231 @@
+// kernel.hpp — the simulated Unix kernel of one machine (host or router).
+//
+// This is the OS-support half of the paper: BSD-style sockets over a
+// protocol-family switch (PF_INET TCP for signaling IPC, PF_XUNET for
+// native-mode data, raw IPPROTO_ATM for control), per-process descriptor
+// tables of bounded size, process termination hooks that feed the
+// /dev/anand pseudo-device, and the Orc/Hobbit/IPPROTO_ATM data path.
+//
+// Everything an application does goes through the syscall surface below
+// (first argument: the calling Pid), so robustness experiments can kill a
+// process at any instant and watch the kernel clean up.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <deque>
+#include <vector>
+
+#include "atm/network.hpp"
+#include "ip/udp.hpp"
+#include "kern/anand.hpp"
+#include "kern/config.hpp"
+#include "kern/hobbit.hpp"
+#include "kern/instr.hpp"
+#include "kern/orc.hpp"
+#include "kern/ipatm.hpp"
+#include "kern/proto_atm.hpp"
+#include "tcpsim/tcp.hpp"
+
+namespace xunet::kern {
+
+/// PF_XUNET socket states.
+enum class SocketState : std::uint8_t {
+  created,
+  bound,         ///< receiving side, bound to a VCI
+  connected,     ///< sending side, connected to a VCI
+  disconnected,  ///< soisdisconnected(): marked unusable by signaling
+};
+
+/// One simulated machine's kernel.
+class Kernel {
+ public:
+  enum class Role { host, router };
+
+  Kernel(sim::Simulator& sim, std::string name, Role role,
+         ip::IpAddress ip_addr, atm::AtmAddress atm_addr,
+         KernelConfig cfg = {});
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // -- identity & substrate access -----------------------------------------
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Role role() const noexcept { return role_; }
+  [[nodiscard]] bool is_router() const noexcept { return role_ == Role::router; }
+  [[nodiscard]] const atm::AtmAddress& atm_address() const noexcept { return atm_addr_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] KernelConfig& config() noexcept { return cfg_; }
+  [[nodiscard]] ip::IpNode& ip_node() noexcept { return *ip_; }
+  [[nodiscard]] tcp::TcpLayer& tcp() noexcept { return *tcp_; }
+  [[nodiscard]] ip::UdpLayer& udp() noexcept { return *udp_; }
+  [[nodiscard]] ProtoAtm& proto_atm() noexcept { return *proto_atm_; }
+  [[nodiscard]] OrcDriver& orc() noexcept { return *orc_; }
+  [[nodiscard]] AnandDevice& anand() noexcept { return anand_; }
+  [[nodiscard]] InstrCounter& instr() noexcept { return instr_; }
+  [[nodiscard]] HobbitInterface* hobbit() noexcept { return hobbit_.get(); }
+
+  /// Router bring-up: create the Hobbit interface, attach it to the ATM
+  /// network at `sw`, and wire the Orc driver to it.
+  util::Result<void> attach_atm(atm::AtmNetwork& net, atm::AtmSwitch& sw,
+                                std::uint64_t rate_bps,
+                                sim::SimDuration propagation);
+
+  /// Router: mount a classical-IP-over-ATM interface on a PVC pair (§1's
+  /// pre-existing Xunet IP service).  Routes are added separately with
+  /// ip_node().add_route(dst, <returned interface>).
+  IpOverAtm& add_ip_over_atm(atm::Vci send_vci, atm::Vci recv_vci,
+                             std::size_t mtu = kIpAtmMtu);
+
+  // -- processes -------------------------------------------------------------
+  Pid spawn(std::string proc_name);
+  /// Orderly exit: every descriptor is closed through the normal paths.
+  util::Result<void> exit_process(Pid pid);
+  /// Abnormal termination (crash/kill).  Identical kernel cleanup — that is
+  /// the point of kernel-mediated state (§5.3): the kernel always knows.
+  util::Result<void> kill_process(Pid pid);
+  [[nodiscard]] bool alive(Pid pid) const;
+  [[nodiscard]] std::size_t live_process_count() const;
+  [[nodiscard]] std::size_t fd_in_use(Pid pid) const;
+
+  /// Close any descriptor kind.
+  util::Result<void> close(Pid pid, int fd);
+
+  // -- TCP sockets (signaling IPC; §5.2) -------------------------------------
+  using TcpAcceptFn = std::function<void(int fd)>;
+  using TcpResultFn = std::function<void(util::Result<int>)>;
+  using DataFn = std::function<void(util::BytesView)>;
+  using CloseFn = std::function<void(util::Errc)>;
+
+  util::Result<int> tcp_listen(Pid pid, std::uint16_t port, TcpAcceptFn on_accept);
+  util::Result<int> tcp_connect(Pid pid, ip::IpAddress dst, std::uint16_t port,
+                                TcpResultFn on_done);
+  util::Result<void> tcp_send(Pid pid, int fd, util::BytesView data);
+  util::Result<void> tcp_on_receive(Pid pid, int fd, DataFn fn);
+  util::Result<void> tcp_on_close(Pid pid, int fd, CloseFn fn);
+  [[nodiscard]] ip::IpAddress tcp_peer(Pid pid, int fd) const;
+  /// Descriptors (in any process) pinned by connections in TIME_WAIT.
+  [[nodiscard]] std::size_t fds_in_time_wait() const;
+
+  // -- PF_XUNET sockets -------------------------------------------------------
+  util::Result<int> xunet_socket(Pid pid);
+  /// bind(): receiving side.  Posts a bind indication (VCI + cookie) to the
+  /// signaling entity through /dev/anand; if the device buffer is full the
+  /// indication is silently lost (§10's first scaling problem).
+  util::Result<void> xunet_bind(Pid pid, int fd, atm::Vci vci, std::uint16_t cookie);
+  /// connect(): sending side; posts a connect indication likewise.
+  util::Result<void> xunet_connect(Pid pid, int fd, atm::Vci vci, std::uint16_t cookie);
+  util::Result<void> xunet_send(Pid pid, int fd, util::BytesView data);
+  /// Bench variant: send an explicitly shaped mbuf chain.
+  util::Result<void> xunet_send_chain(Pid pid, int fd, const MbufChain& chain);
+  util::Result<void> xunet_on_receive(Pid pid, int fd, DataFn fn);
+  util::Result<void> xunet_on_disconnect(Pid pid, int fd, std::function<void()> fn);
+  [[nodiscard]] bool xunet_usable(Pid pid, int fd) const;
+  [[nodiscard]] std::size_t xunet_socket_count() const noexcept { return xsocks_.size(); }
+  [[nodiscard]] std::uint64_t xunet_frames_dropped() const noexcept { return x_dropped_; }
+
+  /// soisdisconnected() on every socket using `vci` (downward anand path).
+  void mark_vci_disconnected(atm::Vci vci);
+
+  // -- /dev/anand --------------------------------------------------------------
+  /// Open the pseudo-device.  One holder at a time (sighost or anand server).
+  util::Result<int> open_anand(Pid pid);
+  util::Result<AnandUpMsg> anand_read(Pid pid, int fd);
+  /// select()-style readiness callback; fired (after a context switch) when
+  /// the read queue becomes non-empty.
+  util::Result<void> anand_set_readable(Pid pid, int fd, std::function<void()> fn);
+  util::Result<void> anand_write(Pid pid, int fd, const AnandDownMsg& msg);
+
+  // -- raw IPPROTO_ATM control socket -------------------------------------------
+  util::Result<int> proto_atm_socket(Pid pid);
+  /// Host: configuration message carrying the router's address (§7.4).
+  util::Result<void> proto_atm_set_router(Pid pid, int fd, ip::IpAddress router);
+  /// Router: VCI_BIND control write.
+  util::Result<void> proto_atm_vci_bind(Pid pid, int fd, atm::Vci vci,
+                                        ip::IpAddress host);
+  /// Router: VCI_SHUT control write.
+  util::Result<void> proto_atm_vci_shut(Pid pid, int fd, atm::Vci vci);
+
+ private:
+  struct Descriptor {
+    enum class Kind : std::uint8_t { tcp, xunet, anand, proto_atm_raw } kind;
+    std::uint64_t handle = 0;
+  };
+  struct Proc {
+    Pid pid = -1;
+    std::string name;
+    bool alive = false;
+    std::vector<std::optional<Descriptor>> fds;
+  };
+  struct XunetSock {
+    Pid owner = -1;
+    int fd = -1;
+    SocketState state = SocketState::created;
+    atm::Vci vci = atm::kInvalidVci;
+    std::uint16_t cookie = 0;
+    DataFn on_receive;
+    std::function<void()> on_disconnect;
+    /// Socket receive buffer (sbappend): frames that arrive before the
+    /// process reads are queued, bounded like a real socket buffer.
+    std::deque<util::Buffer> rx_queue;
+  };
+  struct TcpSock {
+    Pid owner = -1;
+    int fd = -1;
+    tcp::ConnId conn = 0;
+    bool listener = false;
+    std::uint16_t listen_port = 0;
+    bool app_closed = false;
+    bool connecting = false;
+    bool released = false;  ///< the connection left the TCP state machine
+    // Events that arrived before the application installed its handlers are
+    // buffered here so nothing is lost to registration races.
+    DataFn app_receive;
+    CloseFn app_close;
+    util::Buffer pending_data;
+    std::optional<util::Errc> pending_close;
+  };
+
+  Proc* proc(Pid pid);
+  const Proc* proc(Pid pid) const;
+  util::Result<int> alloc_fd(Proc& p, Descriptor d);
+  void free_fd(Proc& p, int fd);
+  util::Result<Descriptor> descriptor(Pid pid, int fd,
+                                      std::optional<Descriptor::Kind> want) const;
+  util::Result<void> terminate(Pid pid);
+  void cleanup_descriptor(Proc& p, int fd, bool process_dying);
+  /// Wire kernel-owned receive/close handlers for a fresh connection.
+  void attach_tcp_handlers(std::uint64_t handle, tcp::ConnId conn);
+  void close_xunet(XunetSock& xs);
+  void pf_xunet_input(atm::Vci vci, const MbufChain& chain);
+  util::Result<void> xunet_output(Pid pid, int fd, const MbufChain& chain);
+  void tcp_released(tcp::ConnId conn);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  Role role_;
+  atm::AtmAddress atm_addr_;
+  KernelConfig cfg_;
+  InstrCounter instr_;
+  std::unique_ptr<ip::IpNode> ip_;
+  std::unique_ptr<tcp::TcpLayer> tcp_;
+  std::unique_ptr<ip::UdpLayer> udp_;
+  std::unique_ptr<OrcDriver> orc_;
+  std::unique_ptr<ProtoAtm> proto_atm_;
+  std::unique_ptr<HobbitInterface> hobbit_;
+  std::vector<std::unique_ptr<IpOverAtm>> ipatm_ifs_;
+  AnandDevice anand_;
+  std::vector<Proc> procs_;
+  std::unordered_map<std::uint64_t, XunetSock> xsocks_;
+  std::unordered_map<std::uint64_t, TcpSock> tsocks_;
+  std::unordered_map<tcp::ConnId, std::uint64_t> tcp_by_conn_;
+  std::unordered_map<atm::Vci, std::uint64_t> xsock_by_vci_;  ///< bound receivers
+  std::uint64_t next_handle_ = 1;
+  Pid anand_holder_ = -1;
+  std::uint64_t x_dropped_ = 0;
+};
+
+}  // namespace xunet::kern

@@ -1,0 +1,36 @@
+#include "kern/orc.hpp"
+
+namespace xunet::kern {
+
+using util::Errc;
+
+void OrcDriver::set_discard(atm::Vci vci, bool discard) {
+  if (discard) {
+    discard_.insert(vci);
+  } else {
+    discard_.erase(vci);
+  }
+}
+
+util::Result<void> OrcDriver::output(atm::Vci vci, const MbufChain& chain) {
+  if (!output_) return Errc::not_connected;
+  ++frames_out_;
+  return output_(vci, chain);
+}
+
+void OrcDriver::input(atm::Vci vci, const MbufChain& chain) {
+  if (discard_.contains(vci)) {
+    ++frames_discarded_;
+    return;
+  }
+  ++frames_in_;
+  // Table 1: device driver receive cost is the handler dispatch.
+  instr_.charge(InstrComponent::orc_driver, InstrDir::receive, kOrcRecvDispatch);
+  if (auto it = handlers_.find(vci); it != handlers_.end()) {
+    it->second(vci, chain);
+    return;
+  }
+  if (default_handler_) default_handler_(vci, chain);
+}
+
+}  // namespace xunet::kern

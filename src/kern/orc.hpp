@@ -1,0 +1,76 @@
+// orc.hpp — the Orc device driver.
+//
+// §7.4: the Orc driver sits between PF_XUNET and the ATM path.  On a router
+// it controls the Hobbit board; on a host "calls from the device driver to
+// the Hobbit board [are replaced] with calls to the encapsulation/
+// decapsulation layer" — the same PF_XUNET code runs unmodified above it.
+// On input, the router "maintains a table that contains a pointer to the
+// handler procedure for each VCI" so frames go either to a local PF_XUNET
+// socket or back out as IPPROTO_ATM encapsulation toward a remote host.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "atm/types.hpp"
+#include "kern/instr.hpp"
+#include "kern/mbuf.hpp"
+#include "util/result.hpp"
+
+namespace xunet::kern {
+
+/// The driver.  Output and input targets are injected by the Kernel during
+/// bring-up (Hobbit vs IPPROTO_ATM on the downside; PF_XUNET vs forwarding
+/// handlers on the upside).
+class OrcDriver {
+ public:
+  using FrameFn = std::function<util::Result<void>(atm::Vci, const MbufChain&)>;
+  using Handler = std::function<void(atm::Vci, const MbufChain&)>;
+
+  explicit OrcDriver(InstrCounter& instr) : instr_(instr) {}
+
+  /// Downward target: Hobbit::send on a router, IPPROTO_ATM encapsulation
+  /// on a host.
+  void set_output_target(FrameFn fn) { output_ = std::move(fn); }
+
+  /// Default upward handler: PF_XUNET socket delivery ("the handler routine
+  /// for a VCI owned by a process running on the router is automatically
+  /// set to the IP packet handler by PF_XUNET" — i.e. local delivery).
+  void set_default_handler(Handler h) { default_handler_ = std::move(h); }
+
+  /// Per-VCI override installed by a VCI_BIND control message: frames on
+  /// this VCI are forwarded (re-encapsulated toward a remote host).
+  void set_vci_handler(atm::Vci vci, Handler h) { handlers_[vci] = std::move(h); }
+  void clear_vci_handler(atm::Vci vci) { handlers_.erase(vci); }
+
+  /// VCI_SHUT: "the Orc driver is told to discard any more data arriving
+  /// with that VCI."
+  void set_discard(atm::Vci vci, bool discard);
+  [[nodiscard]] bool discarding(atm::Vci vci) const noexcept {
+    return discard_.contains(vci);
+  }
+
+  /// Send path.  Zero instructions charged: Table 1's send row for the
+  /// driver is 0 ("simply call the next layer down").
+  [[nodiscard]] util::Result<void> output(atm::Vci vci, const MbufChain& chain);
+
+  /// Receive path: dispatch to the per-VCI handler (or the default).
+  void input(atm::Vci vci, const MbufChain& chain);
+
+  [[nodiscard]] std::uint64_t frames_in() const noexcept { return frames_in_; }
+  [[nodiscard]] std::uint64_t frames_out() const noexcept { return frames_out_; }
+  [[nodiscard]] std::uint64_t frames_discarded() const noexcept { return frames_discarded_; }
+
+ private:
+  InstrCounter& instr_;
+  FrameFn output_;
+  Handler default_handler_;
+  std::unordered_map<atm::Vci, Handler> handlers_;
+  std::unordered_set<atm::Vci> discard_;
+  std::uint64_t frames_in_ = 0;
+  std::uint64_t frames_out_ = 0;
+  std::uint64_t frames_discarded_ = 0;
+};
+
+}  // namespace xunet::kern

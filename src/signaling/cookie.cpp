@@ -1,0 +1,19 @@
+#include "signaling/cookie.hpp"
+
+namespace xunet::sig {
+
+Cookie CookieTable::mint() {
+  for (;;) {
+    auto c = static_cast<Cookie>(rng_.below(0xFFFF) + 1);  // in [1, 0xFFFF]
+    if (outstanding_.try_emplace(c, true).second) return c;
+  }
+}
+
+void CookieTable::release_vci(atm::Vci vci) {
+  auto it = by_vci_.find(vci);
+  if (it == by_vci_.end()) return;
+  outstanding_.erase(it->second);
+  by_vci_.erase(it);
+}
+
+}  // namespace xunet::sig

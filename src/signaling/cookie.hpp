@@ -1,0 +1,52 @@
+// cookie.hpp — per-VCI cookie capability table (§7.1).
+//
+// "sighost maintains a per-VCI table of cookies.  When an endpoint does a
+// connect or an accept on a socket, it must supply the cookie provided to
+// it during call setup ... If authentication fails, the call is torn down,
+// and the socket marked unusable."
+#pragma once
+
+#include <unordered_map>
+
+#include "atm/types.hpp"
+#include "signaling/messages.hpp"
+#include "util/rng.hpp"
+
+namespace xunet::sig {
+
+/// Issues unguessable 16-bit cookies and authenticates (VCI, cookie) pairs.
+class CookieTable {
+ public:
+  explicit CookieTable(std::uint64_t seed) : rng_(seed) {}
+
+  /// Mint a fresh cookie.  Never returns 0 (0 means "no cookie") and never
+  /// collides with another outstanding cookie, so a guess succeeds with
+  /// probability < 2^-16 per attempt.
+  [[nodiscard]] Cookie mint();
+
+  /// Associate an outstanding cookie with a VCI once the VC exists.
+  void bind_vci(atm::Vci vci, Cookie cookie) { by_vci_[vci] = cookie; }
+
+  /// Authenticate an endpoint's (VCI, cookie) presentation.
+  [[nodiscard]] bool authenticate(atm::Vci vci, Cookie cookie) const {
+    auto it = by_vci_.find(vci);
+    return it != by_vci_.end() && cookie != 0 && it->second == cookie;
+  }
+
+  /// "Cookies last for the lifetime of a connection."
+  void release_vci(atm::Vci vci);
+  /// Drop a minted cookie that never got a VCI (failed setup).
+  void discard(Cookie cookie) { outstanding_.erase(cookie); }
+
+  [[nodiscard]] std::size_t vci_count() const noexcept { return by_vci_.size(); }
+  [[nodiscard]] std::size_t outstanding_count() const noexcept {
+    return outstanding_.size();
+  }
+
+ private:
+  util::Rng rng_;
+  std::unordered_map<atm::Vci, Cookie> by_vci_;
+  std::unordered_map<Cookie, bool> outstanding_;
+};
+
+}  // namespace xunet::sig

@@ -1,0 +1,108 @@
+#include "signaling/messages.hpp"
+
+namespace xunet::sig {
+
+using util::Errc;
+
+std::string_view to_string(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::export_srv: return "EXPORT_SRV";
+    case MsgType::service_regs: return "SERVICE_REGS";
+    case MsgType::withdraw_srv: return "WITHDRAW_SRV";
+    case MsgType::incoming_conn: return "INCOMING_CONN";
+    case MsgType::accept_conn: return "ACCEPT_CONN";
+    case MsgType::reject_conn: return "REJECT_CONN";
+    case MsgType::vci_for_conn: return "VCI_FOR_CONN";
+    case MsgType::connect_req: return "CONNECT_REQ";
+    case MsgType::req_id: return "REQ_ID";
+    case MsgType::cancel_req: return "CANCEL_REQ";
+    case MsgType::conn_failed: return "CONN_FAILED";
+    case MsgType::peer_setup: return "PEER_SETUP";
+    case MsgType::peer_accept: return "PEER_ACCEPT";
+    case MsgType::peer_reject: return "PEER_REJECT";
+    case MsgType::peer_established: return "PEER_ESTABLISHED";
+    case MsgType::peer_bound: return "PEER_BOUND";
+    case MsgType::peer_setup_failed: return "PEER_SETUP_FAILED";
+    case MsgType::peer_teardown: return "PEER_TEARDOWN";
+    case MsgType::peer_cancel: return "PEER_CANCEL";
+  }
+  return "?";
+}
+
+util::Buffer serialize(const Msg& m) {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(m.type));
+  w.u32(m.req_id);
+  w.u16(m.cookie);
+  w.u16(m.vci);
+  w.u16(m.port);
+  w.u8(m.error);
+  w.lp_string(m.service);
+  w.lp_string(m.qos);
+  w.lp_string(m.dst);
+  w.lp_string(m.comment);
+  return w.take();
+}
+
+util::Result<Msg> parse_msg(util::BytesView wire) {
+  util::Reader r(wire);
+  Msg m;
+  auto type = r.u8();
+  auto req_id = r.u32();
+  auto cookie = r.u16();
+  auto vci = r.u16();
+  auto port = r.u16();
+  auto error = r.u8();
+  if (!type || !req_id || !cookie || !vci || !port || !error) {
+    return Errc::protocol_error;
+  }
+  if (*type < static_cast<std::uint8_t>(MsgType::export_srv) ||
+      *type > static_cast<std::uint8_t>(MsgType::peer_cancel)) {
+    return Errc::protocol_error;
+  }
+  m.type = static_cast<MsgType>(*type);
+  m.req_id = *req_id;
+  m.cookie = *cookie;
+  m.vci = *vci;
+  m.port = *port;
+  m.error = *error;
+  auto service = r.lp_string();
+  auto qos = r.lp_string();
+  auto dst = r.lp_string();
+  auto comment = r.lp_string();
+  if (!service || !qos || !dst || !comment || !r.exhausted()) {
+    return Errc::protocol_error;
+  }
+  m.service = std::move(*service);
+  m.qos = std::move(*qos);
+  m.dst = std::move(*dst);
+  m.comment = std::move(*comment);
+  return m;
+}
+
+util::Buffer frame(const Msg& m) {
+  util::Buffer body = serialize(m);
+  util::Writer w;
+  w.u16(static_cast<std::uint16_t>(body.size()));
+  w.bytes(body);
+  return w.take();
+}
+
+void MsgFramer::feed(util::BytesView chunk) {
+  pending_.insert(pending_.end(), chunk.begin(), chunk.end());
+  for (;;) {
+    if (pending_.size() < 2) return;
+    std::size_t len = static_cast<std::size_t>(pending_[0]) << 8 | pending_[1];
+    if (pending_.size() < 2 + len) return;
+    auto parsed = parse_msg({pending_.data() + 2, len});
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<long>(2 + len));
+    if (parsed) {
+      on_msg_(*parsed);
+    } else if (on_err_) {
+      on_err_(parsed.error());
+    }
+  }
+}
+
+}  // namespace xunet::sig

@@ -1,0 +1,97 @@
+// messages.hpp — signaling wire messages (§7.1) and stream framing.
+//
+// Application↔sighost messages travel over TCP (the RPC-like IPC of §5.2),
+// length-prefix framed.  Sighost↔sighost messages travel over the signaling
+// PVC, one message per AAL frame.  Both use the same tagged serialization.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "atm/types.hpp"
+#include "ip/addr.hpp"
+#include "util/buffer.hpp"
+
+namespace xunet::sig {
+
+/// A connection-request identifier, unique per originating sighost; also
+/// used as the end-to-end call id between peer sighosts.
+using ReqId = std::uint32_t;
+
+/// The 16-bit capability of §7.1: "a cookie is a 16 bit capability that
+/// gives the holder the right to access a socket bound to a particular VCI."
+using Cookie = std::uint16_t;
+
+/// Every signaling message type, application-facing (§7.1, Figures 3 & 4)
+/// and peer-to-peer.
+enum class MsgType : std::uint8_t {
+  // server <-> sighost
+  export_srv = 1,    ///< server registers a service name + notify port
+  service_regs,      ///< sighost acks the registration (or withdrawal)
+  withdraw_srv,      ///< server removes a service name it registered
+  incoming_conn,     ///< sighost -> server: a call arrived (cookie, QoS)
+  accept_conn,       ///< server -> sighost: accept with modified QoS
+  reject_conn,       ///< server -> sighost: decline
+  vci_for_conn,      ///< sighost -> server/client: the VCI for the call
+  // client <-> sighost
+  connect_req,       ///< client -> sighost: connect to <dst, service, QoS>
+  req_id,            ///< sighost -> client: request accepted for processing
+  cancel_req,        ///< client -> sighost: withdraw an outstanding request
+  conn_failed,       ///< sighost -> client/server: call failed (reason)
+  // sighost <-> sighost (over the signaling PVC)
+  peer_setup,        ///< originate a call: req id, service, QoS, source
+  peer_accept,       ///< callee sighost: server accepted (modified QoS)
+  peer_reject,       ///< callee sighost: no such service / server declined
+  peer_established,  ///< originating sighost: VC is up; here is your VCI
+  peer_bound,        ///< callee sighost: the server has bound its socket
+  peer_setup_failed, ///< originating sighost: VC setup failed after accept
+  peer_teardown,     ///< either side: call is gone, release and notify
+  peer_cancel,       ///< originating sighost: client cancelled the request
+};
+[[nodiscard]] std::string_view to_string(MsgType t) noexcept;
+
+/// One parsed signaling message.  A union-of-fields record: each type uses
+/// the subset documented above; unused fields stay default.
+struct Msg {
+  MsgType type = MsgType::export_srv;
+  ReqId req_id = 0;
+  Cookie cookie = 0;
+  atm::Vci vci = atm::kInvalidVci;
+  std::uint16_t port = 0;        ///< export_srv notify port / connect_req reply port
+  std::string service;           ///< service name
+  std::string qos;               ///< uninterpreted QoS string
+  std::string dst;               ///< destination ATM address (connect_req, peer_setup src)
+  std::string comment;           ///< free-form comment passed client->server
+  std::uint8_t error = 0;        ///< reason code on reject/failure (util::Errc)
+};
+
+/// Serialize to wire bytes (no length prefix).
+[[nodiscard]] util::Buffer serialize(const Msg& m);
+/// Parse wire bytes; protocol_error on malformed input.
+[[nodiscard]] util::Result<Msg> parse_msg(util::BytesView wire);
+
+/// Frame a message for a TCP stream: u16 length + body.
+[[nodiscard]] util::Buffer frame(const Msg& m);
+
+/// Incremental de-framer for a TCP byte stream.  Feed arbitrary chunks;
+/// complete messages come out through the callback.  A malformed body
+/// surfaces as protocol_error through the error callback and the framer
+/// resynchronizes at the next length boundary.
+class MsgFramer {
+ public:
+  using MsgHandler = std::function<void(const Msg&)>;
+  using ErrHandler = std::function<void(util::Errc)>;
+
+  explicit MsgFramer(MsgHandler on_msg, ErrHandler on_err = {})
+      : on_msg_(std::move(on_msg)), on_err_(std::move(on_err)) {}
+
+  void feed(util::BytesView chunk);
+
+ private:
+  MsgHandler on_msg_;
+  ErrHandler on_err_;
+  util::Buffer pending_;
+};
+
+}  // namespace xunet::sig

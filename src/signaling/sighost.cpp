@@ -1,0 +1,771 @@
+#include "signaling/sighost.hpp"
+
+#include <cassert>
+
+namespace xunet::sig {
+
+using util::Errc;
+
+Sighost::Sighost(kern::Kernel& router, atm::AtmNetwork& net,
+                 SighostConfig cfg)
+    : k_(router), net_(net), cfg_(cfg), cookies_(cfg.cookie_seed) {}
+
+Sighost::~Sighost() = default;
+
+util::Result<void> Sighost::start() {
+  pid_ = k_.spawn("sighost");
+
+  auto lfd = k_.tcp_listen(pid_, cfg_.port,
+                           [this](int fd) { on_app_accept(fd); });
+  if (!lfd) return lfd.error();
+  listen_fd_ = *lfd;
+
+  // Attach to the anand server for kernel-state indications.
+  auto afd = k_.tcp_connect(
+      pid_, k_.ip_node().address(), cfg_.anand_server_port,
+      [this](util::Result<int> r) {
+        if (!r) return;  // no anand server: indications will be unavailable
+        stub_framer_ = std::make_unique<StubFramer>(
+            [this](const StubMsg& m) { on_stub_msg(m); });
+        (void)k_.tcp_on_receive(pid_, anand_fd_, [this](util::BytesView data) {
+          stub_framer_->feed(data);
+        });
+        StubMsg hello;
+        hello.type = StubMsg::Type::hello_sighost;
+        (void)k_.tcp_send(pid_, anand_fd_, serialize(hello));
+      });
+  if (!afd) return afd.error();
+  anand_fd_ = *afd;
+  return {};
+}
+
+util::Result<void> Sighost::add_peer(const atm::AtmAddress& peer,
+                                     atm::Vci send_vci, atm::Vci recv_vci) {
+  if (peers_.contains(peer.name)) return Errc::duplicate;
+  auto send_fd = k_.xunet_socket(pid_);
+  if (!send_fd) return send_fd.error();
+  auto recv_fd = k_.xunet_socket(pid_);
+  if (!recv_fd) return recv_fd.error();
+
+  pvc_vcis_.insert(send_vci);
+  pvc_vcis_.insert(recv_vci);
+  if (auto r = k_.xunet_connect(pid_, *send_fd, send_vci, 0); !r) return r;
+  if (auto r = k_.xunet_bind(pid_, *recv_fd, recv_vci, 0); !r) return r;
+
+  std::string name = peer.name;
+  (void)k_.xunet_on_receive(pid_, *recv_fd, [this, name](util::BytesView data) {
+    auto m = parse_msg(data);
+    if (m) on_peer_msg(name, *m);
+  });
+  peers_.emplace(name, Peer{peer, *send_fd, *recv_fd, send_vci, recv_vci});
+  return {};
+}
+
+// ---------------------------------------------------------------- plumbing
+
+void Sighost::maintenance_log(const std::string& what,
+                              std::function<void()> then) {
+  if (!cfg_.maintenance_logging) {
+    k_.simulator().schedule(sim::SimDuration{}, std::move(then));
+    return;
+  }
+  // The per-call maintenance record: §9 identifies writing it as the
+  // dominant cost of call establishment.  sighost is a single-threaded
+  // process, so logging work SERIALIZES: concurrent calls queue behind one
+  // another (this pacing is what let the paper's 80-buffer pseudo-device
+  // keep up with the 100-call burst).
+  k_.simulator().logger().info("sighost@" + k_.atm_address().name, what);
+  sim::SimTime now = k_.simulator().now();
+  if (busy_until_ < now) busy_until_ = now;
+  busy_until_ = busy_until_ + cfg_.per_call_log_cost;
+  k_.simulator().schedule_at(busy_until_, std::move(then));
+}
+
+void Sighost::send_app(int fd, const Msg& m) {
+  if (trace_) trace_("->app", k_.atm_address().name, m);
+  (void)k_.tcp_send(pid_, fd, frame(m));
+}
+
+void Sighost::send_peer(const std::string& peer, const Msg& m) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  if (trace_) trace_("->" + it->first, k_.atm_address().name, m);
+  (void)k_.xunet_send(pid_, it->second.send_fd, serialize(m));
+}
+
+void Sighost::on_app_accept(int fd) {
+  AppConn c;
+  c.fd = fd;
+  c.framer = std::make_unique<MsgFramer>(
+      [this, fd](const Msg& m) { on_app_msg(fd, m); });
+  app_conns_.emplace(fd, std::move(c));
+  (void)k_.tcp_on_receive(pid_, fd, [this, fd](util::BytesView data) {
+    if (auto it = app_conns_.find(fd); it != app_conns_.end()) {
+      it->second.framer->feed(data);
+    }
+  });
+  (void)k_.tcp_on_close(pid_, fd,
+                        [this, fd](util::Errc) { on_app_conn_closed(fd); });
+}
+
+void Sighost::on_app_conn_closed(int fd) {
+  auto it = app_conns_.find(fd);
+  if (it != app_conns_.end()) {
+    // The requester vanished with requests outstanding: withdraw them so no
+    // network or peer state stays pinned (§4: frugal use of resources).
+    std::set<ReqId> reqs = std::move(it->second.reqs);
+    app_conns_.erase(it);
+    for (ReqId id : reqs) {
+      auto oit = outgoing_.find(id);
+      if (oit == outgoing_.end()) continue;
+      cookies_.discard(oit->second.client_cookie);
+      Msg cancel;
+      cancel.type = MsgType::peer_cancel;
+      cancel.req_id = id;
+      send_peer(oit->second.dst_name, cancel);
+      outgoing_.erase(oit);
+    }
+  }
+  (void)k_.close(pid_, fd);
+}
+
+void Sighost::on_app_msg(int fd, const Msg& m) {
+  if (trace_) trace_("<-app", k_.atm_address().name, m);
+  switch (m.type) {
+    case MsgType::export_srv: handle_export_srv(fd, m); break;
+    case MsgType::withdraw_srv: handle_withdraw_srv(fd, m); break;
+    case MsgType::connect_req: handle_connect_req(fd, m); break;
+    case MsgType::cancel_req: handle_cancel_req(fd, m); break;
+    default:
+      // Anything else on an application connection is a protocol violation;
+      // robustness demands we ignore it rather than die (§4).
+      break;
+  }
+}
+
+void Sighost::on_peer_msg(const std::string& peer, const Msg& m) {
+  if (trace_) trace_("<-" + peer, k_.atm_address().name, m);
+  switch (m.type) {
+    case MsgType::peer_setup: handle_peer_setup(peer, m); break;
+    case MsgType::peer_accept: handle_peer_accept(peer, m); break;
+    case MsgType::peer_reject: handle_peer_reject(peer, m); break;
+    case MsgType::peer_established: handle_peer_established(peer, m); break;
+    case MsgType::peer_bound: handle_peer_bound(peer, m); break;
+    case MsgType::peer_setup_failed: handle_peer_setup_failed(peer, m); break;
+    case MsgType::peer_teardown: handle_peer_teardown(peer, m); break;
+    case MsgType::peer_cancel: handle_peer_cancel(peer, m); break;
+    default: break;
+  }
+}
+
+void Sighost::on_stub_msg(const StubMsg& m) {
+  if (m.type == StubMsg::Type::up_indication) handle_indication(m);
+}
+
+// -------------------------------------------------- application-side flows
+
+void Sighost::handle_export_srv(int fd, const Msg& m) {
+  if (m.service.empty() || m.port == 0) {
+    Msg fail;
+    fail.type = MsgType::conn_failed;
+    fail.error = static_cast<std::uint8_t>(Errc::invalid_argument);
+    send_app(fd, fail);
+    return;
+  }
+  Service svc;
+  svc.server_ip = k_.tcp_peer(pid_, fd);
+  svc.notify_port = m.port;
+  services_[m.service] = svc;
+  ++stats_.services_registered;
+  // Registration writes only a one-line record, not the heavyweight
+  // per-call maintenance information: §9 measures 17–20 ms for this RPC and
+  // attributes essentially all of it to the four context switches.
+  k_.simulator().logger().info("sighost@" + k_.atm_address().name,
+                               "EXPORT_SRV " + m.service);
+  Msg ack;
+  ack.type = MsgType::service_regs;
+  ack.service = m.service;
+  send_app(fd, ack);
+}
+
+void Sighost::handle_withdraw_srv(int fd, const Msg& m) {
+  // Only the machine that registered a service may withdraw it (the same
+  // trust boundary as registration itself).
+  auto it = services_.find(m.service);
+  if (it != services_.end() && it->second.server_ip == k_.tcp_peer(pid_, fd)) {
+    services_.erase(it);
+    k_.simulator().logger().info("sighost@" + k_.atm_address().name,
+                                 "WITHDRAW_SRV " + m.service);
+  }
+  Msg ack;
+  ack.type = MsgType::service_regs;
+  ack.service = m.service;
+  send_app(fd, ack);
+}
+
+void Sighost::handle_connect_req(int fd, const Msg& m) {
+  ReqId id = next_req_++;
+  Cookie cookie = cookies_.mint();
+  Outgoing out;
+  out.id = id;
+  out.client_fd = fd;
+  out.dst_name = m.dst;
+  out.service = m.service;
+  out.qos = m.qos;
+  out.client_cookie = cookie;
+  out.timer = std::make_unique<sim::Timer>(k_.simulator());
+  out.timer->arm(cfg_.request_timeout, [this, id] {
+    // The peer never answered (partition, dead sighost, lost PVC): fail the
+    // request back to the client and withdraw it from the peer.
+    auto oit = outgoing_.find(id);
+    if (oit == outgoing_.end()) return;
+    ++stats_.request_timeouts;
+    Msg cancel;
+    cancel.type = MsgType::peer_cancel;
+    cancel.req_id = id;
+    send_peer(oit->second.dst_name, cancel);
+    fail_outgoing(id, Errc::timed_out);
+  });
+  outgoing_.emplace(id, std::move(out));
+  if (auto it = app_conns_.find(fd); it != app_conns_.end()) {
+    it->second.reqs.insert(id);
+  }
+
+  Msg reply;
+  reply.type = MsgType::req_id;
+  reply.req_id = id;
+  reply.cookie = cookie;
+  send_app(fd, reply);
+
+  maintenance_log("CONNECT_REQ " + m.dst + ":" + m.service,
+                  [this, id, dst = m.dst, service = m.service, qos = m.qos,
+                   comment = m.comment] {
+                    auto oit = outgoing_.find(id);
+                    if (oit == outgoing_.end() || oit->second.cancelled) return;
+                    if (!peers_.contains(dst)) {
+                      fail_outgoing(id, Errc::no_route);
+                      return;
+                    }
+                    Msg setup;
+                    setup.type = MsgType::peer_setup;
+                    setup.req_id = id;
+                    setup.service = service;
+                    setup.qos = qos;
+                    setup.comment = comment;
+                    send_peer(dst, setup);
+                  });
+}
+
+void Sighost::handle_cancel_req(int fd, const Msg& m) {
+  (void)fd;
+  for (auto& [id, out] : outgoing_) {
+    if (out.client_cookie == m.cookie && !out.cancelled) {
+      out.cancelled = true;
+      ++stats_.cancels;
+      Msg cancel;
+      cancel.type = MsgType::peer_cancel;
+      cancel.req_id = id;
+      send_peer(out.dst_name, cancel);
+      fail_outgoing(id, Errc::cancelled);
+      return;
+    }
+  }
+}
+
+// The per-call server connection: ACCEPT_CONN / REJECT_CONN arrive here.
+void Sighost::handle_accept_conn(int fd, const Msg& m) {
+  for (auto& [key, inc] : incoming_) {
+    if (inc.server_fd != fd || inc.decided) continue;
+    if (m.cookie != inc.server_cookie) return;  // wrong capability: ignore
+    inc.decided = true;
+    inc.qos = m.qos;  // the server may have modified the QoS
+    Msg acc;
+    acc.type = MsgType::peer_accept;
+    acc.req_id = inc.id;
+    acc.qos = m.qos;
+    send_peer(inc.origin, acc);
+    return;
+  }
+}
+
+void Sighost::handle_reject_conn(int fd, const Msg& m) {
+  for (auto it = incoming_.begin(); it != incoming_.end(); ++it) {
+    Incoming& inc = it->second;
+    if (inc.server_fd != fd || inc.decided) continue;
+    if (m.cookie != inc.server_cookie) return;
+    ++stats_.rejects_sent;
+    cookies_.discard(inc.server_cookie);
+    Msg rej;
+    rej.type = MsgType::peer_reject;
+    rej.req_id = inc.id;
+    rej.error = static_cast<std::uint8_t>(Errc::rejected);
+    send_peer(inc.origin, rej);
+    (void)k_.close(pid_, fd);
+    incoming_.erase(it);
+    return;
+  }
+}
+
+// ------------------------------------------------------------- peer flows
+
+void Sighost::handle_peer_setup(const std::string& origin, const Msg& m) {
+  maintenance_log(
+      "PEER_SETUP " + origin + "#" + std::to_string(m.req_id) + " " + m.service,
+      [this, origin, m] {
+        auto sit = services_.find(m.service);
+        if (sit == services_.end()) {
+          ++stats_.rejects_sent;
+          Msg rej;
+          rej.type = MsgType::peer_reject;
+          rej.req_id = m.req_id;
+          rej.error = static_cast<std::uint8_t>(Errc::not_found);
+          send_peer(origin, rej);
+          return;
+        }
+        // Forward the incoming call to the server over a fresh TCP
+        // connection (§10: one descriptor per establishing call).
+        Cookie cookie = cookies_.mint();
+        std::string key = call_key(origin, m.req_id);
+        auto fd = k_.tcp_connect(
+            pid_, sit->second.server_ip, sit->second.notify_port,
+            [this, origin, key, m](util::Result<int> r) {
+              auto iit = incoming_.find(key);
+              if (iit == incoming_.end()) return;  // cancelled meanwhile
+              if (!r) {
+                // Server unreachable (likely dead): decline the call.
+                ++stats_.rejects_sent;
+                cookies_.discard(iit->second.server_cookie);
+                incoming_.erase(iit);
+                Msg rej;
+                rej.type = MsgType::peer_reject;
+                rej.req_id = m.req_id;
+                rej.error = static_cast<std::uint8_t>(Errc::connection_refused);
+                send_peer(origin, rej);
+                return;
+              }
+              int fd = *r;
+              auto framer = std::make_shared<MsgFramer>([this, fd](const Msg& mm) {
+                if (mm.type == MsgType::accept_conn) {
+                  handle_accept_conn(fd, mm);
+                } else if (mm.type == MsgType::reject_conn) {
+                  handle_reject_conn(fd, mm);
+                }
+              });
+              (void)k_.tcp_on_receive(pid_, fd,
+                                      [framer](util::BytesView data) {
+                                        framer->feed(data);
+                                      });
+              (void)k_.tcp_on_close(pid_, fd, [this, fd, key](util::Errc) {
+                // Server closed (normal after establishment) or died.
+                auto it2 = incoming_.find(key);
+                if (it2 != incoming_.end() && it2->second.server_fd == fd &&
+                    !it2->second.decided) {
+                  ++stats_.rejects_sent;
+                  cookies_.discard(it2->second.server_cookie);
+                  Msg rej;
+                  rej.type = MsgType::peer_reject;
+                  rej.req_id = it2->second.id;
+                  rej.error = static_cast<std::uint8_t>(Errc::connection_reset);
+                  send_peer(it2->second.origin, rej);
+                  incoming_.erase(it2);
+                }
+                (void)k_.close(pid_, fd);
+              });
+              iit->second.server_fd = fd;
+              Msg inc;
+              inc.type = MsgType::incoming_conn;
+              inc.cookie = iit->second.server_cookie;
+              inc.qos = m.qos;
+              inc.service = m.service;
+              inc.comment = m.comment;
+              // The originating sighost's address rides along so the server
+              // can "establish a return connection to actually return a
+              // file to the client" (§3) without an out-of-band convention.
+              inc.dst = origin;
+              send_app(fd, inc);
+            });
+        if (!fd) {
+          ++stats_.rejects_sent;
+          cookies_.discard(cookie);
+          Msg rej;
+          rej.type = MsgType::peer_reject;
+          rej.req_id = m.req_id;
+          rej.error = static_cast<std::uint8_t>(Errc::no_resources);
+          send_peer(origin, rej);
+          return;
+        }
+        Incoming inc;
+        inc.origin = origin;
+        inc.id = m.req_id;
+        inc.server_fd = *fd;
+        inc.server_cookie = cookie;
+        inc.qos = m.qos;
+        inc.service = m.service;
+        // Watchdog: if neither PEER_ESTABLISHED nor PEER_SETUP_FAILED ever
+        // arrives (lost to a partition), the record must not live forever.
+        inc.timer = std::make_unique<sim::Timer>(k_.simulator());
+        inc.timer->arm(cfg_.request_timeout, [this, key] {
+          auto iit = incoming_.find(key);
+          if (iit == incoming_.end()) return;
+          ++stats_.request_timeouts;
+          cookies_.discard(iit->second.server_cookie);
+          Msg fail;
+          fail.type = MsgType::conn_failed;
+          fail.req_id = iit->second.id;
+          fail.error = static_cast<std::uint8_t>(Errc::timed_out);
+          send_app(iit->second.server_fd, fail);
+          (void)k_.close(pid_, iit->second.server_fd);
+          Msg rej;
+          rej.type = MsgType::peer_reject;
+          rej.req_id = iit->second.id;
+          rej.error = static_cast<std::uint8_t>(Errc::timed_out);
+          send_peer(iit->second.origin, rej);
+          incoming_.erase(iit);
+        });
+        incoming_.emplace(key, std::move(inc));
+      });
+}
+
+void Sighost::handle_peer_accept(const std::string& origin, const Msg& m) {
+  auto oit = outgoing_.find(m.req_id);
+  if (oit == outgoing_.end() || oit->second.cancelled) {
+    // Client is gone or withdrew: unwind the callee's acceptance.
+    Msg down;
+    down.type = MsgType::peer_teardown;
+    down.req_id = m.req_id;
+    send_peer(origin, down);
+    return;
+  }
+  establish_vc(m.req_id, m.qos);
+}
+
+void Sighost::establish_vc(ReqId req_id, const std::string& qos_granted) {
+  auto oit = outgoing_.find(req_id);
+  assert(oit != outgoing_.end());
+  const std::string dst = oit->second.dst_name;
+  atm::Qos qos = atm::parse_qos(qos_granted).value_or(atm::Qos{});
+  net_.setup_vc(
+      k_.atm_address(), atm::AtmAddress{dst}, qos,
+      [this, req_id, dst, qos_granted](util::Result<atm::VcHandle> r) {
+        auto oit2 = outgoing_.find(req_id);
+        if (oit2 == outgoing_.end() || oit2->second.cancelled) {
+          if (r) (void)net_.teardown(r->id);
+          Msg down;
+          down.type = MsgType::peer_teardown;
+          down.req_id = req_id;
+          send_peer(dst, down);
+          return;
+        }
+        if (!r) {
+          ++stats_.setup_failures;
+          Msg fail;
+          fail.type = MsgType::peer_setup_failed;
+          fail.req_id = req_id;
+          fail.error = static_cast<std::uint8_t>(r.error());
+          send_peer(dst, fail);
+          fail_outgoing(req_id, r.error());
+          return;
+        }
+        Outgoing out = std::move(oit2->second);
+        outgoing_.erase(oit2);
+        if (auto ac = app_conns_.find(out.client_fd); ac != app_conns_.end()) {
+          ac->second.reqs.erase(req_id);
+        }
+
+        const atm::Vci vci = r->src_vci;
+        // The network reuses VCIs; a record still parked on this one is a
+        // relic of a teardown notification lost to a partition.  Reclaim it
+        // before the new call takes the number (lazy reconciliation).
+        if (vci_map_.contains(vci)) teardown_vci(vci, /*notify_peer=*/true);
+        cookies_.bind_vci(vci, out.client_cookie);
+        VciEntry e;
+        e.call_key = call_key(k_.atm_address().name, req_id);
+        e.req_id = req_id;
+        e.originator = true;
+        e.cookie = out.client_cookie;
+        e.vc_id = r->id;
+        e.peer = dst;
+        e.qos = qos_granted;
+        // "When the connection is actually established, a VCI_FOR_CONN
+        // message is sent to the client" — actually established includes
+        // the callee side having bound its socket, so the client's VCI is
+        // held back until the callee reports PEER_BOUND.  Data can then
+        // never outrun the receiver's bind.
+        e.pending_client_fd = out.client_fd;
+        vci_map_.emplace(vci, e);
+        load_wait_for_bind(vci, out.client_cookie);
+        ++stats_.calls_established;
+
+        Msg est;
+        est.type = MsgType::peer_established;
+        est.req_id = req_id;
+        est.vci = r->dst_vci;
+        est.qos = qos_granted;
+        send_peer(dst, est);
+      });
+}
+
+void Sighost::handle_peer_reject(const std::string& origin, const Msg& m) {
+  (void)origin;
+  fail_outgoing(m.req_id, static_cast<Errc>(m.error));
+}
+
+void Sighost::handle_peer_established(const std::string& origin, const Msg& m) {
+  std::string key = call_key(origin, m.req_id);
+  auto iit = incoming_.find(key);
+  if (iit == incoming_.end()) {
+    // We no longer know this call (server died after accepting): unwind.
+    Msg down;
+    down.type = MsgType::peer_teardown;
+    down.req_id = m.req_id;
+    send_peer(origin, down);
+    return;
+  }
+  Incoming inc = std::move(iit->second);
+  incoming_.erase(iit);
+
+  const atm::Vci vci = m.vci;
+  // Same lazy reconciliation as the originator side: a stale record on a
+  // reused VCI is torn down before the new call is recorded.
+  if (vci_map_.contains(vci)) teardown_vci(vci, /*notify_peer=*/true);
+  cookies_.bind_vci(vci, inc.server_cookie);
+  VciEntry e;
+  e.call_key = key;
+  e.req_id = m.req_id;
+  e.originator = false;
+  e.cookie = inc.server_cookie;
+  e.peer = origin;
+  e.qos = m.qos;
+  e.notify_origin_on_confirm = true;
+  vci_map_.emplace(vci, e);
+  load_wait_for_bind(vci, inc.server_cookie);
+  ++stats_.calls_established;
+
+  Msg vmsg;
+  vmsg.type = MsgType::vci_for_conn;
+  vmsg.req_id = m.req_id;
+  vmsg.vci = vci;
+  vmsg.cookie = inc.server_cookie;
+  vmsg.qos = m.qos;
+  send_app(inc.server_fd, vmsg);
+}
+
+void Sighost::handle_peer_bound(const std::string& origin, const Msg& m) {
+  (void)origin;
+  // We originated this call; the callee's server is now bound: release the
+  // client's VCI_FOR_CONN.
+  std::string key = call_key(k_.atm_address().name, m.req_id);
+  for (auto& [vci, e] : vci_map_) {
+    if (e.call_key != key || e.pending_client_fd < 0) continue;
+    Msg vmsg;
+    vmsg.type = MsgType::vci_for_conn;
+    vmsg.req_id = e.req_id;
+    vmsg.vci = vci;
+    vmsg.cookie = e.cookie;
+    vmsg.qos = e.qos;
+    send_app(e.pending_client_fd, vmsg);
+    e.pending_client_fd = -1;
+    return;
+  }
+}
+
+void Sighost::handle_peer_setup_failed(const std::string& origin, const Msg& m) {
+  std::string key = call_key(origin, m.req_id);
+  auto iit = incoming_.find(key);
+  if (iit == incoming_.end()) return;
+  cookies_.discard(iit->second.server_cookie);
+  Msg fail;
+  fail.type = MsgType::conn_failed;
+  fail.req_id = m.req_id;
+  fail.error = m.error;
+  send_app(iit->second.server_fd, fail);
+  (void)k_.close(pid_, iit->second.server_fd);
+  incoming_.erase(iit);
+}
+
+void Sighost::handle_peer_teardown(const std::string& origin, const Msg& m) {
+  // The call key depends on who originated: try the sender's name (they
+  // originated) then our own (we did).
+  for (const std::string& key :
+       {call_key(origin, m.req_id), call_key(k_.atm_address().name, m.req_id)}) {
+    if (atm::Vci vci = vci_for_call(key); vci != atm::kInvalidVci) {
+      teardown_vci(vci, /*notify_peer=*/false);
+      return;
+    }
+    if (auto iit = incoming_.find(key); iit != incoming_.end()) {
+      cookies_.discard(iit->second.server_cookie);
+      Msg fail;
+      fail.type = MsgType::conn_failed;
+      fail.req_id = m.req_id;
+      fail.error = static_cast<std::uint8_t>(Errc::connection_reset);
+      send_app(iit->second.server_fd, fail);
+      (void)k_.close(pid_, iit->second.server_fd);
+      incoming_.erase(iit);
+      return;
+    }
+  }
+}
+
+void Sighost::handle_peer_cancel(const std::string& origin, const Msg& m) {
+  std::string key = call_key(origin, m.req_id);
+  auto iit = incoming_.find(key);
+  if (iit != incoming_.end()) {
+    cookies_.discard(iit->second.server_cookie);
+    Msg fail;
+    fail.type = MsgType::conn_failed;
+    fail.req_id = m.req_id;
+    fail.error = static_cast<std::uint8_t>(Errc::cancelled);
+    send_app(iit->second.server_fd, fail);
+    (void)k_.close(pid_, iit->second.server_fd);
+    incoming_.erase(iit);
+    return;
+  }
+  // Already established here: a cancel this late is a teardown.
+  if (atm::Vci vci = vci_for_call(key); vci != atm::kInvalidVci) {
+    teardown_vci(vci, /*notify_peer=*/false);
+  }
+}
+
+// ------------------------------------------------------ kernel indications
+
+void Sighost::handle_indication(const StubMsg& m) {
+  if (pvc_vcis_.contains(m.vci)) return;  // our own signaling sockets
+  switch (m.up_type) {
+    case kern::AnandUpType::bind_indication:
+    case kern::AnandUpType::connect_indication:
+      confirm_endpoint(m.vci, m.cookie, m.machine);
+      break;
+    case kern::AnandUpType::process_terminated:
+      if (vci_map_.contains(m.vci)) {
+        teardown_vci(m.vci, /*notify_peer=*/true);
+      }
+      break;
+  }
+}
+
+void Sighost::confirm_endpoint(atm::Vci vci, Cookie cookie,
+                               ip::IpAddress origin) {
+  auto vit = vci_map_.find(vci);
+  if (vit == vci_map_.end()) return;  // stale indication
+  if (!cookies_.authenticate(vci, cookie)) {
+    // §7.1: authentication failure tears the call down and the socket is
+    // marked unusable (the teardown's downward disconnect does that).
+    ++stats_.auth_failures;
+    teardown_vci(vci, /*notify_peer=*/true);
+    return;
+  }
+  vit->second.confirmed = true;
+  vit->second.endpoint_ip = origin;
+  wait_bind_.erase(vci);  // Timer destructor cancels the pending expiry.
+  if (vit->second.notify_origin_on_confirm) {
+    vit->second.notify_origin_on_confirm = false;
+    Msg bound;
+    bound.type = MsgType::peer_bound;
+    bound.req_id = vit->second.req_id;
+    send_peer(vit->second.peer, bound);
+  }
+}
+
+// ----------------------------------------------------------- call lifecycle
+
+void Sighost::load_wait_for_bind(atm::Vci vci, Cookie cookie) {
+  WaitBind wb;
+  wb.cookie = cookie;
+  wb.timer = std::make_unique<sim::Timer>(k_.simulator());
+  wb.timer->arm(cfg_.wait_for_bind_timeout, [this, vci] {
+    ++stats_.bind_timeouts;
+    teardown_vci(vci, /*notify_peer=*/true);
+  });
+  wait_bind_.emplace(vci, std::move(wb));
+}
+
+void Sighost::fail_outgoing(ReqId id, Errc reason) {
+  auto oit = outgoing_.find(id);
+  if (oit == outgoing_.end()) return;
+  Outgoing out = std::move(oit->second);
+  outgoing_.erase(oit);
+  cookies_.discard(out.client_cookie);
+  if (auto ac = app_conns_.find(out.client_fd); ac != app_conns_.end()) {
+    ac->second.reqs.erase(id);
+    Msg fail;
+    fail.type = MsgType::conn_failed;
+    fail.req_id = id;
+    fail.cookie = out.client_cookie;
+    fail.error = static_cast<std::uint8_t>(reason);
+    send_app(out.client_fd, fail);
+  }
+}
+
+std::string Sighost::management_report() const {
+  std::string out = "sighost@" + k_.atm_address().name + "\n";
+  out += "  service_list (" + std::to_string(services_.size()) + "):\n";
+  for (const auto& [name, svc] : services_) {
+    out += "    " + name + " -> " + ip::to_string(svc.server_ip) + ":" +
+           std::to_string(svc.notify_port) + "\n";
+  }
+  out += "  outgoing_requests: " + std::to_string(outgoing_.size()) + "\n";
+  out += "  incoming_requests: " + std::to_string(incoming_.size()) + "\n";
+  out += "  wait_for_bind: " + std::to_string(wait_bind_.size()) + "\n";
+  out += "  VCI_mapping (" + std::to_string(vci_map_.size()) + "):\n";
+  for (const auto& [vci, e] : vci_map_) {
+    out += "    vci=" + std::to_string(vci) + " call=" + e.call_key +
+           (e.originator ? " (originator)" : " (callee)") +
+           (e.confirmed ? " confirmed" : " unconfirmed") + " qos=<" + e.qos +
+           ">\n";
+  }
+  const SighostStats& st = stats_;
+  out += "  stats: established=" + std::to_string(st.calls_established) +
+         " torn_down=" + std::to_string(st.calls_torn_down) +
+         " rejects=" + std::to_string(st.rejects_sent) +
+         " auth_failures=" + std::to_string(st.auth_failures) +
+         " bind_timeouts=" + std::to_string(st.bind_timeouts) + "\n";
+  return out;
+}
+
+atm::Vci Sighost::vci_for_call(const std::string& key) const {
+  for (const auto& [vci, e] : vci_map_) {
+    if (e.call_key == key) return vci;
+  }
+  return atm::kInvalidVci;
+}
+
+void Sighost::teardown_vci(atm::Vci vci, bool notify_peer) {
+  auto vit = vci_map_.find(vci);
+  if (vit == vci_map_.end()) return;
+  VciEntry e = vit->second;
+  vci_map_.erase(vit);
+  wait_bind_.erase(vci);
+  cookies_.release_vci(vci);
+  ++stats_.calls_torn_down;
+
+  if (e.pending_client_fd >= 0 && app_conns_.contains(e.pending_client_fd)) {
+    // The call died before the client ever saw its VCI.
+    Msg fail;
+    fail.type = MsgType::conn_failed;
+    fail.req_id = e.req_id;
+    fail.cookie = e.cookie;
+    fail.error = static_cast<std::uint8_t>(Errc::connection_reset);
+    send_app(e.pending_client_fd, fail);
+  }
+  if (e.originator && e.vc_id != 0) {
+    (void)net_.teardown(e.vc_id);
+  }
+  if (notify_peer) {
+    Msg down;
+    down.type = MsgType::peer_teardown;
+    down.req_id = e.req_id;
+    send_peer(e.peer, down);
+  }
+  // Downward path: mark the endpoint's socket unusable (and, for VCIs bound
+  // to IP hosts, the anand server also writes VCI_SHUT).
+  if (anand_fd_ >= 0) {
+    StubMsg down;
+    down.type = StubMsg::Type::down_disconnect;
+    down.vci = vci;
+    down.machine = e.endpoint_ip;
+    (void)k_.tcp_send(pid_, anand_fd_, serialize(down));
+  }
+  maintenance_log("TEARDOWN vci=" + std::to_string(vci), [] {});
+}
+
+}  // namespace xunet::sig

@@ -1,0 +1,233 @@
+// sighost.hpp — the signaling entity (§6–§7).
+//
+// One sighost runs in user space on each router and "serves applications
+// running on the router as well as any number of applications running on
+// hosts connected over IP".  It acts only in response to messages from the
+// user library (TCP), the local or remote kernel (via the anand stubs), or
+// its peer sighosts (over a signaling PVC).  Internal state lives in the
+// paper's five lists: service_list, outgoing_requests, incoming_requests,
+// wait_for_bind and VCI_mapping.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "atm/network.hpp"
+#include "kern/kernel.hpp"
+#include "signaling/cookie.hpp"
+#include "signaling/messages.hpp"
+#include "signaling/stub_proto.hpp"
+#include "sim/timer.hpp"
+
+namespace xunet::sig {
+
+/// Statistics exported for the experiments.
+struct SighostStats {
+  std::uint64_t calls_established = 0;
+  std::uint64_t calls_torn_down = 0;
+  std::uint64_t auth_failures = 0;
+  std::uint64_t bind_timeouts = 0;
+  std::uint64_t rejects_sent = 0;
+  std::uint64_t cancels = 0;
+  std::uint64_t services_registered = 0;
+  std::uint64_t setup_failures = 0;
+  std::uint64_t request_timeouts = 0;
+};
+
+struct SighostConfig {
+  std::uint16_t port = kSighostPort;
+  std::uint16_t anand_server_port = kAnandServerPort;
+  /// §7.2: per-VCI timer loaded when a VCI is handed to an application;
+  /// "if no bind (resp. connect) indication is received before timeout,
+  /// the connection is torn down."
+  sim::SimDuration wait_for_bind_timeout = sim::seconds(10);
+  /// How long a CONNECT_REQ may stay unresolved (no PEER_ACCEPT/REJECT and
+  /// no VC) before the originating sighost fails it back to the client.
+  /// Guards against unreachable peers (e.g. a cut signaling PVC).
+  sim::SimDuration request_timeout = sim::seconds(30);
+  /// §9: "the large amount of maintenance information logged per call"
+  /// dominates the ~330 ms call-establishment time.  Charged once per
+  /// call at each sighost; 128 ms calibrates end-to-end setup to the
+  /// paper's ~330 ms on the canonical testbed.  The §5 ablation bench
+  /// sets it to zero.
+  sim::SimDuration per_call_log_cost = sim::milliseconds(128);
+  bool maintenance_logging = true;
+  std::uint64_t cookie_seed = 0x5163'4057;
+};
+
+/// The signaling entity.
+class Sighost {
+ public:
+  /// Trace hook for the message-sequence-chart bench: fires for every
+  /// signaling message sent or received ("dir" is "->" send, "<-" receive).
+  using TraceFn = std::function<void(std::string_view dir, std::string_view peer,
+                                     const Msg& m)>;
+
+  Sighost(kern::Kernel& router, atm::AtmNetwork& net,
+          SighostConfig cfg = SighostConfig{});
+  ~Sighost();
+  Sighost(const Sighost&) = delete;
+  Sighost& operator=(const Sighost&) = delete;
+
+  /// Spawn the sighost process, listen for applications, attach to the
+  /// anand server (which must already be running on this router).
+  util::Result<void> start();
+
+  /// Provision the signaling channel to a peer sighost over a PVC pair.
+  /// `send_vci`/`recv_vci` are this router's VCIs on its uplink/downlink.
+  util::Result<void> add_peer(const atm::AtmAddress& peer, atm::Vci send_vci,
+                              atm::Vci recv_vci);
+
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+  // -- the five lists (sizes; used by tests and leak audits) ---------------
+  [[nodiscard]] std::size_t service_list_size() const noexcept { return services_.size(); }
+  [[nodiscard]] std::size_t outgoing_requests_size() const noexcept { return outgoing_.size(); }
+  [[nodiscard]] std::size_t incoming_requests_size() const noexcept { return incoming_.size(); }
+  [[nodiscard]] std::size_t wait_for_bind_size() const noexcept { return wait_bind_.size(); }
+  [[nodiscard]] std::size_t vci_mapping_size() const noexcept { return vci_map_.size(); }
+  [[nodiscard]] bool has_service(const std::string& name) const {
+    return services_.contains(name);
+  }
+
+  /// §5.1: "Signaling state information is easily available and can be
+  /// used by network management software."  A human-readable dump of the
+  /// five lists and counters.
+  [[nodiscard]] std::string management_report() const;
+
+  [[nodiscard]] const SighostStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CookieTable& cookies() const noexcept { return cookies_; }
+  [[nodiscard]] kern::Pid pid() const noexcept { return pid_; }
+  [[nodiscard]] const atm::AtmAddress& address() const noexcept {
+    return k_.atm_address();
+  }
+
+ private:
+  // ---- records ----
+  struct Service {
+    ip::IpAddress server_ip;
+    std::uint16_t notify_port = 0;
+  };
+  struct AppConn {
+    int fd = -1;
+    std::unique_ptr<MsgFramer> framer;
+    std::set<ReqId> reqs;  ///< outstanding requests initiated on this conn
+  };
+  struct Outgoing {  // outgoing_requests: client request awaiting peer reply
+    ReqId id = 0;
+    int client_fd = -1;
+    std::string dst_name;
+    std::string service;
+    std::string qos;
+    Cookie client_cookie = 0;
+    bool cancelled = false;
+    std::unique_ptr<sim::Timer> timer;  ///< request_timeout watchdog
+  };
+  struct Incoming {  // incoming_requests: call awaiting server accept/reject
+    std::string origin;  ///< peer sighost name
+    ReqId id = 0;
+    int server_fd = -1;  ///< per-call TCP connection to the server
+    Cookie server_cookie = 0;
+    std::string qos;
+    std::string service;
+    bool decided = false;
+    std::unique_ptr<sim::Timer> timer;  ///< watchdog against a lost reply
+  };
+  struct WaitBind {  // wait_for_bind: VCI handed out, no indication yet
+    std::unique_ptr<sim::Timer> timer;
+    Cookie cookie = 0;
+  };
+  struct VciEntry {  // VCI_mapping: live (or establishing) calls by VCI
+    std::string call_key;  ///< origin "#" req_id — the end-to-end call id
+    ReqId req_id = 0;
+    bool originator = false;
+    Cookie cookie = 0;
+    atm::VcId vc_id = 0;  ///< network handle; only at the originator
+    std::string peer;     ///< peer sighost name
+    ip::IpAddress endpoint_ip;  ///< machine holding the socket (0=unknown/router)
+    bool confirmed = false;     ///< bind/connect indication authenticated
+    std::string qos;            ///< granted QoS (for deferred client delivery)
+    /// Originator side: the client's VCI_FOR_CONN is held back until the
+    /// callee reports PEER_BOUND, so data can never beat the server's bind.
+    int pending_client_fd = -1;
+    /// Callee side: report PEER_BOUND to the originator on bind confirm.
+    bool notify_origin_on_confirm = false;
+  };
+  struct Peer {
+    atm::AtmAddress addr;
+    int send_fd = -1;
+    int recv_fd = -1;
+    atm::Vci send_vci = atm::kInvalidVci;
+    atm::Vci recv_vci = atm::kInvalidVci;
+  };
+
+  // ---- plumbing ----
+  void on_app_accept(int fd);
+  void on_app_msg(int fd, const Msg& m);
+  void on_app_conn_closed(int fd);
+  void send_app(int fd, const Msg& m);
+  void send_peer(const std::string& peer, const Msg& m);
+  void on_peer_msg(const std::string& peer, const Msg& m);
+  void on_stub_msg(const StubMsg& m);
+  void maintenance_log(const std::string& what, std::function<void()> then);
+
+  // ---- application-side handlers ----
+  void handle_export_srv(int fd, const Msg& m);
+  void handle_withdraw_srv(int fd, const Msg& m);
+  void handle_connect_req(int fd, const Msg& m);
+  void handle_cancel_req(int fd, const Msg& m);
+  void handle_accept_conn(int fd, const Msg& m);
+  void handle_reject_conn(int fd, const Msg& m);
+
+  // ---- peer-side handlers ----
+  void handle_peer_setup(const std::string& origin, const Msg& m);
+  void handle_peer_accept(const std::string& origin, const Msg& m);
+  void handle_peer_reject(const std::string& origin, const Msg& m);
+  void handle_peer_established(const std::string& origin, const Msg& m);
+  void handle_peer_bound(const std::string& origin, const Msg& m);
+  void handle_peer_setup_failed(const std::string& origin, const Msg& m);
+  void handle_peer_teardown(const std::string& origin, const Msg& m);
+  void handle_peer_cancel(const std::string& origin, const Msg& m);
+
+  // ---- kernel-indication handlers ----
+  void handle_indication(const StubMsg& m);
+  void confirm_endpoint(atm::Vci vci, Cookie cookie, ip::IpAddress origin);
+
+  // ---- call lifecycle ----
+  void establish_vc(ReqId req_id, const std::string& qos_granted);
+  void teardown_vci(atm::Vci vci, bool notify_peer);
+  void load_wait_for_bind(atm::Vci vci, Cookie cookie);
+  void fail_outgoing(ReqId id, util::Errc reason);
+  [[nodiscard]] static std::string call_key(const std::string& origin, ReqId id) {
+    return origin + "#" + std::to_string(id);
+  }
+  [[nodiscard]] atm::Vci vci_for_call(const std::string& key) const;
+
+  kern::Kernel& k_;
+  atm::AtmNetwork& net_;
+  SighostConfig cfg_;
+  CookieTable cookies_;
+  kern::Pid pid_ = -1;
+  int listen_fd_ = -1;
+  int anand_fd_ = -1;  ///< TCP connection to the anand server
+  std::unique_ptr<StubFramer> stub_framer_;
+  TraceFn trace_;
+
+  // The five lists.
+  std::map<std::string, Service> services_;          // service_list
+  std::map<ReqId, Outgoing> outgoing_;               // outgoing_requests
+  std::map<std::string, Incoming> incoming_;         // incoming_requests
+  std::map<atm::Vci, WaitBind> wait_bind_;           // wait_for_bind
+  std::map<atm::Vci, VciEntry> vci_map_;             // VCI_mapping
+
+  std::map<int, AppConn> app_conns_;
+  std::map<std::string, Peer> peers_;
+  std::set<atm::Vci> pvc_vcis_;  ///< own signaling VCIs: ignore their indications
+  ReqId next_req_ = 1;
+  sim::SimTime busy_until_{};  ///< end of the queued maintenance-log work
+  SighostStats stats_;
+};
+
+}  // namespace xunet::sig

@@ -1,0 +1,71 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace xunet::sim {
+
+std::string to_string(SimTime t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3fms", t.ms());
+  return buf;
+}
+
+std::string to_string(SimDuration d) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3fms", d.ms());
+  return buf;
+}
+
+EventId Simulator::schedule(SimDuration delay, std::function<void()> fn) {
+  assert(delay.ns() >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  assert(when >= now_);
+  EventId id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  // Lazy cancellation: the entry stays queued but is skipped at dispatch.
+  if (id == 0 || id >= next_id_) return false;
+  return cancelled_.insert(id).second;
+}
+
+void Simulator::dispatch(Entry& e) {
+  if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+    cancelled_.erase(it);
+    return;
+  }
+  now_ = e.when;
+  auto fn = std::move(e.fn);
+  fn();
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    dispatch(e);
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    dispatch(e);
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace xunet::sim

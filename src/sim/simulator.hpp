@@ -1,0 +1,84 @@
+// simulator.hpp — the discrete-event engine every substrate runs on.
+//
+// A Simulator owns a time-ordered event queue.  Components schedule
+// callbacks at future instants; run() dispatches them in (time, insertion)
+// order, so simulations are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/logging.hpp"
+
+namespace xunet::sim {
+
+/// Handle for a scheduled event; used to cancel timers.
+using EventId = std::uint64_t;
+
+/// Discrete-event simulator: event queue + clock + per-simulation logger.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` from now.  Zero delay is allowed and runs
+  /// after all already-queued events at the current instant.
+  EventId schedule(SimDuration delay, std::function<void()> fn);
+
+  /// Schedule at an absolute instant (must not be in the past).
+  EventId schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Cancel a scheduled event.  Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  /// Run events until the queue empties.  Returns the number dispatched.
+  std::size_t run();
+
+  /// Run events with timestamp <= deadline; the clock ends at `deadline`
+  /// even if the queue empties earlier.  Returns the number dispatched.
+  std::size_t run_until(SimTime deadline);
+
+  /// Advance by `d` from the current time (convenience over run_until).
+  std::size_t run_for(SimDuration d) { return run_until(now_ + d); }
+
+  /// Number of events currently pending.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+  /// The per-simulation logger shared by every component.
+  [[nodiscard]] util::Logger& logger() noexcept { return logger_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;  ///< tie-break so equal-time events run FIFO
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Entry& e);
+
+  SimTime now_{};
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  util::Logger logger_;
+};
+
+}  // namespace xunet::sim

@@ -1,0 +1,68 @@
+// time.hpp — simulated time.
+//
+// SimTime is a strong nanosecond tick count.  All latency parameters in the
+// library (context-switch cost, link propagation, signaling log cost, MSL)
+// are SimDuration values, so experiments can reproduce the paper's 1994
+// magnitudes or explore alternatives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xunet::sim {
+
+/// A span of simulated time, in nanoseconds.
+class SimDuration {
+ public:
+  constexpr SimDuration() noexcept = default;
+  constexpr explicit SimDuration(std::int64_t ns) noexcept : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double us() const noexcept { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const noexcept { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const noexcept { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr SimDuration operator+(SimDuration o) const noexcept { return SimDuration(ns_ + o.ns_); }
+  constexpr SimDuration operator-(SimDuration o) const noexcept { return SimDuration(ns_ - o.ns_); }
+  constexpr SimDuration operator*(std::int64_t k) const noexcept { return SimDuration(ns_ * k); }
+  constexpr SimDuration& operator+=(SimDuration o) noexcept { ns_ += o.ns_; return *this; }
+  constexpr auto operator<=>(const SimDuration&) const noexcept = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Duration construction helpers.
+[[nodiscard]] constexpr SimDuration nanoseconds(std::int64_t v) noexcept { return SimDuration(v); }
+[[nodiscard]] constexpr SimDuration microseconds(std::int64_t v) noexcept { return SimDuration(v * 1'000); }
+[[nodiscard]] constexpr SimDuration milliseconds(std::int64_t v) noexcept { return SimDuration(v * 1'000'000); }
+[[nodiscard]] constexpr SimDuration seconds(std::int64_t v) noexcept { return SimDuration(v * 1'000'000'000); }
+/// Fractional seconds (rounded to the nearest nanosecond).
+[[nodiscard]] constexpr SimDuration seconds_f(double v) noexcept {
+  return SimDuration(static_cast<std::int64_t>(v * 1e9 + (v >= 0 ? 0.5 : -0.5)));
+}
+
+/// An absolute instant of simulated time (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+  constexpr explicit SimTime(std::int64_t ns) noexcept : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double us() const noexcept { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const noexcept { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const noexcept { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr SimTime operator+(SimDuration d) const noexcept { return SimTime(ns_ + d.ns()); }
+  constexpr SimDuration operator-(SimTime o) const noexcept { return SimDuration(ns_ - o.ns_); }
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// "12.345ms"-style rendering for logs and message-sequence charts.
+[[nodiscard]] std::string to_string(SimTime t);
+[[nodiscard]] std::string to_string(SimDuration d);
+
+}  // namespace xunet::sim

@@ -1,0 +1,51 @@
+// timer.hpp — restartable one-shot timer over the Simulator.
+//
+// Used by sighost's wait-for-bind timers (§7.2: "sighost keeps a per-VCI
+// timer that is loaded when a VCI is handed to an application") and by the
+// TCP model's TIME_WAIT expiry.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace xunet::sim {
+
+/// One-shot timer.  Arm it with a delay and callback; cancel or re-arm at
+/// will.  Destroying the timer cancels it, so a Timer member can never fire
+/// into a destroyed owner.
+class Timer {
+ public:
+  explicit Timer(Simulator& sim) noexcept : sim_(&sim) {}
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Arm (or re-arm) the timer.  A pending expiry is cancelled first.
+  void arm(SimDuration delay, std::function<void()> on_expiry) {
+    cancel();
+    armed_ = true;
+    id_ = sim_->schedule(delay, [this, fn = std::move(on_expiry)] {
+      armed_ = false;
+      fn();
+    });
+  }
+
+  /// Cancel a pending expiry; no-op when idle.
+  void cancel() noexcept {
+    if (armed_) {
+      sim_->cancel(id_);
+      armed_ = false;
+    }
+  }
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+ private:
+  Simulator* sim_;
+  EventId id_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace xunet::sim

@@ -1,0 +1,351 @@
+#include "userlib/userlib.hpp"
+
+namespace xunet::app {
+
+using sig::Msg;
+using sig::MsgType;
+using util::Errc;
+
+UserLib::UserLib(kern::Kernel& k, kern::Pid pid, ip::IpAddress sighost_ip,
+                 std::uint16_t sighost_port)
+    : k_(k), pid_(pid), sighost_ip_(sighost_ip), sighost_port_(sighost_port) {}
+
+// ------------------------------------------------------ signaling channel
+
+void UserLib::ensure_channel(std::function<void(util::Result<void>)> then) {
+  if (chan_ready_) {
+    then({});
+    return;
+  }
+  chan_waiters_.push_back(std::move(then));
+  if (chan_connecting_) return;
+  chan_connecting_ = true;
+  auto fd = k_.tcp_connect(
+      pid_, sighost_ip_, sighost_port_, [this](util::Result<int> r) {
+        chan_connecting_ = false;
+        auto waiters = std::move(chan_waiters_);
+        chan_waiters_.clear();
+        if (!r) {
+          chan_fd_ = -1;
+          for (auto& w : waiters) w(r.error());
+          return;
+        }
+        chan_ready_ = true;
+        chan_framer_ = std::make_unique<sig::MsgFramer>(
+            [this](const Msg& m) { on_channel_msg(m); });
+        (void)k_.tcp_on_receive(pid_, chan_fd_, [this](util::BytesView data) {
+          chan_framer_->feed(data);
+        });
+        (void)k_.tcp_on_close(pid_, chan_fd_, [this](util::Errc) {
+          chan_ready_ = false;
+          int fd = chan_fd_;
+          chan_fd_ = -1;
+          (void)k_.close(pid_, fd);
+          // Outstanding RPCs die with the channel.
+          auto opens = std::move(opens_);
+          opens_.clear();
+          open_by_cookie_.clear();
+          for (auto& [id, po] : opens) po.on_done(Errc::connection_reset);
+          auto waiting = std::move(awaiting_req_id_);
+          awaiting_req_id_.clear();
+          for (auto& po : waiting) po.on_done(Errc::connection_reset);
+          auto regs = std::move(pending_registrations_);
+          pending_registrations_.clear();
+          for (auto& cb : regs) cb(Errc::connection_reset);
+        });
+        for (auto& w : waiters) w(util::ok_result());
+      });
+  if (!fd) {
+    chan_connecting_ = false;
+    auto waiters = std::move(chan_waiters_);
+    chan_waiters_.clear();
+    for (auto& w : waiters) w(fd.error());
+    return;
+  }
+  chan_fd_ = *fd;
+}
+
+void UserLib::channel_send(const Msg& m) {
+  (void)k_.tcp_send(pid_, chan_fd_, sig::frame(m));
+}
+
+void UserLib::on_channel_msg(const Msg& m) {
+  switch (m.type) {
+    case MsgType::service_regs: {
+      if (!pending_registrations_.empty()) {
+        auto cb = std::move(pending_registrations_.front());
+        pending_registrations_.pop_front();
+        cb(util::ok_result());
+      }
+      break;
+    }
+    case MsgType::req_id: {
+      // REQ_ID carries the new request id and cookie; adopt them onto the
+      // oldest CONNECT_REQ without an id (TCP ordering makes this exact).
+      if (!pending_cookie_cbs_.empty()) {
+        auto cb = std::move(pending_cookie_cbs_.front());
+        pending_cookie_cbs_.pop_front();
+        if (cb) cb(m.cookie);
+      }
+      if (!awaiting_req_id_.empty()) {
+        PendingOpen po = std::move(awaiting_req_id_.front());
+        awaiting_req_id_.pop_front();
+        po.cookie = m.cookie;
+        open_by_cookie_[m.cookie] = m.req_id;
+        opens_.emplace(m.req_id, std::move(po));
+      }
+      break;
+    }
+    case MsgType::vci_for_conn: {
+      auto it = opens_.find(m.req_id);
+      if (it == opens_.end()) break;
+      PendingOpen po = std::move(it->second);
+      opens_.erase(it);
+      open_by_cookie_.erase(po.cookie);
+      OpenResult r;
+      r.vci = m.vci;
+      r.cookie = m.cookie;
+      r.qos = m.qos;
+      po.on_done(r);
+      break;
+    }
+    case MsgType::conn_failed: {
+      auto it = opens_.find(m.req_id);
+      if (it == opens_.end()) break;
+      PendingOpen po = std::move(it->second);
+      opens_.erase(it);
+      open_by_cookie_.erase(po.cookie);
+      po.on_done(static_cast<Errc>(m.error == 0
+                                       ? static_cast<std::uint8_t>(Errc::rejected)
+                                       : m.error));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// -------------------------------------------------------------- server side
+
+void UserLib::export_service(const std::string& name,
+                             std::uint16_t notify_port, VoidFn on_done) {
+  // create_receive_connection: listen once for per-call connections.
+  if (notify_listen_fd_ < 0) {
+    auto lfd = k_.tcp_listen(pid_, notify_port, [this](int fd) {
+      PerCall pc;
+      pc.fd = fd;
+      pc.framer = std::make_shared<sig::MsgFramer>(
+          [this, fd](const Msg& m) { on_percall_msg(fd, m); });
+      percall_.emplace(fd, std::move(pc));
+      (void)k_.tcp_on_receive(pid_, fd, [this, fd](util::BytesView data) {
+        if (auto it = percall_.find(fd); it != percall_.end()) {
+          // Pin the framer: a handled message may erase this per-call entry.
+          auto framer = it->second.framer;
+          framer->feed(data);
+        }
+      });
+      (void)k_.tcp_on_close(pid_, fd, [this, fd](util::Errc) {
+        auto it = percall_.find(fd);
+        if (it != percall_.end()) {
+          if (it->second.accept_cb) {
+            it->second.accept_cb(Errc::connection_reset);
+          }
+          percall_.erase(it);
+        }
+        (void)k_.close(pid_, fd);
+      });
+    });
+    if (!lfd) {
+      on_done(lfd.error());
+      return;
+    }
+    notify_listen_fd_ = *lfd;
+  }
+
+  ensure_channel([this, name, notify_port,
+                  on_done = std::move(on_done)](util::Result<void> r) mutable {
+    if (!r) {
+      on_done(r.error());
+      return;
+    }
+    pending_registrations_.push_back(std::move(on_done));
+    Msg m;
+    m.type = MsgType::export_srv;
+    m.service = name;
+    m.port = notify_port;
+    channel_send(m);
+  });
+}
+
+void UserLib::unexport_service(const std::string& name, VoidFn on_done) {
+  ensure_channel([this, name,
+                  on_done = std::move(on_done)](util::Result<void> r) mutable {
+    if (!r) {
+      on_done(r.error());
+      return;
+    }
+    pending_registrations_.push_back(std::move(on_done));
+    Msg m;
+    m.type = MsgType::withdraw_srv;
+    m.service = name;
+    channel_send(m);
+  });
+}
+
+void UserLib::on_percall_msg(int fd, const Msg& m) {
+  auto it = percall_.find(fd);
+  if (it == percall_.end()) return;
+  switch (m.type) {
+    case MsgType::incoming_conn: {
+      it->second.have_request = true;
+      IncomingRequest req;
+      req.cookie = m.cookie;
+      req.service = m.service;
+      req.comment = m.comment;
+      req.qos = m.qos;
+      req.origin = m.dst;
+      req.conn_fd = fd;
+      if (waiting_await_) {
+        auto cb = std::move(waiting_await_);
+        waiting_await_ = {};
+        cb(req);
+      } else {
+        request_queue_.push_back(std::move(req));
+      }
+      break;
+    }
+    case MsgType::vci_for_conn: {
+      if (it->second.accept_cb) {
+        auto cb = std::move(it->second.accept_cb);
+        it->second.accept_cb = {};
+        OpenResult r;
+        r.vci = m.vci;
+        r.cookie = m.cookie;
+        r.qos = m.qos;
+        cb(r);
+      }
+      finish_percall(fd);
+      break;
+    }
+    case MsgType::conn_failed: {
+      if (it->second.accept_cb) {
+        auto cb = std::move(it->second.accept_cb);
+        it->second.accept_cb = {};
+        cb(static_cast<Errc>(m.error));
+      }
+      finish_percall(fd);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void UserLib::finish_percall(int fd) {
+  // "This descriptor is kept open for the duration of connection
+  // establishment and then immediately closed" — the active close that
+  // parks the descriptor in TIME_WAIT for 2×MSL.
+  percall_.erase(fd);
+  (void)k_.close(pid_, fd);
+}
+
+void UserLib::await_service_request(RequestFn on_request) {
+  if (!request_queue_.empty()) {
+    IncomingRequest req = std::move(request_queue_.front());
+    request_queue_.pop_front();
+    on_request(std::move(req));
+    return;
+  }
+  if (waiting_await_) {
+    on_request(Errc::would_block);
+    return;
+  }
+  waiting_await_ = std::move(on_request);
+}
+
+void UserLib::accept_connection(const IncomingRequest& req,
+                                const std::string& qos, OpenFn on_done) {
+  auto it = percall_.find(req.conn_fd);
+  if (it == percall_.end()) {
+    on_done(Errc::connection_reset);  // call withdrawn meanwhile
+    return;
+  }
+  it->second.accept_cb = std::move(on_done);
+  Msg m;
+  m.type = MsgType::accept_conn;
+  m.cookie = req.cookie;
+  m.qos = qos;
+  (void)k_.tcp_send(pid_, req.conn_fd, sig::frame(m));
+}
+
+void UserLib::reject_connection(const IncomingRequest& req) {
+  if (!percall_.contains(req.conn_fd)) return;
+  Msg m;
+  m.type = MsgType::reject_conn;
+  m.cookie = req.cookie;
+  (void)k_.tcp_send(pid_, req.conn_fd, sig::frame(m));
+  finish_percall(req.conn_fd);
+}
+
+// -------------------------------------------------------------- client side
+
+void UserLib::open_connection(const std::string& dst,
+                              const std::string& service,
+                              const std::string& comment,
+                              const std::string& qos, OpenFn on_done,
+                              CookieFn on_req_id) {
+  ensure_channel([this, dst, service, comment, qos, on_done = std::move(on_done),
+                  on_req_id = std::move(on_req_id)](util::Result<void> r) mutable {
+    if (!r) {
+      on_done(r.error());
+      return;
+    }
+    // Requests are answered strictly in order over the TCP channel, so a
+    // FIFO of not-yet-identified requests correlates CONNECT_REQ to REQ_ID.
+    PendingOpen po;
+    po.on_done = std::move(on_done);
+    awaiting_req_id_.push_back(std::move(po));
+    // Deliver the cookie as soon as REQ_ID assigns it (possibly empty; the
+    // queue must stay aligned with the CONNECT_REQ order).
+    pending_cookie_cbs_.push_back(std::move(on_req_id));
+    Msg m;
+    m.type = MsgType::connect_req;
+    m.dst = dst;
+    m.service = service;
+    m.comment = comment;
+    m.qos = qos;
+    channel_send(m);
+  });
+}
+
+void UserLib::cancel_request(sig::Cookie cookie) {
+  if (!chan_ready_) return;
+  Msg m;
+  m.type = MsgType::cancel_req;
+  m.cookie = cookie;
+  channel_send(m);
+}
+
+// ------------------------------------------------------ data-socket helpers
+
+util::Result<int> UserLib::connect_data_socket(const OpenResult& r) {
+  auto fd = k_.xunet_socket(pid_);
+  if (!fd) return fd.error();
+  if (auto rc = k_.xunet_connect(pid_, *fd, r.vci, r.cookie); !rc) {
+    (void)k_.close(pid_, *fd);
+    return rc.error();
+  }
+  return *fd;
+}
+
+util::Result<int> UserLib::bind_data_socket(const OpenResult& r) {
+  auto fd = k_.xunet_socket(pid_);
+  if (!fd) return fd.error();
+  if (auto rc = k_.xunet_bind(pid_, *fd, r.vci, r.cookie); !rc) {
+    (void)k_.close(pid_, *fd);
+    return rc.error();
+  }
+  return *fd;
+}
+
+}  // namespace xunet::app

@@ -1,0 +1,146 @@
+// userlib.hpp — the user library of §8.
+//
+// "Our goal was to make it easy for an application developed over TCP/IP
+// and BSD sockets to be ported to PF_XUNET.  This is achieved by hiding the
+// message exchanges between the application and the signaling entity in a
+// user library."  A server needs export_service / await_service_request /
+// accept_connection (Figure 5); a client needs only open_connection
+// (Figure 6).  This simulation is event-driven, so the blocking calls of
+// the paper become completion callbacks; the message exchanges they hide
+// are identical.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "kern/kernel.hpp"
+#include "signaling/messages.hpp"
+#include "signaling/stub_proto.hpp"
+
+namespace xunet::app {
+
+/// An incoming call delivered to a server (the INCOMING_CONN payload plus
+/// the per-call connection it arrived on).
+struct IncomingRequest {
+  sig::Cookie cookie = 0;
+  std::string service;
+  std::string comment;
+  std::string qos;     ///< the QoS the client asked for
+  std::string origin;  ///< ATM address of the caller's sighost (for return calls)
+  int conn_fd = -1;    ///< per-call TCP connection from sighost
+};
+
+/// Outcome of a successful open/accept: everything needed to attach a
+/// PF_XUNET socket to the call.
+struct OpenResult {
+  atm::Vci vci = atm::kInvalidVci;
+  sig::Cookie cookie = 0;
+  std::string qos;  ///< the negotiated (possibly modified) QoS
+};
+
+/// The library.  One instance per application process.
+class UserLib {
+ public:
+  using VoidFn = std::function<void(util::Result<void>)>;
+  using OpenFn = std::function<void(util::Result<OpenResult>)>;
+  using RequestFn = std::function<void(util::Result<IncomingRequest>)>;
+  using CookieFn = std::function<void(sig::Cookie)>;
+
+  /// `sighost_ip` is the nearest router's address (where sighost runs).
+  UserLib(kern::Kernel& k, kern::Pid pid, ip::IpAddress sighost_ip,
+          std::uint16_t sighost_port = sig::kSighostPort);
+
+  // -- server side (Figure 5) ----------------------------------------------
+
+  /// Register `name` with the signaling entity and start listening on
+  /// `notify_port` for forwarded incoming calls (this call performs both
+  /// the paper's export_service and create_receive_connection).
+  void export_service(const std::string& name, std::uint16_t notify_port,
+                      VoidFn on_done);
+
+  /// Withdraw a previously exported service name; new calls to it fail
+  /// with not_found.  Established calls are unaffected.
+  void unexport_service(const std::string& name, VoidFn on_done);
+
+  /// Deliver the next incoming call (immediately if one is queued).  Only
+  /// one await may be outstanding at a time; a second call fails with
+  /// would_block through the callback.
+  void await_service_request(RequestFn on_request);
+
+  /// Accept a call, optionally shrinking the client's QoS.  The callback
+  /// receives the VCI to bind to.  The per-call connection is closed
+  /// immediately afterwards (§10: "kept open for the duration of connection
+  /// establishment and then immediately closed").
+  void accept_connection(const IncomingRequest& req, const std::string& qos,
+                         OpenFn on_done);
+
+  /// Decline a call.
+  void reject_connection(const IncomingRequest& req);
+
+  // -- client side (Figure 6) ------------------------------------------------
+
+  /// Connect to <dst, service, QoS>.  `on_req_id` (optional) fires early
+  /// with the request's cookie so the caller can cancel_request() it.
+  void open_connection(const std::string& dst, const std::string& service,
+                       const std::string& comment, const std::string& qos,
+                       OpenFn on_done, CookieFn on_req_id = {});
+
+  /// Withdraw an outstanding open_connection by its cookie.
+  void cancel_request(sig::Cookie cookie);
+
+  // -- data-socket helpers (the socket()/bind()/connect() lines of §8) -----
+
+  /// Client side: create a PF_XUNET socket and connect it to the call.
+  [[nodiscard]] util::Result<int> connect_data_socket(const OpenResult& r);
+  /// Server side: create a PF_XUNET socket and bind it to the call.
+  [[nodiscard]] util::Result<int> bind_data_socket(const OpenResult& r);
+
+  [[nodiscard]] kern::Pid pid() const noexcept { return pid_; }
+
+ private:
+  struct PendingOpen {
+    OpenFn on_done;
+    sig::Cookie cookie = 0;
+  };
+  struct PerCall {  // a per-call conn from sighost (server side)
+    int fd = -1;
+    /// shared_ptr: the receive path pins the framer across feed() so a
+    /// message handler that closes this per-call conn (finish_percall)
+    /// cannot destroy the framer out from under its own stack frame.
+    std::shared_ptr<sig::MsgFramer> framer;
+    bool have_request = false;
+    OpenFn accept_cb;  ///< set once the app accepts
+  };
+
+  void ensure_channel(std::function<void(util::Result<void>)> then);
+  void channel_send(const sig::Msg& m);
+  void on_channel_msg(const sig::Msg& m);
+  void on_percall_msg(int fd, const sig::Msg& m);
+  void finish_percall(int fd);
+
+  kern::Kernel& k_;
+  kern::Pid pid_;
+  ip::IpAddress sighost_ip_;
+  std::uint16_t sighost_port_;
+
+  // Persistent signaling channel.
+  int chan_fd_ = -1;
+  bool chan_ready_ = false;
+  bool chan_connecting_ = false;
+  std::unique_ptr<sig::MsgFramer> chan_framer_;
+  std::vector<std::function<void(util::Result<void>)>> chan_waiters_;
+
+  std::deque<VoidFn> pending_registrations_;
+  std::deque<CookieFn> pending_cookie_cbs_;
+  std::deque<PendingOpen> awaiting_req_id_;  ///< CONNECT_REQs without REQ_ID yet
+  std::map<sig::ReqId, PendingOpen> opens_;
+  std::map<sig::Cookie, sig::ReqId> open_by_cookie_;
+
+  int notify_listen_fd_ = -1;
+  std::map<int, PerCall> percall_;
+  std::deque<IncomingRequest> request_queue_;
+  RequestFn waiting_await_;
+};
+
+}  // namespace xunet::app

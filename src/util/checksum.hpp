@@ -1,0 +1,20 @@
+// checksum.hpp — 16-bit one's-complement Internet checksum (RFC 1071),
+// used by the simulated IP header.
+#pragma once
+
+#include <cstdint>
+
+#include "util/buffer.hpp"
+
+namespace xunet::util {
+
+/// Internet checksum over a byte run.  An odd trailing byte is padded with
+/// zero, per RFC 1071.
+[[nodiscard]] std::uint16_t internet_checksum(BytesView data) noexcept;
+
+/// True when a header whose checksum field is included in `data` verifies.
+[[nodiscard]] inline bool checksum_ok(BytesView data) noexcept {
+  return internet_checksum(data) == 0;
+}
+
+}  // namespace xunet::util

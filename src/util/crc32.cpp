@@ -1,0 +1,40 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace xunet::util {
+namespace {
+
+/// Byte-at-a-time lookup table for the reflected 0x04C11DB7 polynomial,
+/// generated at static-initialization time.
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(BytesView data) noexcept {
+  std::uint32_t c = state_;
+  for (std::uint8_t b : data) {
+    c = kTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(BytesView data) noexcept {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace xunet::util

@@ -1,0 +1,73 @@
+#include "util/loc_scan.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace xunet::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_source_file(const fs::path& p) {
+  auto ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+void scan_file(const fs::path& p, ComponentSize& out) {
+  std::ifstream in(p);
+  if (!in) return;
+  ++out.files;
+  std::string line;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    ++out.lines;
+    out.bytes += line.size() + 1;
+    // Classify the line; good enough for a code-size table, not a parser.
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos) continue;  // blank
+    if (in_block_comment) {
+      if (line.find("*/") != std::string::npos) in_block_comment = false;
+      continue;
+    }
+    if (line.compare(i, 2, "//") == 0) continue;  // pure line comment
+    if (line.compare(i, 2, "/*") == 0 &&
+        line.find("*/", i + 2) == std::string::npos) {
+      in_block_comment = true;
+      continue;
+    }
+    ++out.code_lines;
+  }
+}
+
+}  // namespace
+
+ComponentSize scan_files(const std::string& name,
+                         const std::vector<std::string>& paths) {
+  ComponentSize out;
+  out.name = name;
+  for (const auto& p : paths) {
+    std::error_code ec;
+    if (fs::is_regular_file(p, ec)) scan_file(p, out);
+  }
+  return out;
+}
+
+ComponentSize scan_component(const std::string& name, const std::string& dir,
+                             bool recurse) {
+  ComponentSize out;
+  out.name = name;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return out;
+  if (recurse) {
+    for (const auto& e : fs::recursive_directory_iterator(dir, ec)) {
+      if (e.is_regular_file() && is_source_file(e.path())) scan_file(e.path(), out);
+    }
+  } else {
+    for (const auto& e : fs::directory_iterator(dir, ec)) {
+      if (e.is_regular_file() && is_source_file(e.path())) scan_file(e.path(), out);
+    }
+  }
+  return out;
+}
+
+}  // namespace xunet::util

@@ -1,0 +1,35 @@
+// loc_scan.hpp — source-tree code-size scanner for the Table 2 reproduction.
+//
+// The paper's Table 2 reports lines of C (with comments) and text/data/bss
+// sizes of the principal host components.  We reproduce the analogue for this
+// library: per-component lines of C++ and on-disk source bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xunet::util {
+
+/// Code-size metrics for one component (one directory of sources).
+struct ComponentSize {
+  std::string name;        ///< component label, e.g. "sighost"
+  std::size_t files = 0;   ///< number of source files scanned
+  std::size_t lines = 0;   ///< total lines, comments included (paper counts comments)
+  std::size_t code_lines = 0;  ///< non-blank, non-pure-comment lines
+  std::size_t bytes = 0;   ///< total bytes of source text
+};
+
+/// Scan `dir` (non-recursive by default; recursive when `recurse`) for
+/// .hpp/.cpp files and total their sizes.  Missing directories yield a
+/// zeroed entry so benches degrade gracefully when run out of tree.
+[[nodiscard]] ComponentSize scan_component(const std::string& name,
+                                           const std::string& dir,
+                                           bool recurse = false);
+
+/// Scan an explicit list of files (for components that are a subset of a
+/// directory, like the paper's per-kernel-piece rows in Table 2).
+[[nodiscard]] ComponentSize scan_files(const std::string& name,
+                                       const std::vector<std::string>& paths);
+
+}  // namespace xunet::util

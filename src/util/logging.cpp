@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace xunet::util {
+
+std::string_view to_string(LogLevel l) noexcept {
+  switch (l) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string message) {
+  if (level < threshold_ || level == LogLevel::off) return;
+  ++emitted_;
+  if (sinks_.empty()) return;
+  LogRecord r{level, std::string(component), std::move(message)};
+  for (const auto& s : sinks_) s(r);
+}
+
+Logger::Sink stderr_sink() {
+  return [](const LogRecord& r) {
+    std::fprintf(stderr, "%-5s [%s] %s\n",
+                 std::string(to_string(r.level)).c_str(), r.component.c_str(),
+                 r.message.c_str());
+  };
+}
+
+}  // namespace xunet::util

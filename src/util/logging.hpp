@@ -1,0 +1,79 @@
+// logging.hpp — leveled logging with pluggable sinks.
+//
+// The signaling entity's per-call "maintenance information" logging — which
+// the paper identifies as the dominant cost of call establishment (§9) — goes
+// through this interface, so benches can both count and cost it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xunet::util {
+
+enum class LogLevel : int { trace = 0, debug, info, warn, error, off };
+
+[[nodiscard]] std::string_view to_string(LogLevel l) noexcept;
+
+/// A single emitted log record.
+struct LogRecord {
+  LogLevel level = LogLevel::info;
+  std::string component;  ///< e.g. "sighost@mh.rt", "kern@host1"
+  std::string message;
+};
+
+/// Logger: routes records above a threshold to registered sinks.  One global
+/// instance per Simulation keeps output deterministic; there is no hidden
+/// global state.
+class Logger {
+ public:
+  using Sink = std::function<void(const LogRecord&)>;
+
+  /// Register a sink; all records at or above the threshold reach it.
+  void add_sink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+  /// Drop records below `level`.
+  void set_threshold(LogLevel level) noexcept { threshold_ = level; }
+  [[nodiscard]] LogLevel threshold() const noexcept { return threshold_; }
+
+  /// Emit a record (no-op when below threshold or no sinks registered).
+  void log(LogLevel level, std::string_view component, std::string message);
+
+  /// Count of records emitted at >= threshold since construction.
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+
+  /// Convenience per-level helpers.
+  void trace(std::string_view c, std::string m) { log(LogLevel::trace, c, std::move(m)); }
+  void debug(std::string_view c, std::string m) { log(LogLevel::debug, c, std::move(m)); }
+  void info(std::string_view c, std::string m) { log(LogLevel::info, c, std::move(m)); }
+  void warn(std::string_view c, std::string m) { log(LogLevel::warn, c, std::move(m)); }
+  void error(std::string_view c, std::string m) { log(LogLevel::error, c, std::move(m)); }
+
+ private:
+  LogLevel threshold_ = LogLevel::warn;
+  std::vector<Sink> sinks_;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Sink that appends records to a vector (used by tests asserting on logs).
+class CapturingSink {
+ public:
+  /// Returns a Sink bound to this capture buffer.
+  [[nodiscard]] Logger::Sink sink() {
+    return [this](const LogRecord& r) { records_.push_back(r); };
+  }
+  [[nodiscard]] const std::vector<LogRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() noexcept { records_.clear(); }
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+/// Sink that writes "LEVEL [component] message" lines to stderr.
+[[nodiscard]] Logger::Sink stderr_sink();
+
+}  // namespace xunet::util

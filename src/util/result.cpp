@@ -1,0 +1,33 @@
+#include "util/result.hpp"
+
+namespace xunet::util {
+
+std::string_view to_string(Errc e) noexcept {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::would_block: return "would_block";
+    case Errc::bad_fd: return "bad_fd";
+    case Errc::no_buffer_space: return "no_buffer_space";
+    case Errc::too_many_files: return "too_many_files";
+    case Errc::not_connected: return "not_connected";
+    case Errc::already_connected: return "already_connected";
+    case Errc::connection_reset: return "connection_reset";
+    case Errc::connection_refused: return "connection_refused";
+    case Errc::address_in_use: return "address_in_use";
+    case Errc::no_route: return "no_route";
+    case Errc::message_too_long: return "message_too_long";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::not_found: return "not_found";
+    case Errc::permission_denied: return "permission_denied";
+    case Errc::timed_out: return "timed_out";
+    case Errc::rejected: return "rejected";
+    case Errc::cancelled: return "cancelled";
+    case Errc::no_resources: return "no_resources";
+    case Errc::protocol_error: return "protocol_error";
+    case Errc::duplicate: return "duplicate";
+    case Errc::shutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+}  // namespace xunet::util

@@ -1,0 +1,111 @@
+// result.hpp — lightweight Result<T> / error-code vocabulary for the library.
+//
+// The simulated kernel and signaling planes report failures the way a Unix
+// kernel does: with stable error codes, not exceptions.  Exceptions are
+// reserved for programming errors (broken invariants); everything a
+// misbehaving peer or application can trigger flows through Result<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace xunet::util {
+
+/// Stable error vocabulary used across all modules.  Names intentionally
+/// echo errno where a Unix equivalent exists.
+enum class Errc : int {
+  ok = 0,
+  would_block,       ///< operation cannot complete now (EWOULDBLOCK)
+  bad_fd,            ///< descriptor not open (EBADF)
+  no_buffer_space,   ///< bounded queue full (ENOBUFS)
+  too_many_files,    ///< per-process fd table exhausted (EMFILE)
+  not_connected,     ///< socket not connected (ENOTCONN)
+  already_connected, ///< socket already connected (EISCONN)
+  connection_reset,  ///< peer vanished (ECONNRESET)
+  connection_refused,///< no listener / rejected (ECONNREFUSED)
+  address_in_use,    ///< bind collision (EADDRINUSE)
+  no_route,          ///< no forwarding entry (EHOSTUNREACH)
+  message_too_long,  ///< frame exceeds MTU/limit (EMSGSIZE)
+  invalid_argument,  ///< malformed request (EINVAL)
+  not_found,         ///< lookup miss (service, VCI, cookie...)
+  permission_denied, ///< cookie authentication failure (EACCES)
+  timed_out,         ///< timer expiry (ETIMEDOUT)
+  rejected,          ///< call rejected by server (REJECT_CONN)
+  cancelled,         ///< request cancelled by requester (CANCEL_REQ)
+  no_resources,      ///< admission control denied the QoS request
+  protocol_error,    ///< malformed wire message
+  duplicate,         ///< duplicate registration / id reuse
+  shutdown,          ///< entity is shutting down
+};
+
+/// Human-readable name for an error code (for logs and test diagnostics).
+[[nodiscard]] std::string_view to_string(Errc e) noexcept;
+
+/// Result<T>: either a value or an Errc.  Small, header-only, no allocation
+/// beyond T itself.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Construct a success result.
+  Result(T value) : repr_(std::in_place_index<0>, std::move(value)) {}
+  /// Construct a failure result.  `e` must not be Errc::ok.
+  Result(Errc e) : repr_(std::in_place_index<1>, e) { assert(e != Errc::ok); }
+
+  [[nodiscard]] bool ok() const noexcept { return repr_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// The error code; Errc::ok when the result holds a value.
+  [[nodiscard]] Errc error() const noexcept {
+    return ok() ? Errc::ok : std::get<1>(repr_);
+  }
+
+  /// Access the value.  Precondition: ok().
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(repr_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(repr_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(repr_));
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  /// Value if ok, otherwise `fallback`.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Errc> repr_;
+};
+
+/// Result<void> specialization: just an error code.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() noexcept : err_(Errc::ok) {}
+  Result(Errc e) noexcept : err_(e) {}
+
+  [[nodiscard]] bool ok() const noexcept { return err_ == Errc::ok; }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] Errc error() const noexcept { return err_; }
+
+ private:
+  Errc err_;
+};
+
+/// Convenience: a success Result<void>.
+[[nodiscard]] inline Result<void> ok_result() noexcept { return {}; }
+
+}  // namespace xunet::util

@@ -1,0 +1,40 @@
+// rng.hpp — deterministic, seedable pseudo-random numbers.
+//
+// All randomness in the simulation (workload arrival jitter, loss injection,
+// reordering) flows through Rng so runs are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace xunet::util {
+
+/// SplitMix64-seeded xoshiro256** generator.  Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound) (bound > 0), bias-corrected.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Bernoulli trial with probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean (>0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace xunet::util

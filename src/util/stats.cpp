@@ -1,0 +1,67 @@
+#include "util/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace xunet::util {
+
+double Summary::min() const {
+  assert(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  assert(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double m = mean();
+  double s = 0.0;
+  for (double v : samples_) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(samples_.size()));
+}
+
+double Summary::percentile(double p) const {
+  assert(!samples_.empty());
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  assert(x.size() == y.size() && x.size() >= 2);
+  auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  LinearFit f;
+  double denom = n * sxx - sx * sx;
+  f.slope = denom == 0.0 ? 0.0 : (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double r = std::fabs(y[i] - (f.intercept + f.slope * x[i]));
+    f.max_residual = std::max(f.max_residual, r);
+  }
+  return f;
+}
+
+}  // namespace xunet::util

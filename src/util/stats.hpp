@@ -1,0 +1,65 @@
+// stats.hpp — counters and value distributions for experiments.
+//
+// Every bench in bench/ reports through these so the output format is uniform
+// and paper-vs-measured comparisons (EXPERIMENTS.md) are mechanical.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xunet::util {
+
+/// Accumulates samples of a scalar quantity and answers summary questions.
+class Summary {
+ public:
+  void add(double v) { samples_.push_back(v); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Population standard deviation (0 for <2 samples).
+  [[nodiscard]] double stddev() const;
+  /// Linear-interpolated percentile; p in [0,100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Named monotonic counters, used for resource-leak audits and drop counts.
+class Counters {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1) { map_[name] += by; }
+  [[nodiscard]] std::uint64_t get(const std::string& name) const {
+    auto it = map_.find(name);
+    return it == map_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const noexcept {
+    return map_;
+  }
+  void reset() noexcept { map_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> map_;
+};
+
+/// Fits y = a + b*x by least squares; used by the Table 1 bench to recover
+/// the per-mbuf instruction slope from measured counts.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Maximum absolute residual of the fit over the inputs.
+  double max_residual = 0.0;
+};
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+}  // namespace xunet::util

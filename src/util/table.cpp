@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace xunet::util {
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit = [&out, &widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      out << c << std::string(widths[i] - c.size(), ' ');
+      if (i + 1 < widths.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void TextTable::print() const {
+  std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fputc('\n', stdout);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace xunet::util

@@ -1,0 +1,37 @@
+// table.hpp — plain-text table printer used by the bench harness so every
+// reproduced table/figure prints in the same aligned format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xunet::util {
+
+/// Builds and renders an aligned text table with a title, header row, and
+/// data rows.  Cells are strings; numeric formatting is the caller's job.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Set the column headers (defines the column count).
+  void header(std::vector<std::string> cols) { header_ = std::move(cols); }
+
+  /// Append a data row; short rows are padded with empty cells.
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Render with box-drawing-free ASCII alignment.
+  [[nodiscard]] std::string render() const;
+
+  /// Render to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+
+}  // namespace xunet::util

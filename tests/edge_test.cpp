@@ -1,0 +1,316 @@
+// edge_test.cpp — corner cases across the stack: TCP half-close semantics,
+// IP reassembly expiry, AAL5 runaway-frame guards, signaling idempotence
+// under duplicated/replayed peer messages, and property sweeps on QoS
+// negotiation.
+#include <gtest/gtest.h>
+
+#include "atm/aal5.hpp"
+#include "core/apps.hpp"
+#include "core/duplex.hpp"
+#include "core/testbed.hpp"
+#include "util/rng.hpp"
+
+namespace xunet {
+namespace {
+
+using core::CallClient;
+using core::CallServer;
+using core::Testbed;
+
+// ---------------------------------------------------------- TCP half-close
+
+struct TcpPair {
+  sim::Simulator sim;
+  ip::IpNode a{sim, "a", ip::make_ip(1, 1, 1, 1)};
+  ip::IpNode b{sim, "b", ip::make_ip(2, 2, 2, 2)};
+  ip::IpLink link{sim, ip::kFddiBps, sim::microseconds(100), ip::kFddiMtu};
+  std::unique_ptr<tcp::TcpLayer> ta, tb;
+  tcp::ConnId client = 0, server = 0;
+
+  TcpPair() {
+    link.attach(a, b);
+    a.set_default_route(link);
+    b.set_default_route(link);
+    ta = std::make_unique<tcp::TcpLayer>(a);
+    tb = std::make_unique<tcp::TcpLayer>(b);
+    EXPECT_TRUE(tb->listen(7, [&](tcp::ConnId c) { server = c; }).ok());
+    (void)ta->connect(b.address(), 7,
+                      [&](util::Result<tcp::ConnId> r) { client = *r; });
+    sim.run_for(sim::milliseconds(50));
+    EXPECT_NE(client, 0u);
+    EXPECT_NE(server, 0u);
+  }
+};
+
+TEST(TcpEdge, HalfCloseStillCarriesDataTheOtherWay) {
+  TcpPair p;
+  // Client closes its sending direction; the server may keep sending
+  // (CLOSE_WAIT permits it) and the client still receives.
+  std::string client_got;
+  p.ta->set_receive_handler(p.client, [&](util::BytesView d) {
+    client_got += util::to_text(d);
+  });
+  ASSERT_TRUE(p.ta->close(p.client).ok());
+  p.sim.run_for(sim::milliseconds(50));
+  ASSERT_EQ(p.tb->state(p.server), tcp::State::close_wait);
+  ASSERT_TRUE(p.tb->send(p.server,
+                         util::to_buffer(std::string_view("late data"))).ok());
+  p.sim.run_for(sim::milliseconds(50));
+  EXPECT_EQ(client_got, "late data");
+  // Then the server finishes the close.
+  ASSERT_TRUE(p.tb->close(p.server).ok());
+  p.sim.run_for(sim::milliseconds(50));
+  EXPECT_EQ(p.ta->state(p.client), tcp::State::time_wait);
+}
+
+TEST(TcpEdge, RetransmitLimitResetsTheConnection) {
+  TcpPair p;
+  std::optional<util::Errc> closed;
+  p.ta->set_close_handler(p.client, [&](util::Errc e) { closed = e; });
+  // Black-hole everything after establishment: data can never be ACKed.
+  util::Rng rng(1);
+  p.link.set_loss(1.0, &rng);
+  ASSERT_TRUE(p.ta->send(p.client, util::Buffer(100, 1)).ok());
+  p.sim.run_for(sim::seconds(60));
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(*closed, util::Errc::timed_out);
+  EXPECT_EQ(p.ta->connection_count(), 0u);
+  EXPECT_GT(p.ta->retransmits(), 4u);
+}
+
+TEST(TcpEdge, DuplicateAcksAreHarmless) {
+  TcpPair p;
+  std::string got;
+  p.tb->set_receive_handler(p.server,
+                            [&](util::BytesView d) { got += util::to_text(d); });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(p.ta->send(p.client, util::to_buffer(std::string_view("x"))).ok());
+    p.sim.run_for(sim::milliseconds(10));
+  }
+  EXPECT_EQ(got.size(), 10u);
+  EXPECT_EQ(p.ta->state(p.client), tcp::State::established);
+}
+
+// ------------------------------------------------------ IP reassembly expiry
+
+TEST(IpEdge, StaleFragmentsExpireAndAreNotMerged) {
+  sim::Simulator sim;
+  ip::IpNode a(sim, "a", ip::make_ip(1, 1, 1, 1));
+  ip::IpNode b(sim, "b", ip::make_ip(2, 2, 2, 2));
+  ip::IpLink link(sim, ip::kFddiBps, sim::microseconds(10), ip::kEthernetMtu);
+  link.attach(a, b);
+  a.set_default_route(link);
+  b.set_default_route(link);
+  int delivered = 0;
+  b.register_protocol(ip::IpProto::atm, [&](const ip::IpPacket&) { ++delivered; });
+
+  // First fragment of a datagram that never completes.
+  ip::IpPacket frag;
+  frag.src = a.address();
+  frag.dst = b.address();
+  frag.protocol = ip::IpProto::atm;
+  frag.id = 9;
+  frag.frag_offset = 0;
+  frag.more_fragments = true;
+  frag.payload = util::Buffer(800, 1);
+  b.frame_arrival(ip::serialize(frag));
+  sim.run_for(sim::milliseconds(10));
+  EXPECT_EQ(b.pending_reassemblies(), 1u);
+
+  // Past the 30 s reassembly timeout the context is swept (the sweep runs
+  // on the next fragmented arrival).
+  sim.run_for(ip::kReassemblyTimeout + sim::seconds(1));
+  ip::IpPacket other = frag;
+  other.id = 10;
+  b.frame_arrival(ip::serialize(other));
+  sim.run_for(sim::milliseconds(10));
+  EXPECT_EQ(b.pending_reassemblies(), 1u);  // old ctx gone, only id=10 remains
+  EXPECT_EQ(delivered, 0);
+}
+
+// ------------------------------------------------------------- AAL5 guards
+
+TEST(Aal5Edge, RunawayFrameWithoutEomIsBounded) {
+  atm::Aal5Segmenter seg;
+  std::vector<std::pair<atm::Vci, atm::Aal5Error>> errors;
+  atm::Aal5Reassembler reasm([](atm::Aal5Frame) {},
+                             [&](atm::Vci v, atm::Aal5Error e) {
+                               errors.emplace_back(v, e);
+                             });
+  // Feed non-EOM cells forever (lost EOM + endless next frames): the
+  // reassembler must cap its buffer rather than grow without bound.
+  atm::Cell c;
+  c.vci = 3;
+  c.end_of_frame = false;
+  for (int i = 0; i < 3000; ++i) reasm.cell_arrival(c);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_EQ(errors[0].second, atm::Aal5Error::oversize);
+}
+
+// ------------------------------------------- signaling idempotence / replay
+
+TEST(SignalingEdge, DuplicateTerminationIndicationsAreIdempotent) {
+  auto tb = Testbed::canonical();
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& r1 = tb->router(1);
+  CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "dup", 5800);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+  CallClient client(*tb->router(0).kernel,
+                    tb->router(0).kernel->ip_node().address());
+  std::optional<CallClient::Call> call;
+  client.open("berkeley.rt", "dup", "",
+              [&](util::Result<CallClient::Call> r) { call = *r; });
+  tb->sim().run_for(sim::seconds(2));
+  ASSERT_TRUE(call.has_value());
+
+  // Close the data socket (posts one termination); then post a forged
+  // duplicate termination for the same VCI straight into the device.
+  client.close_call(*call);
+  (void)tb->router(0).kernel->anand().post(kern::AnandUpMsg{
+      kern::AnandUpType::process_terminated, call->info.vci, 0, 0});
+  tb->sim().run_for(sim::seconds(3));
+  EXPECT_EQ(tb->router(0).sighost->stats().calls_torn_down, 1u);
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+}
+
+TEST(SignalingEdge, CancelOfUnknownCookieIsIgnored) {
+  auto tb = Testbed::canonical();
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& r0 = *tb->router(0).kernel;
+  kern::Pid pid = r0.spawn("cancel-noise");
+  app::UserLib lib(r0, pid, r0.ip_node().address());
+  // Must first touch the channel so cancel_request has somewhere to go.
+  lib.export_service("noise-svc", 5801, [](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+  lib.cancel_request(0xBEEF);
+  lib.cancel_request(0);
+  tb->sim().run_for(sim::seconds(1));
+  EXPECT_EQ(tb->router(0).sighost->stats().cancels, 0u);
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+}
+
+TEST(SignalingEdge, RejectAfterCancelDoesNotCorruptState) {
+  // Client cancels while the server is deciding; the server then rejects.
+  auto tb = Testbed::canonical();
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& r1 = *tb->router(1).kernel;
+  kern::Pid spid = r1.spawn("slow-decider");
+  app::UserLib server(r1, spid, r1.ip_node().address());
+  server.export_service("slow", 5802, [](util::Result<void>) {});
+  std::optional<app::IncomingRequest> pending;
+  server.await_service_request(
+      [&](util::Result<app::IncomingRequest> r) { pending = *r; });
+  tb->sim().run_for(sim::milliseconds(300));
+
+  auto& r0 = *tb->router(0).kernel;
+  kern::Pid cpid = r0.spawn("impatient");
+  app::UserLib client(r0, cpid, r0.ip_node().address());
+  std::optional<util::Errc> err;
+  std::optional<sig::Cookie> cookie;
+  client.open_connection("berkeley.rt", "slow", "", "",
+                         [&](util::Result<app::OpenResult> r) {
+                           err = r.error();
+                         },
+                         [&](sig::Cookie c) { cookie = c; });
+  tb->sim().run_for(sim::seconds(1));
+  ASSERT_TRUE(pending.has_value());  // server holds the request, undecided
+  ASSERT_TRUE(cookie.has_value());
+  client.cancel_request(*cookie);
+  tb->sim().run_for(sim::seconds(1));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(*err, util::Errc::cancelled);
+
+  // The server finally rejects the already-cancelled call: must be a no-op.
+  server.reject_connection(*pending);
+  tb->sim().run_for(sim::seconds(2));
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+}
+
+TEST(SignalingEdge, ServerChannelCloseDoesNotDropItsService) {
+  // The paper keeps registrations independent of the registration conn's
+  // lifetime; killing the server later is what makes calls fail.
+  auto tb = Testbed::canonical();
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& r1 = tb->router(1);
+  CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "sticky", 5803);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+  ASSERT_TRUE(r1.sighost->has_service("sticky"));
+  server.kill();
+  tb->sim().run_for(sim::seconds(1));
+  // Registration survives (paper does not define de-registration on death);
+  // calls to it now fail with connection_refused, handled gracefully.
+  EXPECT_TRUE(r1.sighost->has_service("sticky"));
+  CallClient client(*tb->router(0).kernel,
+                    tb->router(0).kernel->ip_node().address());
+  std::optional<util::Errc> err;
+  client.open("berkeley.rt", "sticky", "",
+              [&](util::Result<CallClient::Call> r) { err = r.error(); });
+  tb->sim().run_for(sim::seconds(3));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(*err, util::Errc::connection_refused);
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+}
+
+// ------------------------------------------------------- QoS property sweep
+
+class QosPropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QosPropertySweep, NegotiationIsMonotoneIdempotentCommutativeInClass) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  for (int i = 0; i < 500; ++i) {
+    atm::Qos offered{static_cast<atm::ServiceClass>(rng.below(3)),
+                     rng.below(100'000'000)};
+    atm::Qos limit{static_cast<atm::ServiceClass>(rng.below(3)),
+                   rng.below(100'000'000)};
+    atm::Qos granted = atm::negotiate(offered, limit);
+    // Monotone: never exceeds either side.
+    EXPECT_LE(granted.bandwidth_bps, offered.bandwidth_bps);
+    EXPECT_LE(granted.bandwidth_bps, limit.bandwidth_bps);
+    EXPECT_LE(static_cast<int>(granted.service_class),
+              static_cast<int>(offered.service_class));
+    EXPECT_LE(static_cast<int>(granted.service_class),
+              static_cast<int>(limit.service_class));
+    // Idempotent: renegotiating the grant against the same limit is stable.
+    EXPECT_EQ(atm::negotiate(granted, limit), granted);
+    // Commutative.
+    EXPECT_EQ(atm::negotiate(offered, limit), atm::negotiate(limit, offered));
+    // Round-trip through the wire string preserves it.
+    auto parsed = atm::parse_qos(atm::to_string(granted));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, granted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QosPropertySweep, ::testing::Range(0, 4));
+
+// -------------------------------------------------------- duplex teardown
+
+TEST(DuplexEdge, ClientDeathReclaimsBothDirections) {
+  auto tb = Testbed::canonical();
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& r0 = *tb->router(0).kernel;
+  auto& r1 = *tb->router(1).kernel;
+  core::DuplexServer server(r1, r1.ip_node().address(), "frail", 5810);
+  server.start([](util::Result<void>) {}, [](core::DuplexEnd) {});
+  tb->sim().run_for(sim::milliseconds(300));
+  auto client = std::make_unique<core::DuplexClient>(r0, r0.ip_node().address(),
+                                                     5811);
+  std::optional<core::DuplexEnd> end;
+  client->open("berkeley.rt", "frail", "",
+               [&](util::Result<core::DuplexEnd> r) {
+                 if (r.ok()) end = *r;
+               });
+  tb->sim().run_for(sim::seconds(5));
+  ASSERT_TRUE(end.has_value());
+  ASSERT_EQ(tb->network().active_vc_count(), 2u + 2u);
+
+  (void)r0.kill_process(client->pid());
+  tb->sim().run_for(sim::seconds(20));
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+  EXPECT_EQ(tb->network().active_vc_count(), 2u);
+}
+
+}  // namespace
+}  // namespace xunet

@@ -1,0 +1,216 @@
+// integration_test.cpp — end-to-end call setup, data transfer and teardown
+// across the canonical §9 testbed (router↔router and host↔host over IP
+// encapsulation).
+#include <gtest/gtest.h>
+
+#include "core/apps.hpp"
+#include "core/testbed.hpp"
+
+namespace xunet {
+namespace {
+
+using core::CallClient;
+using core::CallServer;
+using core::Testbed;
+
+TEST(Integration, BringUpCanonicalTestbed) {
+  auto tb = Testbed::canonical();
+  ASSERT_TRUE(tb->bring_up().ok());
+  // Sighosts know each other.
+  EXPECT_EQ(tb->router_count(), 2u);
+  // The PVC mesh is installed: 2 simplex PVCs.
+  EXPECT_EQ(tb->network().active_vc_count(), 2u);
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+}
+
+TEST(Integration, RouterToRouterCall) {
+  auto tb = Testbed::canonical();
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& r0 = tb->router(0);
+  auto& r1 = tb->router(1);
+
+  CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "echo", 4000);
+  bool registered = false;
+  server.start([&](util::Result<void> r) {
+    ASSERT_TRUE(r.ok()) << to_string(r.error());
+    registered = true;
+  });
+  tb->sim().run_for(sim::milliseconds(200));
+  ASSERT_TRUE(registered);
+  EXPECT_TRUE(r1.sighost->has_service("echo"));
+
+  CallClient client(*r0.kernel, r0.kernel->ip_node().address());
+  std::optional<CallClient::Call> call;
+  client.open("berkeley.rt", "echo", "class=guaranteed,bw=1000000",
+              [&](util::Result<CallClient::Call> r) {
+                ASSERT_TRUE(r.ok()) << to_string(r.error());
+                call = *r;
+              });
+  tb->sim().run_for(sim::seconds(2));
+  ASSERT_TRUE(call.has_value());
+  EXPECT_NE(call->info.vci, atm::kInvalidVci);
+  EXPECT_NE(call->info.cookie, 0);
+  // QoS negotiated: the server ceiling is 10 Mb/s so 1 Mb/s passes through.
+  EXPECT_EQ(call->info.qos, "class=guaranteed,bw=1000000");
+  EXPECT_EQ(server.calls_accepted(), 1u);
+
+  // Both endpoints presented valid cookies: no auth failures, no timeouts.
+  EXPECT_EQ(r0.sighost->stats().auth_failures, 0u);
+  EXPECT_EQ(r1.sighost->stats().auth_failures, 0u);
+  EXPECT_EQ(r0.sighost->wait_for_bind_size(), 0u);
+  EXPECT_EQ(r1.sighost->wait_for_bind_size(), 0u);
+
+  // Data flows client -> server over the ATM path.
+  std::string payload(500, 'x');
+  ASSERT_TRUE(client.send(*call, util::to_buffer(payload)).ok());
+  ASSERT_TRUE(client.send(*call, util::to_buffer(payload)).ok());
+  tb->sim().run_for(sim::seconds(1));
+  EXPECT_EQ(server.frames_received(), 2u);
+  EXPECT_EQ(server.bytes_received(), 1000u);
+
+  // Closing the client's socket tears the call down everywhere.
+  client.close_call(*call);
+  tb->sim().run_for(sim::seconds(2));
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+  EXPECT_EQ(r0.sighost->stats().calls_torn_down, 1u);
+}
+
+TEST(Integration, HostToHostCallOverIpEncapsulation) {
+  auto tb = Testbed::canonical_with_hosts();
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& h0 = tb->host(0);  // client host behind mh.rt
+  auto& h1 = tb->host(1);  // server host behind berkeley.rt
+
+  CallServer server(*h1.kernel, h1.home->kernel->ip_node().address(),
+                    "file-service", 4001);
+  bool registered = false;
+  server.start([&](util::Result<void> r) {
+    ASSERT_TRUE(r.ok()) << to_string(r.error());
+    registered = true;
+  });
+  tb->sim().run_for(sim::milliseconds(300));
+  ASSERT_TRUE(registered);
+  EXPECT_TRUE(tb->router(1).sighost->has_service("file-service"));
+
+  CallClient client(*h0.kernel, h0.home->kernel->ip_node().address());
+  std::optional<CallClient::Call> call;
+  client.open("berkeley.rt", "file-service", "class=predicted,bw=500000",
+              [&](util::Result<CallClient::Call> r) {
+                ASSERT_TRUE(r.ok()) << to_string(r.error());
+                call = *r;
+              });
+  tb->sim().run_for(sim::seconds(2));
+  ASSERT_TRUE(call.has_value());
+
+  // The server host's VCI must be VCI_BINDed at its router for forwarding.
+  EXPECT_EQ(tb->router(1).anand_server->forwarded_vci_count(), 1u);
+
+  // Data path: host -> (IPPROTO_ATM) -> router -> ATM -> router ->
+  // (IPPROTO_ATM) -> host.
+  std::string block(2000, 'f');
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.send(*call, util::to_buffer(block)).ok());
+  }
+  tb->sim().run_for(sim::seconds(1));
+  EXPECT_EQ(server.frames_received(), 5u);
+  EXPECT_EQ(server.bytes_received(), 10'000u);
+  // No AAL5 or sequencing errors on the clean path.
+  EXPECT_EQ(h1.kernel->proto_atm().out_of_order(), 0u);
+
+  client.close_call(*call);
+  tb->sim().run_for(sim::seconds(2));
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+  // VCI_SHUT cleared the forwarding entry.
+  EXPECT_EQ(tb->router(1).anand_server->forwarded_vci_count(), 0u);
+}
+
+TEST(Integration, ServerModifiesQosDownward) {
+  auto tb = Testbed::canonical();
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& r1 = tb->router(1);
+
+  CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "video", 4002);
+  server.set_qos_limit(atm::Qos{atm::ServiceClass::predicted, 2'000'000});
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(200));
+
+  CallClient client(*tb->router(0).kernel,
+                    tb->router(0).kernel->ip_node().address());
+  std::optional<CallClient::Call> call;
+  client.open("berkeley.rt", "video", "class=guaranteed,bw=8000000",
+              [&](util::Result<CallClient::Call> r) {
+                ASSERT_TRUE(r.ok());
+                call = *r;
+              });
+  tb->sim().run_for(sim::seconds(2));
+  ASSERT_TRUE(call.has_value());
+  // The server shrank both the class and the bandwidth.
+  auto granted = atm::parse_qos(call->info.qos);
+  ASSERT_TRUE(granted.ok());
+  EXPECT_EQ(granted->service_class, atm::ServiceClass::predicted);
+  EXPECT_EQ(granted->bandwidth_bps, 2'000'000u);
+}
+
+TEST(Integration, UnknownServiceIsRejected) {
+  auto tb = Testbed::canonical();
+  ASSERT_TRUE(tb->bring_up().ok());
+  CallClient client(*tb->router(0).kernel,
+                    tb->router(0).kernel->ip_node().address());
+  std::optional<util::Errc> err;
+  client.open("berkeley.rt", "no-such-service", "",
+              [&](util::Result<CallClient::Call> r) {
+                ASSERT_FALSE(r.ok());
+                err = r.error();
+              });
+  tb->sim().run_for(sim::seconds(2));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(*err, util::Errc::not_found);
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+}
+
+TEST(Integration, UnknownDestinationFails) {
+  auto tb = Testbed::canonical();
+  ASSERT_TRUE(tb->bring_up().ok());
+  CallClient client(*tb->router(0).kernel,
+                    tb->router(0).kernel->ip_node().address());
+  std::optional<util::Errc> err;
+  client.open("nowhere.rt", "echo", "",
+              [&](util::Result<CallClient::Call> r) { err = r.error(); });
+  tb->sim().run_for(sim::seconds(2));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(*err, util::Errc::no_route);
+}
+
+TEST(Integration, AdmissionControlDeniesOversubscription) {
+  auto tb = Testbed::canonical();  // DS3: 45 Mb/s per link
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& r1 = tb->router(1);
+  CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "bulk", 4003);
+  server.set_qos_limit(atm::Qos{atm::ServiceClass::guaranteed, 45'000'000});
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(200));
+
+  CallClient client(*tb->router(0).kernel,
+                    tb->router(0).kernel->ip_node().address());
+  int ok = 0, denied = 0;
+  for (int i = 0; i < 3; ++i) {
+    // Each call wants 20 Mb/s guaranteed; only two fit in a DS3.
+    client.open("berkeley.rt", "bulk", "class=guaranteed,bw=20000000",
+                [&](util::Result<CallClient::Call> r) {
+                  if (r.ok()) {
+                    ++ok;
+                  } else {
+                    EXPECT_EQ(r.error(), util::Errc::no_resources);
+                    ++denied;
+                  }
+                });
+  }
+  tb->sim().run_for(sim::seconds(3));
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(denied, 1);
+  // The denied call left nothing behind.
+  EXPECT_EQ(tb->network().active_vc_count(), 2u + 2u);  // PVCs + 2 calls
+}
+
+}  // namespace
+}  // namespace xunet

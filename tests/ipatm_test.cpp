@@ -1,0 +1,185 @@
+// ipatm_test.cpp — classical IP over ATM (§1's pre-existing Xunet service):
+// cross-router IP connectivity riding PVCs, coexisting with native-mode
+// calls, including full TCP connections across the ATM WAN.
+#include <gtest/gtest.h>
+
+#include "core/apps.hpp"
+#include "core/testbed.hpp"
+
+namespace xunet {
+namespace {
+
+using core::CallClient;
+using core::CallServer;
+using core::Testbed;
+
+core::TestbedConfig ipatm_config() {
+  core::TestbedConfig cfg;
+  cfg.ip_over_atm = true;
+  return cfg;
+}
+
+TEST(IpOverAtm, RouterToRouterUdpCrossesTheAtmWan) {
+  auto tb = Testbed::canonical(ipatm_config());
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& r0 = *tb->router(0).kernel;
+  auto& r1 = *tb->router(1).kernel;
+
+  std::optional<std::string> got;
+  ASSERT_TRUE(r1.udp()
+                  .bind(7000,
+                        [&](ip::IpAddress src, std::uint16_t, util::BytesView d) {
+                          EXPECT_EQ(src, r0.ip_node().address());
+                          got = util::to_text(d);
+                        })
+                  .ok());
+  ASSERT_TRUE(r0.udp()
+                  .send(r1.ip_node().address(), 7000, 7001,
+                        util::to_buffer(std::string_view("over-atm")))
+                  .ok());
+  tb->sim().run_for(sim::seconds(1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "over-atm");
+}
+
+TEST(IpOverAtm, HostToHostAcrossRoutersViaIp) {
+  // mh.host1 -> FDDI -> mh.rt -> [IP over ATM PVC] -> berkeley.rt -> FDDI ->
+  // berkeley.host1, all plain UDP.
+  auto tb = Testbed::canonical_with_hosts(ipatm_config());
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& h0 = *tb->host(0).kernel;
+  auto& h1 = *tb->host(1).kernel;
+
+  int received = 0;
+  ASSERT_TRUE(h1.udp()
+                  .bind(7100, [&](ip::IpAddress, std::uint16_t,
+                                  util::BytesView) { ++received; })
+                  .ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(h0.udp()
+                    .send(h1.ip_node().address(), 7100, 7101,
+                          util::Buffer(200, 0x9))
+                    .ok());
+  }
+  tb->sim().run_for(sim::seconds(1));
+  EXPECT_EQ(received, 10);
+  // The datagrams transited both IP-over-ATM interfaces.
+  (void)tb;
+}
+
+TEST(IpOverAtm, LargeDatagramsUseThe9180ByteMtu) {
+  auto tb = Testbed::canonical(ipatm_config());
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& r0 = *tb->router(0).kernel;
+  auto& r1 = *tb->router(1).kernel;
+  std::optional<std::size_t> got;
+  ASSERT_TRUE(r1.udp()
+                  .bind(7200, [&](ip::IpAddress, std::uint16_t,
+                                  util::BytesView d) { got = d.size(); })
+                  .ok());
+  // 8 KB fits RFC 1626's 9180-byte MTU without IP fragmentation.
+  std::uint64_t frags_before = r0.ip_node().fragments_sent();
+  ASSERT_TRUE(r0.udp().send(r1.ip_node().address(), 7200, 7201,
+                            util::Buffer(8000, 0x3)).ok());
+  tb->sim().run_for(sim::seconds(1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 8000u);
+  EXPECT_EQ(r0.ip_node().fragments_sent(), frags_before);
+
+  // 20 KB exceeds it: IP fragments, the receiver reassembles.
+  got.reset();
+  ASSERT_TRUE(r0.udp().send(r1.ip_node().address(), 7200, 7201,
+                            util::Buffer(20'000, 0x4)).ok());
+  tb->sim().run_for(sim::seconds(1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 20'000u);
+  EXPECT_GT(r0.ip_node().fragments_sent(), frags_before);
+}
+
+TEST(IpOverAtm, TcpConnectionAcrossTheWan) {
+  auto tb = Testbed::canonical_with_hosts(ipatm_config());
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& h0 = *tb->host(0).kernel;
+  auto& h1 = *tb->host(1).kernel;
+
+  kern::Pid sp = h1.spawn("wan-server");
+  kern::Pid cp = h0.spawn("wan-client");
+  std::optional<int> afd, cfd;
+  ASSERT_TRUE(h1.tcp_listen(sp, 7300, [&](int fd) { afd = fd; }).ok());
+  (void)h0.tcp_connect(cp, h1.ip_node().address(), 7300,
+                       [&](util::Result<int> r) {
+                         ASSERT_TRUE(r.ok());
+                         cfd = *r;
+                       });
+  tb->sim().run_for(sim::seconds(2));
+  ASSERT_TRUE(afd && cfd);
+
+  std::string got;
+  ASSERT_TRUE(h1.tcp_on_receive(sp, *afd, [&](util::BytesView d) {
+                  got += util::to_text(d);
+                }).ok());
+  ASSERT_TRUE(h0.tcp_send(cp, *cfd,
+                          util::to_buffer(std::string_view("tcp across atm")))
+                  .ok());
+  tb->sim().run_for(sim::seconds(2));
+  EXPECT_EQ(got, "tcp across atm");
+}
+
+TEST(IpOverAtm, CoexistsWithNativeModeCalls) {
+  // The point of the paper: native-mode and IP service share the network.
+  auto tb = Testbed::canonical_with_hosts(ipatm_config());
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& h1 = tb->host(1);
+
+  // Native-mode call host-to-host...
+  CallServer server(*h1.kernel, h1.home->kernel->ip_node().address(), "mixed",
+                    7400);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+  CallClient client(*tb->host(0).kernel,
+                    tb->host(0).home->kernel->ip_node().address());
+  std::optional<CallClient::Call> call;
+  client.open("berkeley.rt", "mixed", "class=guaranteed,bw=5000000",
+              [&](util::Result<CallClient::Call> r) { call = *r; });
+  tb->sim().run_for(sim::seconds(2));
+  ASSERT_TRUE(call.has_value());
+
+  // ...while UDP crosses the same WAN over the IP PVC.
+  int udp_received = 0;
+  ASSERT_TRUE(tb->host(1).kernel->udp()
+                  .bind(7401, [&](ip::IpAddress, std::uint16_t,
+                                  util::BytesView) { ++udp_received; })
+                  .ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(client.send(*call, util::Buffer(500, 0x6)).ok());
+    ASSERT_TRUE(tb->host(0).kernel->udp()
+                    .send(tb->host(1).kernel->ip_node().address(), 7401, 7402,
+                          util::Buffer(500, 0x7))
+                    .ok());
+  }
+  tb->sim().run_for(sim::seconds(2));
+  EXPECT_EQ(server.frames_received(), 20u);
+  EXPECT_EQ(udp_received, 20);
+
+  client.close_call(*call);
+  tb->sim().run_for(sim::seconds(2));
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+}
+
+TEST(IpOverAtm, InterfaceCountersTrack) {
+  auto tb = Testbed::canonical(ipatm_config());
+  ASSERT_TRUE(tb->bring_up().ok());
+  auto& r0 = *tb->router(0).kernel;
+  auto& r1 = *tb->router(1).kernel;
+  (void)r1.udp().bind(7500,
+                      [](ip::IpAddress, std::uint16_t, util::BytesView) {});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(r0.udp().send(r1.ip_node().address(), 7500, 7501,
+                              util::Buffer(100, 0)).ok());
+  }
+  tb->sim().run_for(sim::seconds(1));
+  EXPECT_EQ(r1.udp().datagrams_received(), 5u);
+}
+
+}  // namespace
+}  // namespace xunet

@@ -1,0 +1,264 @@
+// native_test.cpp — the native-mode transport (NativeStream): reliable,
+// ordered, rate-paced messaging over duplex VC pairs, including under
+// injected cell loss on the ATM path.
+#include <gtest/gtest.h>
+
+#include "core/apps.hpp"
+#include "core/duplex.hpp"
+#include "core/testbed.hpp"
+#include "native/native_stream.hpp"
+#include "util/crc32.hpp"
+
+namespace xunet {
+namespace {
+
+using core::Testbed;
+
+/// Testbed + duplex channel + a NativeStream on each end.
+struct StreamRig {
+  std::unique_ptr<Testbed> tb;
+  std::unique_ptr<core::DuplexServer> dserver;
+  std::unique_ptr<core::DuplexClient> dclient;
+  std::optional<core::DuplexEnd> client_end, server_end;
+  std::unique_ptr<native::NativeStream> client_stream, server_stream;
+
+  explicit StreamRig(native::StreamConfig scfg = {},
+                     const std::string& qos = "class=guaranteed,bw=10000000") {
+    tb = Testbed::canonical();
+    EXPECT_TRUE(tb->bring_up().ok());
+    auto& r0 = *tb->router(0).kernel;
+    auto& r1 = *tb->router(1).kernel;
+    dserver = std::make_unique<core::DuplexServer>(
+        r1, r1.ip_node().address(), "stream", 6400);
+    dserver->set_qos_limit(atm::Qos{atm::ServiceClass::guaranteed, 50'000'000});
+    dserver->start([](util::Result<void>) {},
+                   [&](core::DuplexEnd end) { server_end = end; });
+    tb->sim().run_for(sim::milliseconds(300));
+    dclient = std::make_unique<core::DuplexClient>(r0, r0.ip_node().address(),
+                                                   6401);
+    dclient->open("berkeley.rt", "stream", qos,
+                  [&](util::Result<core::DuplexEnd> r) {
+                    if (r.ok()) client_end = *r;
+                  });
+    tb->sim().run_for(sim::seconds(5));
+    EXPECT_TRUE(client_end && server_end);
+    if (!client_end || !server_end) std::abort();
+
+    std::uint64_t rate =
+        atm::parse_qos(client_end->qos_forward).value_or(atm::Qos{}).bandwidth_bps;
+    client_stream = std::make_unique<native::NativeStream>(
+        r0, dclient->pid(), *client_end, rate, scfg);
+    server_stream = std::make_unique<native::NativeStream>(
+        r1, dserver->pid(), *server_end, rate, scfg);
+  }
+};
+
+TEST(NativeStream, OrderedDeliveryBothDirections) {
+  StreamRig rig;
+  std::vector<std::string> at_server, at_client;
+  rig.server_stream->on_message([&](util::BytesView d) {
+    at_server.push_back(util::to_text(d));
+    (void)rig.server_stream->send(util::to_buffer("re:" + util::to_text(d)));
+  });
+  rig.client_stream->on_message(
+      [&](util::BytesView d) { at_client.push_back(util::to_text(d)); });
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(rig.client_stream->send(
+        util::to_buffer("msg" + std::to_string(i))).ok());
+  }
+  rig.tb->sim().run_for(sim::seconds(5));
+  ASSERT_EQ(at_server.size(), 20u);
+  ASSERT_EQ(at_client.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(at_server[static_cast<std::size_t>(i)], "msg" + std::to_string(i));
+    EXPECT_EQ(at_client[static_cast<std::size_t>(i)],
+              "re:msg" + std::to_string(i));
+  }
+  EXPECT_EQ(rig.client_stream->retransmits(), 0u);  // clean path
+}
+
+// A dedicated two-endpoint ATM fixture with direct access to the lossy
+// uplink, bypassing Testbed so loss can be injected precisely.
+struct LossyRig {
+  sim::Simulator sim;
+  kern::KernelConfig kcfg;
+  std::unique_ptr<kern::Kernel> ka, kb;
+  std::unique_ptr<atm::AtmNetwork> net;
+
+  LossyRig() {
+    net = std::make_unique<atm::AtmNetwork>(sim);
+    auto& s1 = net->make_switch("s1");
+    ka = std::make_unique<kern::Kernel>(sim, "a", kern::Kernel::Role::router,
+                                        ip::make_ip(1, 1, 1, 1),
+                                        atm::AtmAddress{"a"}, kcfg);
+    kb = std::make_unique<kern::Kernel>(sim, "b", kern::Kernel::Role::router,
+                                        ip::make_ip(2, 2, 2, 2),
+                                        atm::AtmAddress{"b"}, kcfg);
+    EXPECT_TRUE(ka->attach_atm(*net, s1, atm::kDs3Bps, sim::microseconds(50)).ok());
+    EXPECT_TRUE(kb->attach_atm(*net, s1, atm::kDs3Bps, sim::microseconds(50)).ok());
+  }
+};
+
+TEST(NativeStream, SelectiveRepeatBeatsLossOnARawVcPair) {
+  LossyRig rig;
+  // Two PVCs a<->b; apply cell loss by hand on one direction's path via
+  // the switch: install the PVCs, then drive streams over raw xunet
+  // sockets wrapped in a DuplexEnd-like struct.
+  auto p1 = rig.net->setup_pvc(atm::AtmAddress{"a"}, atm::AtmAddress{"b"}, 5,
+                               atm::Qos{});
+  auto p2 = rig.net->setup_pvc(atm::AtmAddress{"b"}, atm::AtmAddress{"a"}, 6,
+                               atm::Qos{});
+  ASSERT_TRUE(p1.ok() && p2.ok());
+
+  kern::Pid pa = rig.ka->spawn("sender");
+  kern::Pid pb = rig.kb->spawn("receiver");
+  auto a_tx = rig.ka->xunet_socket(pa);
+  auto a_rx = rig.ka->xunet_socket(pa);
+  auto b_tx = rig.kb->xunet_socket(pb);
+  auto b_rx = rig.kb->xunet_socket(pb);
+  ASSERT_TRUE(rig.ka->xunet_connect(pa, *a_tx, 5, 0).ok());
+  ASSERT_TRUE(rig.ka->xunet_bind(pa, *a_rx, 6, 0).ok());
+  ASSERT_TRUE(rig.kb->xunet_connect(pb, *b_tx, 6, 0).ok());
+  ASSERT_TRUE(rig.kb->xunet_bind(pb, *b_rx, 5, 0).ok());
+
+  core::DuplexEnd ea{*a_tx, *a_rx, 5, 6, "", ""};
+  core::DuplexEnd eb{*b_tx, *b_rx, 6, 5, "", ""};
+  native::StreamConfig scfg;
+  native::NativeStream sa(*rig.ka, pa, ea, 5'000'000, scfg);
+  native::NativeStream sb(*rig.kb, pb, eb, 5'000'000, scfg);
+
+  // Loss on the a->b direction: the hobbit uplink of a.  AtmNetwork owns
+  // the link; inject loss through the switch trunk API equivalent — here
+  // both endpoints hang off one switch, so use AAL-level loss by dropping
+  // cells at b's hobbit via a lossy downlink is inaccessible too.  Take
+  // the robust route: loss at the SENDING kernel by intercepting the Orc
+  // default... simplest honest lever: per-cell loss is already covered in
+  // aal5 tests; here inject FRAME loss by occasionally discarding at b's
+  // Orc (set_discard toggled by a chaotic timer).
+  util::Rng rng(7);
+  std::function<void()> flicker = [&] {
+    // Randomly discard the data VC for short windows: frames sent during a
+    // window vanish, exactly like burst cell loss.
+    bool drop = rng.chance(0.25);
+    rig.kb->orc().set_discard(5, drop);
+    rig.sim.schedule(sim::milliseconds(5), flicker);
+  };
+  rig.sim.schedule(sim::milliseconds(5), flicker);
+
+  // Send 300 checksummed messages; every one must arrive intact, in order.
+  std::uint32_t expected_crc = 0;
+  int received = 0;
+  bool order_ok = true;
+  int last = -1;
+  sb.on_message([&](util::BytesView d) {
+    util::Reader r(d);
+    auto idx = r.u32();
+    auto crc = r.u32();
+    if (!idx || !crc || util::crc32(r.rest()) != *crc) {
+      order_ok = false;
+      return;
+    }
+    if (static_cast<int>(*idx) != last + 1) order_ok = false;
+    last = static_cast<int>(*idx);
+    ++received;
+  });
+  util::Rng data_rng(3);
+  int queued = 0;
+  std::function<void()> feed = [&] {
+    while (queued < 300) {
+      util::Buffer body(100 + data_rng.below(900));
+      for (auto& x : body) x = static_cast<std::uint8_t>(data_rng.next());
+      util::Writer w;
+      w.u32(static_cast<std::uint32_t>(queued));
+      w.u32(util::crc32(body));
+      w.bytes(body);
+      auto r = sa.send(w.view());
+      if (!r.ok()) {
+        // Window full: retry shortly (back-pressure at work).
+        rig.sim.schedule(sim::milliseconds(10), feed);
+        return;
+      }
+      ++queued;
+    }
+  };
+  feed();
+  rig.sim.run_for(sim::seconds(60));
+  (void)expected_crc;
+  EXPECT_EQ(queued, 300);
+  EXPECT_EQ(received, 300);
+  EXPECT_TRUE(order_ok);
+  EXPECT_GT(sa.retransmits(), 0u);  // loss really happened and was repaired
+}
+
+TEST(NativeStream, PacerRespectsTheGrantedRate) {
+  StreamRig rig;  // forward granted 10 Mb/s
+  // Queue ~2 MB instantly; the pacer must spread it over ~1.6 s, never
+  // bursting past the granted rate.
+  const int msgs = 250;
+  const std::size_t size = 8000;
+  int delivered = 0;
+  std::optional<sim::SimTime> first, last;
+  rig.server_stream->on_message([&](util::BytesView) {
+    if (!first) first = rig.tb->sim().now();
+    last = rig.tb->sim().now();
+    ++delivered;
+  });
+  int queued = 0;
+  std::function<void()> feed = [&] {
+    while (queued < msgs) {
+      if (!rig.client_stream->send(util::Buffer(size, 0x5A)).ok()) {
+        rig.tb->sim().schedule(sim::milliseconds(20), feed);
+        return;
+      }
+      ++queued;
+    }
+  };
+  feed();
+  rig.tb->sim().run_for(sim::seconds(30));
+  ASSERT_EQ(delivered, msgs);
+  double span = (*last - *first).sec();
+  double rate_mbps = (msgs - 1) * size * 8.0 / span / 1e6;
+  // Paced at ~10 Mb/s (allow slack for framing/scheduling quantization).
+  EXPECT_LT(rate_mbps, 11.0);
+  EXPECT_GT(rate_mbps, 8.0);
+}
+
+TEST(NativeStream, BackPressureSignalsWouldBlock) {
+  native::StreamConfig scfg;
+  scfg.window_msgs = 4;
+  StreamRig rig(scfg);
+  int ok = 0, blocked = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (rig.client_stream->send(util::Buffer(100, 1)).ok()) {
+      ++ok;
+    } else {
+      ++blocked;
+    }
+  }
+  EXPECT_EQ(ok, 4);
+  EXPECT_EQ(blocked, 6);
+  rig.tb->sim().run_for(sim::seconds(2));
+  // After the window drains, sending works again.
+  EXPECT_TRUE(rig.client_stream->send(util::Buffer(100, 1)).ok());
+}
+
+TEST(NativeStream, DrainedCallbackFiresWhenAllAcked) {
+  StreamRig rig;
+  bool drained = false;
+  rig.client_stream->on_drained([&] { drained = true; });
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rig.client_stream->send(util::Buffer(500, 2)).ok());
+  }
+  rig.tb->sim().run_for(sim::seconds(3));
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(rig.client_stream->in_flight(), 0u);
+}
+
+TEST(NativeStream, OversizeMessageRejected) {
+  StreamRig rig;
+  EXPECT_EQ(rig.client_stream->send(util::Buffer(33 * 1024, 0)).error(),
+            util::Errc::message_too_long);
+}
+
+}  // namespace
+}  // namespace xunet

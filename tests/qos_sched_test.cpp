@@ -1,0 +1,139 @@
+// qos_sched_test.cpp — class-based output scheduling at the switches (the
+// ref [17]/[18] future-work direction): under trunk congestion, guaranteed
+// traffic keeps its reserved bandwidth while best-effort overflow is
+// dropped at the bounded port queue.
+#include <gtest/gtest.h>
+
+#include "core/apps.hpp"
+#include "core/testbed.hpp"
+
+namespace xunet {
+namespace {
+
+using core::CallClient;
+using core::CallServer;
+using core::Testbed;
+
+/// Topology with a shared bottleneck: routers src-a.rt and src-b.rt both on
+/// switch s1; sink.rt on s2; the single s1→s2 DS3 trunk carries both flows.
+struct CongestionRig {
+  std::unique_ptr<Testbed> tb;
+  atm::AtmSwitch* s1 = nullptr;
+  std::unique_ptr<CallServer> sink_g, sink_b;
+  std::unique_ptr<CallClient> ca, cb;
+  std::optional<CallClient::Call> call_g, call_b;
+
+  CongestionRig() {
+    core::TestbedConfig cfg;
+    cfg.kernel.fd_table_size = 100;
+    tb = std::make_unique<Testbed>(cfg);
+    s1 = &tb->add_switch("s1");
+    auto& s2 = tb->add_switch("s2");
+    tb->connect_switches(*s1, s2);
+    tb->add_router("src-a.rt", ip::make_ip(10, 1, 0, 1), *s1);
+    tb->add_router("src-b.rt", ip::make_ip(10, 2, 0, 1), *s1);
+    tb->add_router("sink.rt", ip::make_ip(10, 3, 0, 1), s2);
+    EXPECT_TRUE(tb->bring_up().ok());
+
+    auto& sink = tb->router(2);
+    sink_g = std::make_unique<CallServer>(
+        *sink.kernel, sink.kernel->ip_node().address(), "sink-g", 6000);
+    sink_b = std::make_unique<CallServer>(
+        *sink.kernel, sink.kernel->ip_node().address(), "sink-b", 6001);
+    sink_g->set_qos_limit(atm::Qos{atm::ServiceClass::guaranteed, 45'000'000});
+    sink_g->start([](util::Result<void>) {});
+    sink_b->start([](util::Result<void>) {});
+    tb->sim().run_for(sim::milliseconds(500));
+
+    ca = std::make_unique<CallClient>(*tb->router(0).kernel,
+                                      tb->router(0).kernel->ip_node().address());
+    cb = std::make_unique<CallClient>(*tb->router(1).kernel,
+                                      tb->router(1).kernel->ip_node().address());
+    ca->open("sink.rt", "sink-g", "class=guaranteed,bw=20000000",
+             [&](util::Result<CallClient::Call> r) {
+               ASSERT_TRUE(r.ok());
+               call_g = *r;
+             });
+    cb->open("sink.rt", "sink-b", "class=best_effort,bw=0",
+             [&](util::Result<CallClient::Call> r) {
+               ASSERT_TRUE(r.ok());
+               call_b = *r;
+             });
+    tb->sim().run_for(sim::seconds(3));
+    EXPECT_TRUE(call_g.has_value());
+    EXPECT_TRUE(call_b.has_value());
+  }
+
+  /// Drive both flows for one simulated second at the given frame rates
+  /// (frames of `size` bytes, spread evenly).
+  void blast(int frames_g, int frames_b, std::size_t size) {
+    for (int i = 0; i < std::max(frames_g, frames_b); ++i) {
+      if (i < frames_g) {
+        tb->sim().schedule(
+            sim::seconds_f(double(i) / frames_g),
+            [this, size] { (void)ca->send(*call_g, util::Buffer(size, 0x60)); });
+      }
+      if (i < frames_b) {
+        tb->sim().schedule(
+            sim::seconds_f(double(i) / frames_b),
+            [this, size] { (void)cb->send(*call_b, util::Buffer(size, 0x0B)); });
+      }
+    }
+    tb->sim().run_for(sim::seconds(3));
+  }
+};
+
+TEST(QosScheduling, GuaranteedTrafficSurvivesCongestion) {
+  CongestionRig rig;
+  // Offered: guaranteed 20 Mb/s + best effort 40 Mb/s into a 45 Mb/s trunk
+  // (with the 53/48 cell tax the trunk carries ~40.8 Mb/s of payload).
+  const std::size_t size = 8000;
+  const int g_frames = 312;  // ≈20 Mb/s
+  const int b_frames = 625;  // ≈40 Mb/s
+  rig.blast(g_frames, b_frames, size);
+
+  double g_rate = rig.sink_g->bytes_received() * 8.0 / 1e6;
+  double b_rate = rig.sink_b->bytes_received() * 8.0 / 1e6;
+  // The guaranteed flow gets essentially everything it sent...
+  EXPECT_GT(rig.sink_g->frames_received(), g_frames * 95 / 100);
+  // ...while best effort bears all the loss.
+  EXPECT_LT(rig.sink_b->frames_received(), static_cast<std::uint64_t>(b_frames));
+  EXPECT_GT(g_rate, 19.0);
+  EXPECT_LT(b_rate, 25.0);
+  // The drops happened at the congested trunk port, best-effort class only.
+  std::uint64_t be_drops = 0, g_drops = 0;
+  for (int p = 0; p < rig.s1->port_count(); ++p) {
+    be_drops += rig.s1->cells_dropped(p, atm::ServiceClass::best_effort);
+    g_drops += rig.s1->cells_dropped(p, atm::ServiceClass::guaranteed);
+  }
+  EXPECT_GT(be_drops, 0u);
+  EXPECT_EQ(g_drops, 0u);
+}
+
+TEST(QosScheduling, UncongestedBestEffortIsUnharmed) {
+  CongestionRig rig;
+  // Offered well under the trunk rate: nobody drops.
+  rig.blast(100, 100, 4000);  // ~3.2 Mb/s each
+  EXPECT_EQ(rig.sink_g->frames_received(), 100u);
+  EXPECT_EQ(rig.sink_b->frames_received(), 100u);
+  std::uint64_t drops = 0;
+  for (int p = 0; p < rig.s1->port_count(); ++p) {
+    for (auto c : {atm::ServiceClass::best_effort, atm::ServiceClass::predicted,
+                   atm::ServiceClass::guaranteed}) {
+      drops += rig.s1->cells_dropped(p, c);
+    }
+  }
+  EXPECT_EQ(drops, 0u);
+}
+
+TEST(QosScheduling, QueuesDrainAfterTheBurst) {
+  CongestionRig rig;
+  rig.blast(200, 400, 8000);
+  rig.tb->sim().run_for(sim::seconds(5));
+  for (int p = 0; p < rig.s1->port_count(); ++p) {
+    EXPECT_EQ(rig.s1->queue_depth(p), 0u) << "port " << p;
+  }
+}
+
+}  // namespace
+}  // namespace xunet

@@ -1,0 +1,132 @@
+// scenario_test.cpp — randomized whole-system soak: a seeded stream of
+// operations (open calls, send data, close calls, kill and respawn
+// processes, cut and heal the trunk) drives the full stack; afterwards the
+// network and signaling state must audit clean.  Each seed is a distinct
+// deterministic scenario; failures reproduce exactly from the seed.
+#include <gtest/gtest.h>
+
+#include "core/apps.hpp"
+#include "core/testbed.hpp"
+#include "util/rng.hpp"
+
+namespace xunet {
+namespace {
+
+using core::CallClient;
+using core::CallServer;
+using core::Testbed;
+
+class RandomScenario : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomScenario, EndsWithCleanState) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x9E37 + 0x79B9);
+
+  core::TestbedConfig cfg;
+  cfg.kernel.fd_table_size = 200;
+  cfg.kernel.tcp_msl = sim::seconds(2);
+  cfg.sighost.per_call_log_cost = sim::milliseconds(5);
+  cfg.sighost.wait_for_bind_timeout = sim::seconds(5);
+  cfg.sighost.request_timeout = sim::seconds(8);
+  auto tb = std::make_unique<Testbed>(cfg);
+  auto& s1 = tb->add_switch("s1");
+  auto& s2 = tb->add_switch("s2");
+  tb->connect_switches(s1, s2);
+  tb->add_router("a.rt", ip::make_ip(10, 1, 0, 1), s1);
+  tb->add_router("b.rt", ip::make_ip(10, 2, 0, 1), s2);
+  tb->add_router("c.rt", ip::make_ip(10, 3, 0, 1), s2);
+  ASSERT_TRUE(tb->bring_up().ok());
+
+  const char* names[3] = {"a.rt", "b.rt", "c.rt"};
+  // One (respawnable) server and client per router.
+  std::array<std::unique_ptr<CallServer>, 3> servers;
+  std::array<std::unique_ptr<CallClient>, 3> clients;
+  auto respawn_server = [&](int i) {
+    servers[static_cast<std::size_t>(i)] = std::make_unique<CallServer>(
+        *tb->router(static_cast<std::size_t>(i)).kernel,
+        tb->router(static_cast<std::size_t>(i)).kernel->ip_node().address(),
+        "svc" + std::to_string(i), static_cast<std::uint16_t>(6700 + i));
+    servers[static_cast<std::size_t>(i)]->start([](util::Result<void>) {});
+  };
+  auto respawn_client = [&](int i) {
+    clients[static_cast<std::size_t>(i)] = std::make_unique<CallClient>(
+        *tb->router(static_cast<std::size_t>(i)).kernel,
+        tb->router(static_cast<std::size_t>(i)).kernel->ip_node().address());
+  };
+  for (int i = 0; i < 3; ++i) {
+    respawn_server(i);
+    respawn_client(i);
+  }
+  tb->sim().run_for(sim::milliseconds(500));
+
+  struct LiveCall {
+    int owner;
+    CallClient::Call call;
+  };
+  // Calls owned per client GENERATION: killing a client invalidates its
+  // calls, so the list is cleared on kill.
+  std::array<std::vector<CallClient::Call>, 3> live;
+  bool trunk_down = false;
+
+  const int ops = 120;
+  for (int op = 0; op < ops; ++op) {
+    int kind = static_cast<int>(rng.below(100));
+    int who = static_cast<int>(rng.below(3));
+    if (kind < 40) {
+      // Open a call to some other router.
+      int dst = (who + 1 + static_cast<int>(rng.below(2))) % 3;
+      clients[static_cast<std::size_t>(who)]->open(
+          names[dst], "svc" + std::to_string(dst),
+          rng.chance(0.5) ? "class=predicted,bw=1000000" : "",
+          [&live, who](util::Result<CallClient::Call> r) {
+            if (r.ok()) live[static_cast<std::size_t>(who)].push_back(*r);
+          });
+    } else if (kind < 60) {
+      // Send data on a random live call.
+      auto& mine = live[static_cast<std::size_t>(who)];
+      if (!mine.empty()) {
+        auto& c = mine[rng.below(mine.size())];
+        (void)clients[static_cast<std::size_t>(who)]->send(
+            c, util::Buffer(1 + rng.below(2000), 0x5C));
+      }
+    } else if (kind < 75) {
+      // Close a random live call.
+      auto& mine = live[static_cast<std::size_t>(who)];
+      if (!mine.empty()) {
+        std::size_t pick = rng.below(mine.size());
+        clients[static_cast<std::size_t>(who)]->close_call(mine[pick]);
+        mine.erase(mine.begin() + static_cast<long>(pick));
+      }
+    } else if (kind < 85) {
+      // Kill and respawn the client (all its calls die with it).
+      clients[static_cast<std::size_t>(who)]->kill();
+      live[static_cast<std::size_t>(who)].clear();
+      respawn_client(who);
+    } else if (kind < 93) {
+      // Kill and respawn the server (its bound calls die; clients' sockets
+      // get disconnected).
+      servers[static_cast<std::size_t>(who)]->kill();
+      respawn_server(who);
+    } else {
+      // Toggle the trunk.
+      trunk_down = !trunk_down;
+      tb->network().set_trunk_down(s1, s2, trunk_down);
+    }
+    tb->sim().run_for(sim::milliseconds(50 + rng.below(400)));
+  }
+
+  // Quiesce: heal the trunk, drop every remaining call, let all timers run.
+  tb->network().set_trunk_down(s1, s2, false);
+  for (int i = 0; i < 3; ++i) {
+    clients[static_cast<std::size_t>(i)]->kill();
+    servers[static_cast<std::size_t>(i)]->kill();
+  }
+  tb->sim().run_for(sim::seconds(40));
+
+  auto rep = tb->audit();
+  EXPECT_TRUE(rep.clean()) << "seed " << GetParam() << ": " << rep.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScenario, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace xunet

@@ -1,0 +1,353 @@
+// signaling_test.cpp — wire messages, framing, cookies, stubs, and sighost
+// behaviour observable through its five lists.
+#include <gtest/gtest.h>
+
+#include "core/apps.hpp"
+#include "core/testbed.hpp"
+#include "signaling/cookie.hpp"
+#include "signaling/messages.hpp"
+#include "signaling/stub_proto.hpp"
+
+namespace xunet::sig {
+namespace {
+
+// ---------------------------------------------------------------- messages
+
+TEST(Messages, RoundTripAllFields) {
+  Msg m;
+  m.type = MsgType::connect_req;
+  m.req_id = 0xCAFEBABE;
+  m.cookie = 0x1234;
+  m.vci = 99;
+  m.port = 4000;
+  m.service = "file-service";
+  m.qos = "class=guaranteed,bw=1500000";
+  m.dst = "mh.rt";
+  m.comment = "a comment";
+  m.error = 7;
+  auto back = parse_msg(serialize(m));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type, m.type);
+  EXPECT_EQ(back->req_id, m.req_id);
+  EXPECT_EQ(back->cookie, m.cookie);
+  EXPECT_EQ(back->vci, m.vci);
+  EXPECT_EQ(back->port, m.port);
+  EXPECT_EQ(back->service, m.service);
+  EXPECT_EQ(back->qos, m.qos);
+  EXPECT_EQ(back->dst, m.dst);
+  EXPECT_EQ(back->comment, m.comment);
+  EXPECT_EQ(back->error, m.error);
+}
+
+class MessageTypeSweep : public ::testing::TestWithParam<MsgType> {};
+
+TEST_P(MessageTypeSweep, EveryTypeRoundTrips) {
+  Msg m;
+  m.type = GetParam();
+  m.req_id = 5;
+  auto back = parse_msg(serialize(m));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type, m.type);
+  EXPECT_FALSE(to_string(m.type).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Types, MessageTypeSweep,
+    ::testing::Values(MsgType::export_srv, MsgType::service_regs,
+                      MsgType::incoming_conn, MsgType::accept_conn,
+                      MsgType::reject_conn, MsgType::vci_for_conn,
+                      MsgType::connect_req, MsgType::req_id,
+                      MsgType::cancel_req, MsgType::conn_failed,
+                      MsgType::peer_setup, MsgType::peer_accept,
+                      MsgType::peer_reject, MsgType::peer_established,
+                      MsgType::peer_setup_failed, MsgType::peer_teardown,
+                      MsgType::peer_cancel));
+
+TEST(Messages, MalformedRejected) {
+  EXPECT_FALSE(parse_msg({}).ok());
+  util::Buffer junk(3, 0xFF);
+  EXPECT_FALSE(parse_msg(junk).ok());
+  // Bad type tag.
+  Msg m;
+  auto wire = serialize(m);
+  wire[0] = 0xEE;
+  EXPECT_FALSE(parse_msg(wire).ok());
+  // Trailing garbage.
+  wire = serialize(m);
+  wire.push_back(0);
+  EXPECT_FALSE(parse_msg(wire).ok());
+}
+
+TEST(Framer, ReassemblesArbitraryChunking) {
+  std::vector<Msg> got;
+  MsgFramer f([&](const Msg& m) { got.push_back(m); });
+  Msg m1, m2;
+  m1.type = MsgType::export_srv;
+  m1.service = "one";
+  m2.type = MsgType::connect_req;
+  m2.service = "two";
+  util::Buffer stream = frame(m1);
+  util::Buffer f2 = frame(m2);
+  stream.insert(stream.end(), f2.begin(), f2.end());
+  // Feed one byte at a time.
+  for (std::uint8_t b : stream) f.feed({&b, 1});
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].service, "one");
+  EXPECT_EQ(got[1].service, "two");
+}
+
+TEST(Framer, MalformedBodySurfacesErrorAndResyncs) {
+  std::vector<Msg> got;
+  std::vector<util::Errc> errs;
+  MsgFramer f([&](const Msg& m) { got.push_back(m); },
+              [&](util::Errc e) { errs.push_back(e); });
+  util::Buffer bad = {0x00, 0x02, 0xEE, 0xEE};  // framed 2-byte garbage
+  f.feed(bad);
+  Msg ok;
+  ok.type = MsgType::export_srv;
+  f.feed(frame(ok));
+  EXPECT_EQ(errs.size(), 1u);
+  EXPECT_EQ(got.size(), 1u);
+}
+
+TEST(StubProto, FixedSizeRoundTrip) {
+  StubMsg m;
+  m.type = StubMsg::Type::up_indication;
+  m.up_type = kern::AnandUpType::connect_indication;
+  m.vci = 77;
+  m.cookie = 0xABCD;
+  m.machine = ip::make_ip(10, 0, 0, 5);
+  auto wire = serialize(m);
+  EXPECT_EQ(wire.size(), kStubMsgBytes);
+  std::vector<StubMsg> got;
+  StubFramer f([&](const StubMsg& mm) { got.push_back(mm); });
+  f.feed({wire.data(), 4});
+  EXPECT_TRUE(got.empty());
+  f.feed({wire.data() + 4, wire.size() - 4});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].vci, 77);
+  EXPECT_EQ(got[0].cookie, 0xABCD);
+  EXPECT_EQ(got[0].machine, m.machine);
+}
+
+// ----------------------------------------------------------------- cookies
+
+TEST(Cookies, MintedCookiesAreNonZeroAndDistinct) {
+  CookieTable t(1);
+  std::set<Cookie> seen;
+  for (int i = 0; i < 1000; ++i) {
+    Cookie c = t.mint();
+    EXPECT_NE(c, 0);
+    EXPECT_TRUE(seen.insert(c).second);
+  }
+}
+
+TEST(Cookies, AuthenticateExactMatchOnly) {
+  CookieTable t(2);
+  Cookie c = t.mint();
+  t.bind_vci(40, c);
+  EXPECT_TRUE(t.authenticate(40, c));
+  EXPECT_FALSE(t.authenticate(40, static_cast<Cookie>(c + 1)));
+  EXPECT_FALSE(t.authenticate(41, c));
+  EXPECT_FALSE(t.authenticate(40, 0));  // zero is never a capability
+}
+
+TEST(Cookies, ReleaseVciEndsTheLifetime) {
+  CookieTable t(3);
+  Cookie c = t.mint();
+  t.bind_vci(40, c);
+  t.release_vci(40);
+  EXPECT_FALSE(t.authenticate(40, c));
+  EXPECT_EQ(t.vci_count(), 0u);
+  EXPECT_EQ(t.outstanding_count(), 0u);
+}
+
+// ------------------------------------------------- sighost via the testbed
+
+struct SighostFixture : ::testing::Test {
+  std::unique_ptr<core::Testbed> tb;
+  void SetUp() override {
+    tb = core::Testbed::canonical();
+    ASSERT_TRUE(tb->bring_up().ok());
+  }
+  sig::Sighost& sh(std::size_t i) { return *tb->router(i).sighost; }
+};
+
+TEST_F(SighostFixture, ServiceListTracksRegistrations) {
+  core::CallServer s1(*tb->router(1).kernel,
+                      tb->router(1).kernel->ip_node().address(), "svc-a", 4100);
+  core::CallServer s2(*tb->router(1).kernel,
+                      tb->router(1).kernel->ip_node().address(), "svc-b", 4101);
+  s1.start([](util::Result<void>) {});
+  s2.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(500));
+  EXPECT_EQ(sh(1).service_list_size(), 2u);
+  EXPECT_TRUE(sh(1).has_service("svc-a"));
+  EXPECT_TRUE(sh(1).has_service("svc-b"));
+  EXPECT_EQ(sh(1).stats().services_registered, 2u);
+}
+
+TEST_F(SighostFixture, ListsDrainAfterCompleteCall) {
+  core::CallServer server(*tb->router(1).kernel,
+                          tb->router(1).kernel->ip_node().address(), "echo",
+                          4102);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+
+  core::CallClient client(*tb->router(0).kernel,
+                          tb->router(0).kernel->ip_node().address());
+  std::optional<core::CallClient::Call> call;
+  client.open("berkeley.rt", "echo", "",
+              [&](util::Result<core::CallClient::Call> r) { call = *r; });
+  tb->sim().run_for(sim::seconds(2));
+  ASSERT_TRUE(call.has_value());
+
+  // Established: one VCI mapping at each side, no pending requests.
+  EXPECT_EQ(sh(0).outgoing_requests_size(), 0u);
+  EXPECT_EQ(sh(1).incoming_requests_size(), 0u);
+  EXPECT_EQ(sh(0).wait_for_bind_size(), 0u);
+  EXPECT_EQ(sh(1).wait_for_bind_size(), 0u);
+  EXPECT_EQ(sh(0).vci_mapping_size(), 1u);
+  EXPECT_EQ(sh(1).vci_mapping_size(), 1u);
+
+  client.close_call(*call);
+  tb->sim().run_for(sim::seconds(2));
+  EXPECT_EQ(sh(0).vci_mapping_size(), 0u);
+  EXPECT_EQ(sh(1).vci_mapping_size(), 0u);
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+}
+
+TEST_F(SighostFixture, RejectingServerProducesRejectedError) {
+  core::CallServer server(*tb->router(1).kernel,
+                          tb->router(1).kernel->ip_node().address(), "picky",
+                          4103);
+  server.set_auto_accept(false);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+
+  core::CallClient client(*tb->router(0).kernel,
+                          tb->router(0).kernel->ip_node().address());
+  std::optional<util::Errc> err;
+  client.open("berkeley.rt", "picky", "",
+              [&](util::Result<core::CallClient::Call> r) { err = r.error(); });
+  tb->sim().run_for(sim::seconds(2));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(*err, util::Errc::rejected);
+  EXPECT_EQ(server.calls_rejected(), 1u);
+  EXPECT_EQ(sh(1).stats().rejects_sent, 1u);
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+}
+
+TEST_F(SighostFixture, CancelWithdrawsOutstandingRequest) {
+  // No server registered: the request would fail anyway, but cancel must
+  // beat the reply if issued immediately (log cost delays PEER_SETUP).
+  core::CallClient client(*tb->router(0).kernel,
+                          tb->router(0).kernel->ip_node().address());
+  std::optional<util::Errc> err;
+  std::optional<Cookie> cookie;
+  client.lib().open_connection(
+      "berkeley.rt", "slow-svc", "", "",
+      [&](util::Result<app::OpenResult> r) { err = r.error(); },
+      [&](Cookie c) {
+        cookie = c;
+        client.lib().cancel_request(c);
+      });
+  tb->sim().run_for(sim::seconds(2));
+  ASSERT_TRUE(cookie.has_value());
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(*err, util::Errc::cancelled);
+  EXPECT_EQ(sh(0).stats().cancels, 1u);
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+}
+
+TEST_F(SighostFixture, WrongCookieOnBindTearsCallDown) {
+  // Drive the signaling flow manually so we can present a wrong cookie.
+  auto& r0 = *tb->router(0).kernel;
+  core::CallServer server(*tb->router(1).kernel,
+                          tb->router(1).kernel->ip_node().address(), "echo",
+                          4104);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+
+  kern::Pid pid = r0.spawn("evil-client");
+  app::UserLib lib(r0, pid, r0.ip_node().address());
+  std::optional<app::OpenResult> res;
+  lib.open_connection("berkeley.rt", "echo", "", "",
+                      [&](util::Result<app::OpenResult> r) {
+                        ASSERT_TRUE(r.ok());
+                        res = *r;
+                      });
+  tb->sim().run_for(sim::seconds(2));
+  ASSERT_TRUE(res.has_value());
+
+  // Connect with a corrupted cookie: authentication must fail and the
+  // socket must be marked unusable.
+  auto fd = r0.xunet_socket(pid);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(r0.xunet_connect(pid, *fd, res->vci,
+                               static_cast<Cookie>(res->cookie ^ 0xFFFF)).ok());
+  tb->sim().run_for(sim::seconds(2));
+  EXPECT_EQ(sh(0).stats().auth_failures, 1u);
+  EXPECT_FALSE(r0.xunet_usable(pid, *fd));
+  tb->sim().run_for(sim::seconds(20));  // server-side wait_for_bind expires
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+}
+
+TEST_F(SighostFixture, WaitForBindTimeoutReclaimsTheCall) {
+  core::CallServer server(*tb->router(1).kernel,
+                          tb->router(1).kernel->ip_node().address(), "echo",
+                          4105);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+
+  // A client that requests a VCI but never connects to it (§7.2's "a
+  // process might request a VCI, but not use it").
+  auto& r0 = *tb->router(0).kernel;
+  kern::Pid pid = r0.spawn("lazy-client");
+  app::UserLib lib(r0, pid, r0.ip_node().address());
+  std::optional<app::OpenResult> res;
+  lib.open_connection("berkeley.rt", "echo", "", "",
+                      [&](util::Result<app::OpenResult> r) { res = *r; });
+  tb->sim().run_for(sim::seconds(2));
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(sh(0).wait_for_bind_size(), 1u);
+
+  // Let the wait-for-bind timer expire (config default 10 s).
+  tb->sim().run_for(sim::seconds(15));
+  EXPECT_GE(sh(0).stats().bind_timeouts, 1u);
+  EXPECT_EQ(sh(0).wait_for_bind_size(), 0u);
+  EXPECT_TRUE(tb->audit().clean()) << tb->audit().describe();
+}
+
+TEST_F(SighostFixture, TraceHookSeesTheFigure3And4Sequences) {
+  std::vector<std::string> events;
+  sh(0).set_trace([&](std::string_view dir, std::string_view who, const Msg& m) {
+    events.push_back(std::string(dir) + " " + std::string(who) + " " +
+                     std::string(to_string(m.type)));
+  });
+  core::CallServer server(*tb->router(1).kernel,
+                          tb->router(1).kernel->ip_node().address(), "echo",
+                          4106);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+  core::CallClient client(*tb->router(0).kernel,
+                          tb->router(0).kernel->ip_node().address());
+  client.open("berkeley.rt", "echo", "",
+              [](util::Result<core::CallClient::Call>) {});
+  tb->sim().run_for(sim::seconds(2));
+
+  auto contains = [&](const std::string& needle) {
+    for (const auto& e : events) {
+      if (e.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("CONNECT_REQ"));
+  EXPECT_TRUE(contains("REQ_ID"));
+  EXPECT_TRUE(contains("PEER_SETUP"));
+  EXPECT_TRUE(contains("PEER_ACCEPT"));
+  EXPECT_TRUE(contains("VCI_FOR_CONN"));
+}
+
+}  // namespace
+}  // namespace xunet::sig

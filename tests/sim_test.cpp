@@ -1,0 +1,152 @@
+// sim_test.cpp — unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace xunet::sim {
+namespace {
+
+TEST(SimTime, Arithmetic) {
+  SimTime t(1'000'000);
+  SimDuration d = milliseconds(2);
+  EXPECT_EQ((t + d).ns(), 3'000'000);
+  EXPECT_EQ(((t + d) - t).ns(), d.ns());
+  EXPECT_LT(t, t + d);
+  EXPECT_DOUBLE_EQ(d.ms(), 2.0);
+  EXPECT_DOUBLE_EQ(seconds(3).sec(), 3.0);
+  EXPECT_EQ(seconds_f(0.5).ns(), 500'000'000);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(milliseconds(30), [&] { order.push_back(3); });
+  sim.schedule(milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule(milliseconds(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().ms(), 30.0);
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ZeroDelayRunsAfterCurrentEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(SimDuration{}, [&] {
+    order.push_back(1);
+    sim.schedule(SimDuration{}, [&] { order.push_back(3); });
+    order.push_back(2);
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, CancelPreventsDispatch) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.schedule(milliseconds(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(milliseconds(10), [&] { ++count; });
+  sim.schedule(milliseconds(30), [&] { ++count; });
+  sim.run_until(SimTime(20'000'000));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now().ns(), 20'000'000);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunForAdvancesRelative) {
+  Simulator sim;
+  sim.run_for(milliseconds(5));
+  EXPECT_EQ(sim.now().ms(), 5.0);
+  sim.run_for(milliseconds(5));
+  EXPECT_EQ(sim.now().ms(), 10.0);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule(microseconds(1), recurse);
+  };
+  sim.schedule(microseconds(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now().us(), 100.0);
+}
+
+TEST(Timer, FiresOnce) {
+  Simulator sim;
+  Timer t(sim);
+  int fired = 0;
+  t.arm(milliseconds(5), [&] { ++fired; });
+  EXPECT_TRUE(t.armed());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, CancelStopsExpiry) {
+  Simulator sim;
+  Timer t(sim);
+  int fired = 0;
+  t.arm(milliseconds(5), [&] { ++fired; });
+  t.cancel();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, RearmReplacesPending) {
+  Simulator sim;
+  Timer t(sim);
+  std::vector<int> hits;
+  t.arm(milliseconds(5), [&] { hits.push_back(1); });
+  t.arm(milliseconds(10), [&] { hits.push_back(2); });
+  sim.run();
+  EXPECT_EQ(hits, (std::vector<int>{2}));
+  EXPECT_EQ(sim.now().ms(), 10.0);
+}
+
+TEST(Timer, DestructionCancels) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer t(sim);
+    t.arm(milliseconds(5), [&] { ++fired; });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, CanRearmFromOwnCallback) {
+  Simulator sim;
+  Timer t(sim);
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < 5) t.arm(milliseconds(1), tick);
+  };
+  t.arm(milliseconds(1), tick);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+}
+
+}  // namespace
+}  // namespace xunet::sim

@@ -1,0 +1,319 @@
+// util_test.cpp — unit tests for the utility substrate.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/buffer.hpp"
+#include "util/checksum.hpp"
+#include "util/crc32.hpp"
+#include "util/loc_scan.hpp"
+#include "util/logging.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace xunet::util {
+namespace {
+
+// ---------------------------------------------------------------- Result
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.error(), Errc::ok);
+
+  Result<int> bad(Errc::not_found);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Errc::not_found);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, VoidSpecialization) {
+  Result<void> ok;
+  EXPECT_TRUE(ok.ok());
+  Result<void> bad(Errc::timed_out);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Errc::timed_out);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(Result, ErrcNamesAreDistinct) {
+  EXPECT_EQ(to_string(Errc::ok), "ok");
+  EXPECT_EQ(to_string(Errc::no_buffer_space), "no_buffer_space");
+  EXPECT_EQ(to_string(Errc::too_many_files), "too_many_files");
+  EXPECT_NE(to_string(Errc::rejected), to_string(Errc::cancelled));
+}
+
+// ------------------------------------------------------------ serialization
+
+TEST(Serialization, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ull);
+  Buffer buf = w.take();
+  EXPECT_EQ(buf.size(), 1u + 2 + 4 + 8);
+
+  Reader r(buf);
+  EXPECT_EQ(*r.u8(), 0xAB);
+  EXPECT_EQ(*r.u16(), 0x1234);
+  EXPECT_EQ(*r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.u64(), 0x0102030405060708ull);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialization, BigEndianOnTheWire) {
+  Writer w;
+  w.u16(0x0102);
+  Buffer buf = w.take();
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(Serialization, LengthPrefixedStrings) {
+  Writer w;
+  w.lp_string("hello");
+  w.lp_string("");
+  Buffer buf = w.take();
+  Reader r(buf);
+  EXPECT_EQ(*r.lp_string(), "hello");
+  EXPECT_EQ(*r.lp_string(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialization, TruncationIsAnError) {
+  Writer w;
+  w.u32(1);
+  Buffer buf = w.take();
+  buf.pop_back();
+  Reader r(buf);
+  auto v = r.u32();
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.error(), Errc::protocol_error);
+}
+
+TEST(Serialization, LpStringTruncatedBodyIsAnError) {
+  Writer w;
+  w.u16(10);  // claims 10 bytes
+  w.bytes(to_buffer(std::string_view("abc")));
+  Buffer buf = w.take();
+  Reader r(buf);
+  EXPECT_FALSE(r.lp_string().ok());
+}
+
+class SerializationSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SerializationSweep, ByteRunsRoundTrip) {
+  std::size_t n = GetParam();
+  Rng rng(n * 7 + 1);
+  Buffer data(n);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  Writer w;
+  w.lp_bytes(data);
+  Buffer buf = w.take();
+  Reader r(buf);
+  auto out = r.lp_bytes();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(to_buffer(*out), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SerializationSweep,
+                         ::testing::Values(0, 1, 2, 47, 48, 255, 4096, 65535));
+
+// ------------------------------------------------------------------- CRC32
+
+TEST(Crc32, KnownVectors) {
+  // Standard check value: CRC-32("123456789") = 0xCBF43926.
+  EXPECT_EQ(crc32(to_buffer(std::string_view("123456789"))), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  std::string s = "the quick brown fox jumps over the lazy dog";
+  Crc32 inc;
+  Buffer whole = to_buffer(std::string_view(s));
+  inc.update({whole.data(), 10});
+  inc.update({whole.data() + 10, whole.size() - 10});
+  EXPECT_EQ(inc.value(), crc32(whole));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Buffer data(100, 0x55);
+  std::uint32_t before = crc32(data);
+  data[50] ^= 0x01;
+  EXPECT_NE(crc32(data), before);
+}
+
+// ---------------------------------------------------------------- checksum
+
+TEST(Checksum, VerifiesAfterEmbedding) {
+  Buffer hdr = {0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40,
+                0x06, 0x00, 0x00, 0xac, 0x10, 0x0a, 0x63, 0xac, 0x10,
+                0x0a, 0x0c};
+  std::uint16_t csum = internet_checksum(hdr);
+  hdr[10] = static_cast<std::uint8_t>(csum >> 8);
+  hdr[11] = static_cast<std::uint8_t>(csum);
+  EXPECT_TRUE(checksum_ok(hdr));
+  hdr[3] ^= 0xFF;
+  EXPECT_FALSE(checksum_ok(hdr));
+}
+
+TEST(Checksum, OddLengthDoesNotCrash) {
+  Buffer odd = {0x01, 0x02, 0x03};
+  (void)internet_checksum(odd);
+  SUCCEED();
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(Stats, SummaryBasics) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.4142, 1e-3);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+}
+
+TEST(Stats, LinearFitRecoversExactLine) {
+  std::vector<double> x{1, 2, 4, 8, 16};
+  std::vector<double> y;
+  for (double v : x) y.push_back(99.0 + 8.0 * v);  // the Table 1 shape
+  auto f = fit_linear(x, y);
+  EXPECT_NEAR(f.intercept, 99.0, 1e-9);
+  EXPECT_NEAR(f.slope, 8.0, 1e-9);
+  EXPECT_NEAR(f.max_residual, 0.0, 1e-9);
+}
+
+TEST(Stats, CountersAccumulate) {
+  Counters c;
+  c.inc("drops");
+  c.inc("drops", 4);
+  EXPECT_EQ(c.get("drops"), 5u);
+  EXPECT_EQ(c.get("absent"), 0u);
+}
+
+// --------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(77);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(5);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanIsRoughlyRight) {
+  Rng r(31);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+// ----------------------------------------------------------------- logging
+
+TEST(Logging, ThresholdFilters) {
+  Logger log;
+  CapturingSink cap;
+  log.add_sink(cap.sink());
+  log.set_threshold(LogLevel::warn);
+  log.info("x", "dropped");
+  log.warn("x", "kept");
+  ASSERT_EQ(cap.records().size(), 1u);
+  EXPECT_EQ(cap.records()[0].message, "kept");
+  EXPECT_EQ(log.emitted(), 1u);
+}
+
+TEST(Logging, EmittedCountsWithoutSinks) {
+  Logger log;
+  log.set_threshold(LogLevel::info);
+  log.info("c", "one");
+  log.info("c", "two");
+  EXPECT_EQ(log.emitted(), 2u);
+}
+
+// ------------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t("Demo");
+  t.header({"Component", "Count"});
+  t.row({"PF_XUNET", "99"});
+  t.row({"IP", "57"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("PF_XUNET"), std::string::npos);
+  EXPECT_NE(out.find("57"), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------------- loc scan
+
+TEST(LocScan, CountsOwnSources) {
+  auto c = scan_component("util", std::string(XUNET_SOURCE_DIR) + "/src/util");
+  EXPECT_GT(c.files, 5u);
+  EXPECT_GT(c.lines, 200u);
+  EXPECT_GT(c.code_lines, 100u);
+  EXPECT_LT(c.code_lines, c.lines);
+}
+
+TEST(LocScan, MissingDirectoryYieldsZeroes) {
+  auto c = scan_component("ghost", "/no/such/dir");
+  EXPECT_EQ(c.files, 0u);
+  EXPECT_EQ(c.lines, 0u);
+}
+
+}  // namespace
+}  // namespace xunet::util
