@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_native_transport.dir/bench_ext_native_transport.cpp.o"
+  "CMakeFiles/bench_ext_native_transport.dir/bench_ext_native_transport.cpp.o.d"
+  "bench_ext_native_transport"
+  "bench_ext_native_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_native_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_qos_scheduling.dir/bench_ext_qos_scheduling.cpp.o"
+  "CMakeFiles/bench_ext_qos_scheduling.dir/bench_ext_qos_scheduling.cpp.o.d"
+  "bench_ext_qos_scheduling"
+  "bench_ext_qos_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_qos_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fig4_msc.dir/bench_fig3_fig4_msc.cpp.o"
+  "CMakeFiles/bench_fig3_fig4_msc.dir/bench_fig3_fig4_msc.cpp.o.d"
+  "bench_fig3_fig4_msc"
+  "bench_fig3_fig4_msc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fig4_msc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_datapath.dir/bench_micro_datapath.cpp.o"
+  "CMakeFiles/bench_micro_datapath.dir/bench_micro_datapath.cpp.o.d"
+  "bench_micro_datapath"
+  "bench_micro_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

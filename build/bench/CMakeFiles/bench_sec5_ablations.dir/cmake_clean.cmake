@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_ablations.dir/bench_sec5_ablations.cpp.o"
+  "CMakeFiles/bench_sec5_ablations.dir/bench_sec5_ablations.cpp.o.d"
+  "bench_sec5_ablations"
+  "bench_sec5_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

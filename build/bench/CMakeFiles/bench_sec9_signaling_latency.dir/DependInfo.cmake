@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec9_signaling_latency.cpp" "bench/CMakeFiles/bench_sec9_signaling_latency.dir/bench_sec9_signaling_latency.cpp.o" "gcc" "bench/CMakeFiles/bench_sec9_signaling_latency.dir/bench_sec9_signaling_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/native/CMakeFiles/xunet_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xunet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/userlib/CMakeFiles/xunet_userlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/signaling/CMakeFiles/xunet_signaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/xunet_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpsim/CMakeFiles/xunet_tcpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/xunet_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/xunet_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xunet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xunet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_gateway.dir/ip_gateway.cpp.o"
+  "CMakeFiles/ip_gateway.dir/ip_gateway.cpp.o.d"
+  "ip_gateway"
+  "ip_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia.dir/multimedia.cpp.o"
+  "CMakeFiles/multimedia.dir/multimedia.cpp.o.d"
+  "multimedia"
+  "multimedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_operator.dir/network_operator.cpp.o"
+  "CMakeFiles/network_operator.dir/network_operator.cpp.o.d"
+  "network_operator"
+  "network_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;11;xunet_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_file_service "/root/repo/build/examples/file_service")
+set_tests_properties(example_file_service PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;12;xunet_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ip_gateway "/root/repo/build/examples/ip_gateway")
+set_tests_properties(example_ip_gateway PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;13;xunet_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multimedia "/root/repo/build/examples/multimedia")
+set_tests_properties(example_multimedia PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;14;xunet_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_network_operator "/root/repo/build/examples/network_operator")
+set_tests_properties(example_network_operator PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;15;xunet_example;/root/repo/examples/CMakeLists.txt;0;")

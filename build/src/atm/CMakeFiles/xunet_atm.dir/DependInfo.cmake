@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atm/aal5.cpp" "src/atm/CMakeFiles/xunet_atm.dir/aal5.cpp.o" "gcc" "src/atm/CMakeFiles/xunet_atm.dir/aal5.cpp.o.d"
+  "/root/repo/src/atm/link.cpp" "src/atm/CMakeFiles/xunet_atm.dir/link.cpp.o" "gcc" "src/atm/CMakeFiles/xunet_atm.dir/link.cpp.o.d"
+  "/root/repo/src/atm/network.cpp" "src/atm/CMakeFiles/xunet_atm.dir/network.cpp.o" "gcc" "src/atm/CMakeFiles/xunet_atm.dir/network.cpp.o.d"
+  "/root/repo/src/atm/qos.cpp" "src/atm/CMakeFiles/xunet_atm.dir/qos.cpp.o" "gcc" "src/atm/CMakeFiles/xunet_atm.dir/qos.cpp.o.d"
+  "/root/repo/src/atm/switch.cpp" "src/atm/CMakeFiles/xunet_atm.dir/switch.cpp.o" "gcc" "src/atm/CMakeFiles/xunet_atm.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xunet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xunet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

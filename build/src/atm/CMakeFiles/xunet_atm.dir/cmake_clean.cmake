@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xunet_atm.dir/aal5.cpp.o"
+  "CMakeFiles/xunet_atm.dir/aal5.cpp.o.d"
+  "CMakeFiles/xunet_atm.dir/link.cpp.o"
+  "CMakeFiles/xunet_atm.dir/link.cpp.o.d"
+  "CMakeFiles/xunet_atm.dir/network.cpp.o"
+  "CMakeFiles/xunet_atm.dir/network.cpp.o.d"
+  "CMakeFiles/xunet_atm.dir/qos.cpp.o"
+  "CMakeFiles/xunet_atm.dir/qos.cpp.o.d"
+  "CMakeFiles/xunet_atm.dir/switch.cpp.o"
+  "CMakeFiles/xunet_atm.dir/switch.cpp.o.d"
+  "libxunet_atm.a"
+  "libxunet_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xunet_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

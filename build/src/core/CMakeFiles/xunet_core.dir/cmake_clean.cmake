@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xunet_core.dir/apps.cpp.o"
+  "CMakeFiles/xunet_core.dir/apps.cpp.o.d"
+  "CMakeFiles/xunet_core.dir/duplex.cpp.o"
+  "CMakeFiles/xunet_core.dir/duplex.cpp.o.d"
+  "CMakeFiles/xunet_core.dir/testbed.cpp.o"
+  "CMakeFiles/xunet_core.dir/testbed.cpp.o.d"
+  "libxunet_core.a"
+  "libxunet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xunet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/link.cpp" "src/ip/CMakeFiles/xunet_ip.dir/link.cpp.o" "gcc" "src/ip/CMakeFiles/xunet_ip.dir/link.cpp.o.d"
+  "/root/repo/src/ip/node.cpp" "src/ip/CMakeFiles/xunet_ip.dir/node.cpp.o" "gcc" "src/ip/CMakeFiles/xunet_ip.dir/node.cpp.o.d"
+  "/root/repo/src/ip/packet.cpp" "src/ip/CMakeFiles/xunet_ip.dir/packet.cpp.o" "gcc" "src/ip/CMakeFiles/xunet_ip.dir/packet.cpp.o.d"
+  "/root/repo/src/ip/udp.cpp" "src/ip/CMakeFiles/xunet_ip.dir/udp.cpp.o" "gcc" "src/ip/CMakeFiles/xunet_ip.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xunet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xunet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xunet_ip.dir/link.cpp.o"
+  "CMakeFiles/xunet_ip.dir/link.cpp.o.d"
+  "CMakeFiles/xunet_ip.dir/node.cpp.o"
+  "CMakeFiles/xunet_ip.dir/node.cpp.o.d"
+  "CMakeFiles/xunet_ip.dir/packet.cpp.o"
+  "CMakeFiles/xunet_ip.dir/packet.cpp.o.d"
+  "CMakeFiles/xunet_ip.dir/udp.cpp.o"
+  "CMakeFiles/xunet_ip.dir/udp.cpp.o.d"
+  "libxunet_ip.a"
+  "libxunet_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xunet_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

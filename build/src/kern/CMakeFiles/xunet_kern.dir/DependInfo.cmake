@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/anand.cpp" "src/kern/CMakeFiles/xunet_kern.dir/anand.cpp.o" "gcc" "src/kern/CMakeFiles/xunet_kern.dir/anand.cpp.o.d"
+  "/root/repo/src/kern/hobbit.cpp" "src/kern/CMakeFiles/xunet_kern.dir/hobbit.cpp.o" "gcc" "src/kern/CMakeFiles/xunet_kern.dir/hobbit.cpp.o.d"
+  "/root/repo/src/kern/instr.cpp" "src/kern/CMakeFiles/xunet_kern.dir/instr.cpp.o" "gcc" "src/kern/CMakeFiles/xunet_kern.dir/instr.cpp.o.d"
+  "/root/repo/src/kern/ipatm.cpp" "src/kern/CMakeFiles/xunet_kern.dir/ipatm.cpp.o" "gcc" "src/kern/CMakeFiles/xunet_kern.dir/ipatm.cpp.o.d"
+  "/root/repo/src/kern/kernel.cpp" "src/kern/CMakeFiles/xunet_kern.dir/kernel.cpp.o" "gcc" "src/kern/CMakeFiles/xunet_kern.dir/kernel.cpp.o.d"
+  "/root/repo/src/kern/mbuf.cpp" "src/kern/CMakeFiles/xunet_kern.dir/mbuf.cpp.o" "gcc" "src/kern/CMakeFiles/xunet_kern.dir/mbuf.cpp.o.d"
+  "/root/repo/src/kern/orc.cpp" "src/kern/CMakeFiles/xunet_kern.dir/orc.cpp.o" "gcc" "src/kern/CMakeFiles/xunet_kern.dir/orc.cpp.o.d"
+  "/root/repo/src/kern/proto_atm.cpp" "src/kern/CMakeFiles/xunet_kern.dir/proto_atm.cpp.o" "gcc" "src/kern/CMakeFiles/xunet_kern.dir/proto_atm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atm/CMakeFiles/xunet_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/xunet_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpsim/CMakeFiles/xunet_tcpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xunet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xunet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xunet_kern.dir/anand.cpp.o"
+  "CMakeFiles/xunet_kern.dir/anand.cpp.o.d"
+  "CMakeFiles/xunet_kern.dir/hobbit.cpp.o"
+  "CMakeFiles/xunet_kern.dir/hobbit.cpp.o.d"
+  "CMakeFiles/xunet_kern.dir/instr.cpp.o"
+  "CMakeFiles/xunet_kern.dir/instr.cpp.o.d"
+  "CMakeFiles/xunet_kern.dir/ipatm.cpp.o"
+  "CMakeFiles/xunet_kern.dir/ipatm.cpp.o.d"
+  "CMakeFiles/xunet_kern.dir/kernel.cpp.o"
+  "CMakeFiles/xunet_kern.dir/kernel.cpp.o.d"
+  "CMakeFiles/xunet_kern.dir/mbuf.cpp.o"
+  "CMakeFiles/xunet_kern.dir/mbuf.cpp.o.d"
+  "CMakeFiles/xunet_kern.dir/orc.cpp.o"
+  "CMakeFiles/xunet_kern.dir/orc.cpp.o.d"
+  "CMakeFiles/xunet_kern.dir/proto_atm.cpp.o"
+  "CMakeFiles/xunet_kern.dir/proto_atm.cpp.o.d"
+  "libxunet_kern.a"
+  "libxunet_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xunet_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xunet_native.dir/native_stream.cpp.o"
+  "CMakeFiles/xunet_native.dir/native_stream.cpp.o.d"
+  "libxunet_native.a"
+  "libxunet_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xunet_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

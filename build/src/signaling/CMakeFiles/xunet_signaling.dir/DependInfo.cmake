@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signaling/anand_stubs.cpp" "src/signaling/CMakeFiles/xunet_signaling.dir/anand_stubs.cpp.o" "gcc" "src/signaling/CMakeFiles/xunet_signaling.dir/anand_stubs.cpp.o.d"
+  "/root/repo/src/signaling/cookie.cpp" "src/signaling/CMakeFiles/xunet_signaling.dir/cookie.cpp.o" "gcc" "src/signaling/CMakeFiles/xunet_signaling.dir/cookie.cpp.o.d"
+  "/root/repo/src/signaling/messages.cpp" "src/signaling/CMakeFiles/xunet_signaling.dir/messages.cpp.o" "gcc" "src/signaling/CMakeFiles/xunet_signaling.dir/messages.cpp.o.d"
+  "/root/repo/src/signaling/sighost.cpp" "src/signaling/CMakeFiles/xunet_signaling.dir/sighost.cpp.o" "gcc" "src/signaling/CMakeFiles/xunet_signaling.dir/sighost.cpp.o.d"
+  "/root/repo/src/signaling/stub_proto.cpp" "src/signaling/CMakeFiles/xunet_signaling.dir/stub_proto.cpp.o" "gcc" "src/signaling/CMakeFiles/xunet_signaling.dir/stub_proto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kern/CMakeFiles/xunet_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/xunet_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpsim/CMakeFiles/xunet_tcpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/xunet_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xunet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xunet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

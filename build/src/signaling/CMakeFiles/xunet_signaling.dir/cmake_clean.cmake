@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xunet_signaling.dir/anand_stubs.cpp.o"
+  "CMakeFiles/xunet_signaling.dir/anand_stubs.cpp.o.d"
+  "CMakeFiles/xunet_signaling.dir/cookie.cpp.o"
+  "CMakeFiles/xunet_signaling.dir/cookie.cpp.o.d"
+  "CMakeFiles/xunet_signaling.dir/messages.cpp.o"
+  "CMakeFiles/xunet_signaling.dir/messages.cpp.o.d"
+  "CMakeFiles/xunet_signaling.dir/sighost.cpp.o"
+  "CMakeFiles/xunet_signaling.dir/sighost.cpp.o.d"
+  "CMakeFiles/xunet_signaling.dir/stub_proto.cpp.o"
+  "CMakeFiles/xunet_signaling.dir/stub_proto.cpp.o.d"
+  "libxunet_signaling.a"
+  "libxunet_signaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xunet_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

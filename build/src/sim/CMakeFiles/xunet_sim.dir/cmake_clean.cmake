@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xunet_sim.dir/simulator.cpp.o"
+  "CMakeFiles/xunet_sim.dir/simulator.cpp.o.d"
+  "libxunet_sim.a"
+  "libxunet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xunet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

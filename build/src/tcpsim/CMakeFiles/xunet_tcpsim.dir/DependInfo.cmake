@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcpsim/segment.cpp" "src/tcpsim/CMakeFiles/xunet_tcpsim.dir/segment.cpp.o" "gcc" "src/tcpsim/CMakeFiles/xunet_tcpsim.dir/segment.cpp.o.d"
+  "/root/repo/src/tcpsim/tcp.cpp" "src/tcpsim/CMakeFiles/xunet_tcpsim.dir/tcp.cpp.o" "gcc" "src/tcpsim/CMakeFiles/xunet_tcpsim.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/xunet_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xunet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xunet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

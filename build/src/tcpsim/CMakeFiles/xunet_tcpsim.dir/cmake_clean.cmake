@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xunet_tcpsim.dir/segment.cpp.o"
+  "CMakeFiles/xunet_tcpsim.dir/segment.cpp.o.d"
+  "CMakeFiles/xunet_tcpsim.dir/tcp.cpp.o"
+  "CMakeFiles/xunet_tcpsim.dir/tcp.cpp.o.d"
+  "libxunet_tcpsim.a"
+  "libxunet_tcpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xunet_tcpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxunet_tcpsim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xunet_userlib.dir/userlib.cpp.o"
+  "CMakeFiles/xunet_userlib.dir/userlib.cpp.o.d"
+  "libxunet_userlib.a"
+  "libxunet_userlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xunet_userlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

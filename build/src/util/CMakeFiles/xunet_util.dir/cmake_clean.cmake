@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xunet_util.dir/checksum.cpp.o"
+  "CMakeFiles/xunet_util.dir/checksum.cpp.o.d"
+  "CMakeFiles/xunet_util.dir/crc32.cpp.o"
+  "CMakeFiles/xunet_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/xunet_util.dir/loc_scan.cpp.o"
+  "CMakeFiles/xunet_util.dir/loc_scan.cpp.o.d"
+  "CMakeFiles/xunet_util.dir/logging.cpp.o"
+  "CMakeFiles/xunet_util.dir/logging.cpp.o.d"
+  "CMakeFiles/xunet_util.dir/result.cpp.o"
+  "CMakeFiles/xunet_util.dir/result.cpp.o.d"
+  "CMakeFiles/xunet_util.dir/rng.cpp.o"
+  "CMakeFiles/xunet_util.dir/rng.cpp.o.d"
+  "CMakeFiles/xunet_util.dir/stats.cpp.o"
+  "CMakeFiles/xunet_util.dir/stats.cpp.o.d"
+  "CMakeFiles/xunet_util.dir/table.cpp.o"
+  "CMakeFiles/xunet_util.dir/table.cpp.o.d"
+  "libxunet_util.a"
+  "libxunet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xunet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aal5.dir/aal5_test.cpp.o"
+  "CMakeFiles/test_aal5.dir/aal5_test.cpp.o.d"
+  "test_aal5"
+  "test_aal5.pdb"
+  "test_aal5[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aal5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

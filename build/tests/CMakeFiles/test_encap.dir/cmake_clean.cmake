@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_encap.dir/encap_test.cpp.o"
+  "CMakeFiles/test_encap.dir/encap_test.cpp.o.d"
+  "test_encap"
+  "test_encap.pdb"
+  "test_encap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_encap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

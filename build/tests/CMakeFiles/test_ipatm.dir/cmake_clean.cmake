@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipatm.dir/ipatm_test.cpp.o"
+  "CMakeFiles/test_ipatm.dir/ipatm_test.cpp.o.d"
+  "test_ipatm"
+  "test_ipatm.pdb"
+  "test_ipatm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipatm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kern.dir/kern_test.cpp.o"
+  "CMakeFiles/test_kern.dir/kern_test.cpp.o.d"
+  "test_kern"
+  "test_kern.pdb"
+  "test_kern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

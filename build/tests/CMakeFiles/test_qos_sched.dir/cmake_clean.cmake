@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qos_sched.dir/qos_sched_test.cpp.o"
+  "CMakeFiles/test_qos_sched.dir/qos_sched_test.cpp.o.d"
+  "test_qos_sched"
+  "test_qos_sched.pdb"
+  "test_qos_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qos_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

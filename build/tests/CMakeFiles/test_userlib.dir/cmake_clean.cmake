@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_userlib.dir/userlib_test.cpp.o"
+  "CMakeFiles/test_userlib.dir/userlib_test.cpp.o.d"
+  "test_userlib"
+  "test_userlib.pdb"
+  "test_userlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_userlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

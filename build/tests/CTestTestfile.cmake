@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_atm[1]_include.cmake")
+include("/root/repo/build/tests/test_aal5[1]_include.cmake")
+include("/root/repo/build/tests/test_ip[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_kern[1]_include.cmake")
+include("/root/repo/build/tests/test_signaling[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_scaling[1]_include.cmake")
+include("/root/repo/build/tests/test_encap[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_userlib[1]_include.cmake")
+include("/root/repo/build/tests/test_datapath[1]_include.cmake")
+include("/root/repo/build/tests/test_ipatm[1]_include.cmake")
+include("/root/repo/build/tests/test_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_qos_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_failure[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_native[1]_include.cmake")
+include("/root/repo/build/tests/test_gaps[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
