@@ -3,10 +3,17 @@
 // signaling message (de)serialization, and event-loop dispatch.  These are
 // wall-clock benchmarks of the reproduction itself (not simulated time);
 // they guard against performance regressions in the substrate.
+//
+// Work totals accumulate in an obs::MetricsRegistry and are dumped after the
+// google-benchmark report, so bench output shares one naming scheme
+// (bench.micro.<name>.*) with the simulation's own metrics.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "atm/aal5.hpp"
 #include "ip/packet.hpp"
+#include "obs/metrics.hpp"
 #include "signaling/messages.hpp"
 #include "sim/simulator.hpp"
 #include "tcpsim/segment.hpp"
@@ -16,6 +23,24 @@
 namespace {
 
 using namespace xunet;
+
+obs::MetricsRegistry& registry() {
+  static obs::MetricsRegistry mx;
+  return mx;
+}
+
+// Record one benchmark's totals: iterations as a counter, per-size bytes
+// processed as a histogram sample (so the dump shows the size sweep).
+void record(const char* name, const benchmark::State& state,
+            std::int64_t bytes_per_iter = 0) {
+  std::string base = std::string("bench.micro.") + name;
+  registry().counter(base + ".iterations").inc(
+      static_cast<std::uint64_t>(state.iterations()));
+  if (bytes_per_iter > 0) {
+    registry().histogram(base + ".bytes_per_iter").observe(
+        static_cast<double>(bytes_per_iter));
+  }
+}
 
 util::Buffer random_payload(std::size_t n) {
   util::Rng rng(n);
@@ -30,6 +55,7 @@ void BM_Crc32(benchmark::State& state) {
     benchmark::DoNotOptimize(util::crc32(data));
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
+  record("crc32", state, state.range(0));
 }
 BENCHMARK(BM_Crc32)->Arg(64)->Arg(1024)->Arg(65536);
 
@@ -41,6 +67,7 @@ void BM_Aal5Segment(benchmark::State& state) {
     benchmark::DoNotOptimize(cells);
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
+  record("aal5_segment", state, state.range(0));
 }
 BENCHMARK(BM_Aal5Segment)->Arg(48)->Arg(1024)->Arg(9180)->Arg(65535);
 
@@ -55,6 +82,7 @@ void BM_Aal5RoundTrip(benchmark::State& state) {
   }
   benchmark::DoNotOptimize(delivered);
   state.SetBytesProcessed(state.iterations() * state.range(0));
+  record("aal5_round_trip", state, state.range(0));
 }
 BENCHMARK(BM_Aal5RoundTrip)->Arg(1024)->Arg(9180);
 
@@ -69,6 +97,7 @@ void BM_IpSerializeParse(benchmark::State& state) {
     benchmark::DoNotOptimize(back);
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
+  record("ip_serialize_parse", state, state.range(0));
 }
 BENCHMARK(BM_IpSerializeParse)->Arg(256)->Arg(4096);
 
@@ -83,6 +112,7 @@ void BM_SignalingMsgRoundTrip(benchmark::State& state) {
     auto back = sig::parse_msg(wire);
     benchmark::DoNotOptimize(back);
   }
+  record("signaling_msg_round_trip", state);
 }
 BENCHMARK(BM_SignalingMsgRoundTrip);
 
@@ -97,6 +127,7 @@ void BM_TcpSegmentRoundTrip(benchmark::State& state) {
     benchmark::DoNotOptimize(back);
   }
   state.SetBytesProcessed(state.iterations() * 1400);
+  record("tcp_segment_round_trip", state, 1400);
 }
 BENCHMARK(BM_TcpSegmentRoundTrip);
 
@@ -111,9 +142,18 @@ void BM_SimulatorDispatch(benchmark::State& state) {
     benchmark::DoNotOptimize(sum);
   }
   state.SetItemsProcessed(state.iterations() * 1000);
+  record("simulator_dispatch", state);
 }
 BENCHMARK(BM_SimulatorDispatch);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\n== unified metrics registry (bench.micro.*) ==\n%s",
+              registry().render_text().c_str());
+  return 0;
+}

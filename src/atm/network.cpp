@@ -218,8 +218,21 @@ void AtmNetwork::uninstall(ActiveVc& vc) {
 }
 
 void AtmNetwork::setup_vc(const AtmAddress& src, const AtmAddress& dst,
-                          const Qos& qos, SetupHandler done) {
+                          const Qos& qos, SetupHandler done,
+                          const std::string& call) {
   ++setups_attempted_;
+  obs::Observability& o = sim_.obs();
+  o.metrics().counter("atm.net.setups_attempted").inc();
+  // The VC-install span covers the modeled network-signaling latency:
+  // per-switch call processing plus the request/confirm propagation.
+  auto trace_setup = [&](sim::SimDuration latency, bool ok) {
+    if (!ok) o.metrics().counter("atm.net.setups_denied").inc();
+    if (!XOBS_TRACING(&o)) return;
+    obs::TraceIds ids;
+    ids.call_id = call;
+    o.complete(latency, "atm", ok ? "vc.setup" : "vc.setup_denied", "net",
+               std::move(ids));
+  };
   auto finish = [this, done = std::move(done)](
                     util::Result<VcHandle> r, sim::SimDuration latency) {
     sim_.schedule(latency, [done, r = std::move(r)] { done(r); });
@@ -229,12 +242,14 @@ void AtmNetwork::setup_vc(const AtmAddress& src, const AtmAddress& dst,
   auto d = endpoint_nodes_.find(dst);
   if (s == endpoint_nodes_.end() || d == endpoint_nodes_.end() || src == dst) {
     ++setups_denied_;
+    trace_setup(per_switch_setup_, false);
     finish(Errc::no_route, per_switch_setup_);
     return;
   }
   std::vector<int> path = find_path(s->second, d->second);
   if (path.empty()) {
     ++setups_denied_;
+    trace_setup(per_switch_setup_, false);
     finish(Errc::no_route, per_switch_setup_);
     return;
   }
@@ -253,9 +268,11 @@ void AtmNetwork::setup_vc(const AtmAddress& src, const AtmAddress& dst,
   auto vc = install_path(path, qos, std::nullopt);
   if (!vc) {
     ++setups_denied_;
+    trace_setup(latency, false);
     finish(vc.error(), latency);
     return;
   }
+  trace_setup(latency, true);
   VcHandle h;
   h.id = next_vc_id_++;
   h.src_vci = vc->hops.front().vci;

@@ -82,9 +82,10 @@ class AtmNetwork {
   /// `qos` at every hop.  Admission and routing are evaluated immediately
   /// (so state is consistent), but the completion callback fires after the
   /// modeled signaling latency: per-switch processing plus two propagation
-  /// passes (request out, confirm back).
+  /// passes (request out, confirm back).  `call` optionally tags the trace
+  /// span with the end-to-end call key ("origin#req_id").
   void setup_vc(const AtmAddress& src, const AtmAddress& dst, const Qos& qos,
-                SetupHandler done);
+                SetupHandler done, const std::string& call = {});
 
   /// Synchronous variant used for PVC provisioning at simulation start; the
   /// requested VCI is used verbatim on every hop (PVCs use well-known

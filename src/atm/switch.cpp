@@ -12,7 +12,11 @@ AtmSwitch::AtmSwitch(sim::Simulator& sim, std::string name,
     : sim_(sim),
       name_(std::move(name)),
       per_cell_latency_(per_cell_latency),
-      port_queue_cells_(port_queue_cells) {}
+      port_queue_cells_(port_queue_cells),
+      obs_(&sim.obs()),
+      m_cells_(&sim.obs().metrics().counter("atm.switch." + name_ + ".cells")),
+      m_unroutable_(&sim.obs().metrics().counter("atm.switch." + name_ +
+                                                 ".cells_unroutable")) {}
 
 int AtmSwitch::add_port() {
   int index = static_cast<int>(ports_.size());
@@ -74,14 +78,23 @@ void AtmSwitch::handle_cell(int in_port, const Cell& cell) {
   auto it = table_.find(RouteKey{in_port, cell.vci});
   if (it == table_.end()) {
     ++cells_unroutable_;
+    m_unroutable_->inc();
     return;
   }
   Port& out = *ports_[static_cast<std::size_t>(it->second.out_port)];
   if (out.out == nullptr) {
     ++cells_unroutable_;
+    m_unroutable_->inc();
     return;
   }
   ++cells_switched_;
+  m_cells_->inc();
+  if (XOBS_TRACING(obs_)) {
+    obs::TraceIds ids;
+    ids.vci = cell.vci;
+    obs_->complete(per_cell_latency_, "atm", "cell.fwd", name_,
+                   std::move(ids));
+  }
   Cell forwarded = cell;
   forwarded.vci = it->second.out_vci;
   // Cross the fabric (fixed per-cell latency), then join the output port's

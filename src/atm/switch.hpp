@@ -20,6 +20,7 @@
 
 #include "atm/link.hpp"
 #include "atm/qos.hpp"
+#include "obs/obs.hpp"
 #include "util/result.hpp"
 
 namespace xunet::atm {
@@ -106,6 +107,9 @@ class AtmSwitch {
   std::string name_;
   sim::SimDuration per_cell_latency_;
   std::size_t port_queue_cells_;
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* m_cells_ = nullptr;
+  obs::Counter* m_unroutable_ = nullptr;
   std::vector<std::unique_ptr<Port>> ports_;
   std::map<RouteKey, Route> table_;
   std::uint64_t cells_switched_ = 0;

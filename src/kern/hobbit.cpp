@@ -9,6 +9,12 @@ HobbitInterface::HobbitInterface(atm::AtmAddress addr, std::size_t mbuf_bytes)
       mbuf_bytes_(mbuf_bytes),
       reasm_([this](atm::Aal5Frame f) {
         ++frames_received_;
+        if (XOBS_TRACING(obs_)) {
+          // AAL5 reassembly on the board completed a frame.
+          obs::TraceIds ids;
+          ids.vci = f.vci;
+          obs_->instant("atm", "aal5.frame", addr_.name, std::move(ids));
+        }
         if (on_frame_) {
           on_frame_(f.vci, MbufChain::from_bytes(f.payload, mbuf_bytes_));
         }
@@ -18,6 +24,12 @@ util::Result<void> HobbitInterface::send(atm::Vci vci, const MbufChain& chain) {
   if (uplink_ == nullptr) return Errc::not_connected;
   auto cells = seg_.segment(vci, chain.linearize());
   if (!cells) return cells.error();
+  if (XOBS_TRACING(obs_)) {
+    // AAL5 trailer + SAR on the board: the host CPU pays nothing (Table 1).
+    obs::TraceIds ids;
+    ids.vci = vci;
+    obs_->instant("atm", "aal5.segment", addr_.name, std::move(ids));
+  }
   for (const atm::Cell& c : *cells) {
     uplink_->send(c);
   }

@@ -13,6 +13,7 @@
 #include "atm/aal5.hpp"
 #include "atm/link.hpp"
 #include "kern/mbuf.hpp"
+#include "obs/obs.hpp"
 
 namespace xunet::kern {
 
@@ -35,6 +36,10 @@ class HobbitInterface : public atm::CellSink {
 
   void set_frame_handler(FrameHandler h) { on_frame_ = std::move(h); }
 
+  /// Wire the observability context (the board holds no Simulator reference;
+  /// the Observability carries its own clock view).
+  void bind_obs(obs::Observability* o) { obs_ = o; }
+
   /// Transmit a frame on `vci`: AAL5 trailer + segmentation + cells out.
   [[nodiscard]] util::Result<void> send(atm::Vci vci, const MbufChain& chain);
 
@@ -51,6 +56,7 @@ class HobbitInterface : public atm::CellSink {
  private:
   atm::AtmAddress addr_;
   std::size_t mbuf_bytes_;
+  obs::Observability* obs_ = nullptr;
   atm::CellLink* uplink_ = nullptr;
   atm::Aal5Segmenter seg_;
   atm::Aal5Reassembler reasm_;

@@ -11,6 +11,13 @@ IpOverAtm::IpOverAtm(Kernel& k, atm::Vci send_vci, atm::Vci recv_vci,
   // network interface's receive interrupt.
   k_.orc().set_vci_handler(recv_vci_, [this](atm::Vci, const MbufChain& chain) {
     ++in_;
+    obs::Observability& o = k_.simulator().obs();
+    o.metrics().counter("ipatm." + k_.name() + ".decap").inc();
+    if (XOBS_TRACING(&o)) {
+      obs::TraceIds ids;
+      ids.vci = recv_vci_;
+      o.instant("kern", "ipatm.decap", k_.name(), std::move(ids));
+    }
     k_.ip_node().frame_arrival(chain.linearize());
   });
 }
@@ -18,6 +25,13 @@ IpOverAtm::IpOverAtm(Kernel& k, atm::Vci send_vci, atm::Vci recv_vci,
 void IpOverAtm::transmit(const ip::IpNode& from, util::Buffer wire) {
   (void)from;
   ++out_;
+  obs::Observability& o = k_.simulator().obs();
+  o.metrics().counter("ipatm." + k_.name() + ".encap").inc();
+  if (XOBS_TRACING(&o)) {
+    obs::TraceIds ids;
+    ids.vci = send_vci_;
+    o.instant("kern", "ipatm.encap", k_.name(), std::move(ids));
+  }
   (void)k_.orc().output(send_vci_,
                         MbufChain::from_bytes(wire, k_.config().mbuf_bytes));
 }

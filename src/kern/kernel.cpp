@@ -19,12 +19,18 @@ Kernel::Kernel(sim::Simulator& sim, std::string name, Role role,
       atm_addr_(std::move(atm_addr)),
       cfg_(cfg),
       anand_(cfg.anand_buffers) {
+  obs_ = &sim_.obs();
+  obs::MetricsRegistry& mx = obs_->metrics();
+  m_x_tx_ = &mx.counter("kern." + name_ + ".xunet.tx");
+  m_x_rx_ = &mx.counter("kern." + name_ + ".xunet.rx");
+  m_x_dropped_ = &mx.counter("kern." + name_ + ".xunet.dropped");
   ip_ = std::make_unique<ip::IpNode>(sim_, name_, ip_addr);
   tcp::TcpConfig tcp_cfg;
   tcp_cfg.msl = cfg_.tcp_msl;
   tcp_ = std::make_unique<tcp::TcpLayer>(*ip_, tcp_cfg);
   udp_ = std::make_unique<ip::UdpLayer>(*ip_);
   orc_ = std::make_unique<OrcDriver>(instr_);
+  orc_->bind_obs(obs_, name_);
   proto_atm_ = std::make_unique<ProtoAtm>(
       *ip_, instr_,
       role_ == Role::router ? ProtoAtm::Role::router : ProtoAtm::Role::host,
@@ -55,6 +61,7 @@ util::Result<void> Kernel::attach_atm(atm::AtmNetwork& net, atm::AtmSwitch& sw,
   if (role_ != Role::router) return Errc::invalid_argument;
   if (hobbit_) return Errc::duplicate;
   hobbit_ = std::make_unique<HobbitInterface>(atm_addr_, cfg_.mbuf_bytes);
+  hobbit_->bind_obs(obs_);
   auto uplink = net.attach_endpoint(atm_addr_, *hobbit_, sw, rate_bps,
                                     propagation);
   if (!uplink) {
@@ -231,6 +238,12 @@ void Kernel::cleanup_descriptor(Proc& p, int fd, bool process_dying) {
       anand_holder_ = -1;
       anand_.set_readable_handler({});
       free_fd(p, fd);
+      if (XOBS_TRACING(obs_)) {
+        obs::TraceIds ids;
+        ids.fd = fd;
+        ids.pid = p.pid;
+        obs_->instant("kern", "anand.close", name_, std::move(ids));
+      }
       break;
     }
     case Descriptor::Kind::proto_atm_raw: {
@@ -537,6 +550,16 @@ util::Result<void> Kernel::xunet_output(Pid pid, int fd,
   }
   // Table 1 send row: PF_XUNET and Orc "simply call the next layer down
   // without touching the data or the header, thus incurring zero cost".
+  m_x_tx_->inc();
+  if (XOBS_TRACING(obs_)) {
+    // The span is the user→kernel crossing of the send syscall.
+    obs::TraceIds ids;
+    ids.vci = xs.vci;
+    ids.fd = fd;
+    ids.pid = pid;
+    obs_->complete(cfg_.data_syscall, "kern", "xunet.send", name_,
+                   std::move(ids));
+  }
   sim_.schedule(cfg_.data_syscall, [this, vci = xs.vci, chain] {
     (void)orc_->output(vci, chain);
   });
@@ -596,21 +619,35 @@ void Kernel::pf_xunet_input(atm::Vci vci, const MbufChain& chain) {
   auto it = xsock_by_vci_.find(vci);
   if (it == xsock_by_vci_.end()) {
     ++x_dropped_;
+    m_x_dropped_->inc();
     return;
   }
   XunetSock& xs = xsocks_.at(it->second);
   if (xs.state != SocketState::bound) {
     ++x_dropped_;
+    m_x_dropped_->inc();
     return;
   }
   if (!xs.on_receive) {
     // sbappend: the process has not read yet; queue in the socket buffer.
     if (xs.rx_queue.size() >= kXunetSocketBufferFrames) {
       ++x_dropped_;  // socket buffer overflow, as a datagram socket would
+      m_x_dropped_->inc();
       return;
     }
     xs.rx_queue.push_back(chain.linearize());
+    m_x_rx_->inc();
     return;
+  }
+  m_x_rx_->inc();
+  if (XOBS_TRACING(obs_)) {
+    // The span is the kernel→user crossing delivering the frame.
+    obs::TraceIds ids;
+    ids.vci = vci;
+    ids.fd = xs.fd;
+    ids.pid = xs.owner;
+    obs_->complete(cfg_.data_syscall, "kern", "xunet.recv", name_,
+                   std::move(ids));
   }
   sim_.schedule(cfg_.data_syscall, [this, owner = xs.owner,
                                     fn = xs.on_receive,
@@ -664,13 +701,27 @@ util::Result<int> Kernel::open_anand(Pid pid) {
   auto fd = alloc_fd(*p, Descriptor{Descriptor::Kind::anand, next_handle_++});
   if (!fd) return fd.error();
   anand_holder_ = pid;
+  if (XOBS_TRACING(obs_)) {
+    obs::TraceIds ids;
+    ids.fd = *fd;
+    ids.pid = pid;
+    obs_->instant("kern", "anand.open", name_, std::move(ids));
+  }
   return *fd;
 }
 
 util::Result<AnandUpMsg> Kernel::anand_read(Pid pid, int fd) {
   auto d = descriptor(pid, fd, Descriptor::Kind::anand);
   if (!d) return d.error();
-  return anand_.read();
+  auto r = anand_.read();
+  if (r && XOBS_TRACING(obs_)) {
+    obs::TraceIds ids;
+    ids.vci = r->vci;
+    ids.fd = fd;
+    ids.pid = pid;
+    obs_->instant("kern", "anand.read", name_, std::move(ids));
+  }
+  return r;
 }
 
 util::Result<void> Kernel::anand_set_readable(Pid pid, int fd,
@@ -690,6 +741,13 @@ util::Result<void> Kernel::anand_write(Pid pid, int fd,
                                        const AnandDownMsg& msg) {
   auto d = descriptor(pid, fd, Descriptor::Kind::anand);
   if (!d) return d.error();
+  if (XOBS_TRACING(obs_)) {
+    obs::TraceIds ids;
+    ids.vci = msg.vci;
+    ids.fd = fd;
+    ids.pid = pid;
+    obs_->instant("kern", "anand.write", name_, std::move(ids));
+  }
   // User→kernel crossing, then the device write routine runs.
   sim_.schedule(cfg_.context_switch, [this, msg] { anand_.write(msg); });
   return {};

@@ -226,6 +226,12 @@ class Kernel {
   std::uint64_t next_handle_ = 1;
   Pid anand_holder_ = -1;
   std::uint64_t x_dropped_ = 0;
+
+  // Observability: context + cached per-kernel metric handles.
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* m_x_tx_ = nullptr;       ///< PF_XUNET frames sent
+  obs::Counter* m_x_rx_ = nullptr;       ///< PF_XUNET frames delivered
+  obs::Counter* m_x_dropped_ = nullptr;  ///< PF_XUNET frames dropped
 };
 
 }  // namespace xunet::kern

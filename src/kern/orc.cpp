@@ -15,6 +15,14 @@ void OrcDriver::set_discard(atm::Vci vci, bool discard) {
 util::Result<void> OrcDriver::output(atm::Vci vci, const MbufChain& chain) {
   if (!output_) return Errc::not_connected;
   ++frames_out_;
+  if (m_tx_ != nullptr) m_tx_->inc();
+  if (XOBS_TRACING(obs_)) {
+    // Zero duration: Table 1's send row charges the driver nothing.
+    obs::TraceIds ids;
+    ids.vci = vci;
+    obs_->complete(sim::SimDuration{}, "orc", "orc.tx", track_,
+                   std::move(ids));
+  }
   return output_(vci, chain);
 }
 
@@ -24,6 +32,13 @@ void OrcDriver::input(atm::Vci vci, const MbufChain& chain) {
     return;
   }
   ++frames_in_;
+  if (m_rx_ != nullptr) m_rx_->inc();
+  if (XOBS_TRACING(obs_)) {
+    obs::TraceIds ids;
+    ids.vci = vci;
+    obs_->complete(sim::SimDuration{}, "orc", "orc.rx", track_,
+                   std::move(ids));
+  }
   // Table 1: device driver receive cost is the handler dispatch.
   instr_.charge(InstrComponent::orc_driver, InstrDir::receive, kOrcRecvDispatch);
   if (auto it = handlers_.find(vci); it != handlers_.end()) {

@@ -16,6 +16,7 @@
 #include "atm/types.hpp"
 #include "kern/instr.hpp"
 #include "kern/mbuf.hpp"
+#include "obs/obs.hpp"
 #include "util/result.hpp"
 
 namespace xunet::kern {
@@ -29,6 +30,16 @@ class OrcDriver {
   using Handler = std::function<void(atm::Vci, const MbufChain&)>;
 
   explicit OrcDriver(InstrCounter& instr) : instr_(instr) {}
+
+  /// Wire the observability context (the driver has no Simulator reference;
+  /// the Observability carries its own clock view).  `track` is the owning
+  /// kernel's name.
+  void bind_obs(obs::Observability* o, const std::string& track) {
+    obs_ = o;
+    track_ = track;
+    m_tx_ = &o->metrics().counter("orc." + track + ".frames_out");
+    m_rx_ = &o->metrics().counter("orc." + track + ".frames_in");
+  }
 
   /// Downward target: Hobbit::send on a router, IPPROTO_ATM encapsulation
   /// on a host.
@@ -64,6 +75,10 @@ class OrcDriver {
 
  private:
   InstrCounter& instr_;
+  obs::Observability* obs_ = nullptr;
+  std::string track_;
+  obs::Counter* m_tx_ = nullptr;
+  obs::Counter* m_rx_ = nullptr;
   FrameFn output_;
   Handler default_handler_;
   std::unordered_map<atm::Vci, Handler> handlers_;

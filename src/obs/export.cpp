@@ -1,0 +1,330 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace xunet::obs {
+
+using util::Errc;
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Nanosecond tick rendered as microseconds with exactly three decimals,
+/// via integer math only ("12345.678").
+std::string us_fixed(std::int64_t ns) {
+  std::int64_t us = ns / 1000;
+  std::int64_t frac = ns % 1000;
+  if (frac < 0) {  // negative durations never happen, but stay total
+    frac = -frac;
+    if (us == 0) return "-0." + std::to_string(frac);
+  }
+  std::string f = std::to_string(frac);
+  return std::to_string(us) + "." + std::string(3 - f.size(), '0') + f;
+}
+
+/// Counter values are doubles in the event record but every producer stores
+/// integral levels; render without a fractional part when exact.
+std::string value_str(double v) {
+  auto i = static_cast<std::int64_t>(v);
+  if (static_cast<double>(i) == v) return std::to_string(i);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+void append_ids(std::string& out, const TraceIds& ids) {
+  if (!ids.call_id.empty()) out += ",\"call\":\"" + json_escape(ids.call_id) + "\"";
+  if (ids.vci >= 0) out += ",\"vci\":" + std::to_string(ids.vci);
+  if (ids.fd >= 0) out += ",\"fd\":" + std::to_string(ids.fd);
+  if (ids.pid >= 0) out += ",\"proc\":" + std::to_string(ids.pid);
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const TraceBuffer& buf) {
+  // Tracks become Chrome processes, components become threads.  Ids are
+  // assigned in first-appearance order, which is deterministic because the
+  // event stream is.
+  std::map<std::string, int> track_pid;
+  std::map<std::pair<std::string, std::string>, int> thread_tid;
+  std::vector<std::string> meta;
+  auto pid_of = [&](const std::string& track) {
+    auto it = track_pid.find(track);
+    if (it != track_pid.end()) return it->second;
+    int pid = static_cast<int>(track_pid.size()) + 1;
+    track_pid.emplace(track, pid);
+    meta.push_back("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+                   ",\"name\":\"process_name\",\"args\":{\"name\":\"" +
+                   json_escape(track) + "\"}}");
+    return pid;
+  };
+  auto tid_of = [&](const std::string& track, const char* component) {
+    int pid = pid_of(track);
+    auto key = std::make_pair(track, std::string(component));
+    auto it = thread_tid.find(key);
+    if (it != thread_tid.end()) return std::make_pair(pid, it->second);
+    int tid = static_cast<int>(thread_tid.size()) + 1;
+    thread_tid.emplace(std::move(key), tid);
+    meta.push_back("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+                   ",\"tid\":" + std::to_string(tid) +
+                   ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+                   json_escape(component) + "\"}}");
+    return std::make_pair(pid, tid);
+  };
+
+  std::vector<std::string> lines;
+  lines.reserve(buf.events().size());
+  for (const TraceEvent& e : buf.events()) {
+    auto [pid, tid] = tid_of(e.track, e.component);
+    std::string line = "{\"ph\":\"" + std::string(to_string(e.phase)) +
+                       "\",\"pid\":" + std::to_string(pid) +
+                       ",\"tid\":" + std::to_string(tid) +
+                       ",\"ts\":" + us_fixed(e.ts.ns()) + ",\"name\":\"" +
+                       json_escape(e.name) + "\",\"cat\":\"" +
+                       json_escape(e.component) + "\"";
+    if (e.phase == Phase::complete) line += ",\"dur\":" + us_fixed(e.dur.ns());
+    if (e.phase == Phase::instant) line += ",\"s\":\"t\"";
+    line += ",\"args\":{";
+    if (e.phase == Phase::counter) {
+      line += "\"value\":" + value_str(e.value);
+    } else {
+      std::string ids;
+      append_ids(ids, e.ids);
+      if (!ids.empty()) ids.erase(0, 1);  // drop the leading comma
+      line += ids;
+    }
+    line += "}}";
+    lines.push_back(std::move(line));
+  }
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const std::string& m : meta) {
+    out += (first ? "" : ",\n") + m;
+    first = false;
+  }
+  for (const std::string& l : lines) {
+    out += (first ? "" : ",\n") + l;
+    first = false;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string to_jsonl(const TraceBuffer& buf, const MetricsRegistry& metrics) {
+  std::string out = "{\"schema\":\"" + std::string(kJsonlSchema) +
+                    "\",\"events\":" + std::to_string(buf.size()) +
+                    ",\"dropped\":" + std::to_string(buf.dropped()) + "}\n";
+  for (const TraceEvent& e : buf.events()) {
+    out += "{\"ph\":\"" + std::string(to_string(e.phase)) +
+           "\",\"ts_ns\":" + std::to_string(e.ts.ns()) + ",\"comp\":\"" +
+           json_escape(e.component) + "\",\"name\":\"" + json_escape(e.name) +
+           "\",\"track\":\"" + json_escape(e.track) + "\"";
+    if (e.span != kInvalidSpan) out += ",\"span\":" + std::to_string(e.span);
+    if (e.phase == Phase::complete)
+      out += ",\"dur_ns\":" + std::to_string(e.dur.ns());
+    if (e.phase == Phase::counter) out += ",\"value\":" + value_str(e.value);
+    append_ids(out, e.ids);
+    out += "}\n";
+  }
+  for (const auto& [name, c] : metrics.counters()) {
+    out += "{\"metric\":\"" + json_escape(name) +
+           "\",\"type\":\"counter\",\"value\":" + std::to_string(c.value()) +
+           "}\n";
+  }
+  for (const auto& [name, g] : metrics.gauges()) {
+    out += "{\"metric\":\"" + json_escape(name) +
+           "\",\"type\":\"gauge\",\"value\":" + std::to_string(g.value()) +
+           "}\n";
+  }
+  for (const auto& [name, h] : metrics.histograms()) {
+    const util::Summary& s = h.summary();
+    out += "{\"metric\":\"" + json_escape(name) +
+           "\",\"type\":\"histogram\",\"count\":" + std::to_string(s.count());
+    if (s.count() > 0) {
+      // Samples are simulated-time derived, so fixed-point µs keeps this
+      // deterministic: store as integer nanoseconds when callers observe ns.
+      out += ",\"mean\":" + value_str(s.mean()) + ",\"max\":" + value_str(s.max());
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- JSON validator
+
+namespace {
+
+/// Minimal strict JSON reader used to validate exporter output shape.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view t) : t_(t) {}
+
+  bool value() {
+    ws();
+    if (pos_ >= t_.size()) return false;
+    switch (t_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool at_end() {
+    ws();
+    return pos_ == t_.size();
+  }
+
+ private:
+  void ws() {
+    while (pos_ < t_.size() && (t_[pos_] == ' ' || t_[pos_] == '\t' ||
+                                t_[pos_] == '\n' || t_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    ws();
+    if (pos_ < t_.size() && t_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (t_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  bool string() {
+    if (!consume('"')) return false;
+    while (pos_ < t_.size()) {
+      char c = t_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= t_.size()) return false;
+        char e = t_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= t_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(t_[pos_]))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+  bool number() {
+    std::size_t start = pos_;
+    if (pos_ < t_.size() && t_[pos_] == '-') ++pos_;
+    while (pos_ < t_.size() && std::isdigit(static_cast<unsigned char>(t_[pos_]))) ++pos_;
+    if (pos_ < t_.size() && t_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < t_.size() && std::isdigit(static_cast<unsigned char>(t_[pos_]))) ++pos_;
+    }
+    if (pos_ < t_.size() && (t_[pos_] == 'e' || t_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < t_.size() && (t_[pos_] == '+' || t_[pos_] == '-')) ++pos_;
+      while (pos_ < t_.size() && std::isdigit(static_cast<unsigned char>(t_[pos_]))) ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(t_[pos_ - 1]));
+  }
+  bool object() {
+    if (!consume('{')) return false;
+    if (consume('}')) return true;
+    do {
+      ws();
+      if (!string()) return false;
+      if (!consume(':')) return false;
+      if (!value()) return false;
+    } while (consume(','));
+    return consume('}');
+  }
+  bool array() {
+    if (!consume('[')) return false;
+    if (consume(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (consume(','));
+    return consume(']');
+  }
+
+  std::string_view t_;
+  std::size_t pos_ = 0;
+};
+
+bool has_key(std::string_view line, std::string_view key) {
+  return line.find("\"" + std::string(key) + "\":") != std::string_view::npos;
+}
+
+}  // namespace
+
+util::Result<void> validate_json(std::string_view text) {
+  JsonCursor c(text);
+  if (!c.value() || !c.at_end()) return Errc::protocol_error;
+  return {};
+}
+
+util::Result<void> validate_jsonl(std::string_view text) {
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (!validate_json(line).ok()) return Errc::protocol_error;
+    if (line_no == 0) {
+      if (!has_key(line, "schema")) return Errc::protocol_error;
+    } else if (has_key(line, "metric")) {
+      if (!has_key(line, "type")) return Errc::protocol_error;
+    } else {
+      // Trace event: phase, timestamp, component, name, track are required.
+      for (std::string_view k : {"ph", "ts_ns", "comp", "name", "track"}) {
+        if (!has_key(line, k)) return Errc::protocol_error;
+      }
+    }
+    ++line_no;
+  }
+  if (line_no == 0) return Errc::protocol_error;
+  return {};
+}
+
+}  // namespace xunet::obs

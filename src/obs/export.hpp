@@ -1,0 +1,46 @@
+// export.hpp — trace/metric serialization.
+//
+// Two wire formats plus a validator:
+//
+//  * Chrome trace_event JSON ("{"traceEvents":[...]}") — loadable in
+//    chrome://tracing or https://ui.perfetto.dev.  Tracks map to Chrome
+//    "processes" (one per machine/entity) and components to "threads", so
+//    the timeline shows e.g. mh.rt > sighost / kern / orc as stacked rows.
+//  * JSONL — one self-describing JSON object per line: a schema header,
+//    every trace event, then every metric.  This is the regression-artifact
+//    format: identical runs must produce byte-identical JSONL.
+//
+// All numbers are rendered with integer math (timestamps as "µs.nnn" from
+// the nanosecond tick), so output is deterministic across libc/compilers.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/result.hpp"
+
+namespace xunet::obs {
+
+/// Version tag carried in the JSONL schema header.
+inline constexpr std::string_view kJsonlSchema = "xunet.obs.v1";
+
+/// Chrome trace_event rendering of the buffer.
+[[nodiscard]] std::string to_chrome_trace(const TraceBuffer& buf);
+
+/// JSONL rendering: schema header, trace events, metrics.
+[[nodiscard]] std::string to_jsonl(const TraceBuffer& buf,
+                                   const MetricsRegistry& metrics);
+
+/// Escape a string for embedding in JSON (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Strict structural check of a JSON document (objects, arrays, strings,
+/// numbers, true/false/null).  protocol_error on malformed input.
+[[nodiscard]] util::Result<void> validate_json(std::string_view text);
+
+/// Validate a JSONL export: every line is a JSON object, the first line is
+/// the schema header, and every event line carries the required keys.
+[[nodiscard]] util::Result<void> validate_jsonl(std::string_view text);
+
+}  // namespace xunet::obs

@@ -1,0 +1,58 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace xunet::obs {
+
+namespace {
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+}  // namespace
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::int64_t MetricsRegistry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second.value();
+}
+
+const util::Summary* MetricsRegistry::histogram_summary(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second.summary();
+}
+
+std::string MetricsRegistry::render_text() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += name + " " + std::to_string(c.value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += name + " " + std::to_string(g.value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const util::Summary& s = h.summary();
+    out += name + " count=" + std::to_string(s.count());
+    if (s.count() > 0) {
+      out += " mean=" + fmt_double(s.mean()) + " p50=" +
+             fmt_double(s.percentile(50)) + " p99=" +
+             fmt_double(s.percentile(99)) + " max=" + fmt_double(s.max());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace xunet::obs

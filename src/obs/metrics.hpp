@@ -1,0 +1,82 @@
+// metrics.hpp — the unified metrics registry.
+//
+// One registry per Simulation unifies what used to live in scattered
+// util::Counters: monotonic counters, set-to-value gauges (the sighost's
+// five list lengths), and histograms built on util::Summary (latency
+// distributions).  Names are hierarchical dotted paths such as
+// "sighost.mh.rt.setup.latency_us" or "orc.berkeley.rt.tx.frames"; the
+// convention is <component>.<instance>.<what>[.<unit>].
+//
+// counter()/gauge()/histogram() return stable references (the maps are
+// node-based), so hot paths resolve a metric once and increment through the
+// cached handle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace xunet::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) noexcept { v_ += by; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Instantaneous level (list length, queue depth, reserved bandwidth).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_ = v; }
+  void add(std::int64_t d) noexcept { v_ += d; }
+  [[nodiscard]] std::int64_t value() const noexcept { return v_; }
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+/// Sample distribution; answers mean/percentile questions via util::Summary.
+class Histogram {
+ public:
+  void observe(double v) { s_.add(v); }
+  [[nodiscard]] const util::Summary& summary() const noexcept { return s_; }
+
+ private:
+  util::Summary s_;
+};
+
+/// The registry.  Lookup creates on first use; iteration is in name order,
+/// so any rendering of the registry is deterministic.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name) { return counters_[name]; }
+  [[nodiscard]] Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  [[nodiscard]] Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// Read-only lookups for report code: 0 / empty when never touched.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  [[nodiscard]] std::int64_t gauge_value(const std::string& name) const;
+  [[nodiscard]] const util::Summary* histogram_summary(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept { return counters_; }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept { return gauges_; }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const noexcept { return histograms_; }
+
+  /// "name value" lines sorted by name; histograms render count/mean/p50/p99.
+  [[nodiscard]] std::string render_text() const;
+
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace xunet::obs

@@ -1,0 +1,177 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+
+namespace xunet::obs {
+
+namespace {
+
+std::string ms_fixed(sim::SimDuration d) {
+  // Integer-exact milliseconds with three decimals (µs resolution).
+  std::int64_t us = d.ns() / 1000;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(us / 1000),
+                static_cast<long long>(us % 1000 < 0 ? -(us % 1000) : us % 1000));
+  return buf;
+}
+
+std::string pct(sim::SimDuration part, sim::SimDuration total) {
+  if (total.ns() <= 0) return "  0.0%";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%5.1f%%",
+                100.0 * static_cast<double>(part.ns()) /
+                    static_cast<double>(total.ns()));
+  return buf;
+}
+
+std::string pad(std::string_view s, std::size_t width) {
+  std::string out(s);
+  if (out.size() < width) out += std::string(width - out.size(), ' ');
+  return out;
+}
+
+}  // namespace
+
+std::vector<CallBreakdown> per_call_breakdown(const TraceBuffer& buf) {
+  // Pair up begin/end events per span id.  The begin event holds the ids
+  // (annotate_call patches it in place after REQ_ID arrives).
+  struct SpanRec {
+    const TraceEvent* begin = nullptr;
+    sim::SimTime end_ts{};
+    bool ended = false;
+  };
+  std::unordered_map<SpanId, SpanRec> spans;
+  for (const TraceEvent& e : buf.events()) {
+    if (e.phase == Phase::span_begin) {
+      spans[e.span].begin = &e;
+    } else if (e.phase == Phase::span_end) {
+      SpanRec& r = spans[e.span];
+      r.end_ts = e.ts;
+      r.ended = true;
+    }
+  }
+
+  std::vector<CallBreakdown> calls;
+  std::map<std::string, std::size_t> by_id;
+  auto call_of = [&](const std::string& id) -> CallBreakdown& {
+    auto it = by_id.find(id);
+    if (it == by_id.end()) {
+      it = by_id.emplace(id, calls.size()).first;
+      calls.push_back(CallBreakdown{});
+      calls.back().call_id = id;
+    }
+    return calls[it->second];
+  };
+
+  // Pass 1: each call's setup window is its client-side "call.open" span.
+  // Component spans outside that window belong to a different phase of the
+  // call's life (teardown also writes a maintenance record under the same
+  // key) and must not count against setup.
+  struct Window {
+    sim::SimTime begin{};
+    sim::SimTime end{};
+  };
+  std::map<std::string, Window> windows;
+  for (const auto& [id, r] : spans) {
+    (void)id;
+    if (r.begin == nullptr || !r.ended || r.begin->ids.call_id.empty()) continue;
+    if (std::string_view(r.begin->component) != "stub" ||
+        r.begin->name != "call.open") {
+      continue;
+    }
+    call_of(r.begin->ids.call_id).total += r.end_ts - r.begin->ts;
+    windows.emplace(r.begin->ids.call_id, Window{r.begin->ts, r.end_ts});
+  }
+
+  // Pass 2: attribute component durations.  The sighost "call.setup" span is
+  // that entity's view of the whole setup — it overlaps every other
+  // component, so it is not itself a part of the decomposition.
+  auto account = [&](const TraceEvent& e, sim::SimTime start,
+                     sim::SimDuration dur) {
+    if (e.ids.call_id.empty()) return;
+    std::string_view comp = e.component;
+    if (comp == "stub" || (comp == "sighost" && e.name == "call.setup")) return;
+    if (auto w = windows.find(e.ids.call_id); w != windows.end()) {
+      if (start < w->second.begin || start > w->second.end) return;
+    }
+    CallBreakdown& c = call_of(e.ids.call_id);
+    if (comp == "sighost" && e.name == "maint.log") {
+      c.maint_log += dur;
+    } else if (comp == "atm" &&
+               (e.name == "vc.setup" || e.name == "vc.setup_denied")) {
+      c.vc_install += dur;
+    } else if (comp == "sighost") {
+      c.sighost_proc += dur;
+    }
+  };
+
+  for (const TraceEvent& e : buf.events()) {
+    if (e.phase == Phase::complete) account(e, e.ts, e.dur);
+  }
+  for (const auto& [id, r] : spans) {
+    (void)id;
+    if (r.begin != nullptr && r.ended) {
+      account(*r.begin, r.begin->ts, r.end_ts - r.begin->ts);
+    }
+  }
+
+  // The remainder line only makes sense when an end-to-end setup span was
+  // observed; for calls without one (e.g. teardown-only maintenance) the
+  // total degrades to the sum of the parts.
+  for (CallBreakdown& c : calls) {
+    sim::SimDuration parts = c.maint_log + c.vc_install + c.sighost_proc;
+    if (c.total < parts) c.total = parts;
+    c.stub_rpc = c.total - parts;
+  }
+  return calls;
+}
+
+std::string breakdown_report(const TraceBuffer& buf) {
+  std::vector<CallBreakdown> calls = per_call_breakdown(buf);
+  std::string out =
+      "== per-call setup latency breakdown (paper §9 decomposition) ==\n";
+  if (calls.empty()) {
+    out += "(no calls traced)\n";
+    return out;
+  }
+  std::size_t dominated = 0;
+  double pct_sum = 0.0;
+  for (const CallBreakdown& c : calls) {
+    out += "call " + c.call_id + ": total " + ms_fixed(c.total) + " ms\n";
+    struct Row {
+      std::string_view label;
+      sim::SimDuration d;
+      bool dominant_mark;
+    } rows[] = {
+        {"maintenance logging (sighost)", c.maint_log, c.logging_dominant()},
+        {"kernel VC install (atm)", c.vc_install, false},
+        {"sighost processing", c.sighost_proc, false},
+        {"stub RPC + transit (remainder)", c.stub_rpc, false},
+    };
+    for (const Row& r : rows) {
+      out += "  " + pad(r.label, 34) + pad(ms_fixed(r.d) + " ms", 14) +
+             pct(r.d, c.total);
+      if (r.dominant_mark && r.d.ns() > 0) out += "   <- dominant";
+      out += "\n";
+    }
+    if (c.logging_dominant()) ++dominated;
+    if (c.total.ns() > 0) {
+      pct_sum += 100.0 * static_cast<double>(c.maint_log.ns()) /
+                 static_cast<double>(c.total.ns());
+    }
+  }
+  char buf2[160];
+  std::snprintf(buf2, sizeof buf2,
+                "aggregate: %zu/%zu calls dominated by maintenance logging "
+                "(mean %.1f%% of setup time)\n",
+                dominated, calls.size(),
+                pct_sum / static_cast<double>(calls.size()));
+  out += buf2;
+  return out;
+}
+
+}  // namespace xunet::obs

@@ -1,0 +1,130 @@
+#include "obs/trace.hpp"
+
+namespace xunet::obs {
+
+std::string_view to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::span_begin: return "B";
+    case Phase::span_end: return "E";
+    case Phase::complete: return "X";
+    case Phase::instant: return "i";
+    case Phase::counter: return "C";
+  }
+  return "?";
+}
+
+bool TraceBuffer::push(TraceEvent e) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  events_.push_back(std::move(e));
+  return true;
+}
+
+SpanId TraceBuffer::begin(sim::SimTime ts, const char* component,
+                          std::string name, std::string track, TraceIds ids) {
+  if (!enabled_) return kInvalidSpan;
+  SpanId id = next_span_++;
+  TraceEvent e;
+  e.phase = Phase::span_begin;
+  e.ts = ts;
+  e.span = id;
+  e.component = component;
+  e.name = std::move(name);
+  e.track = std::move(track);
+  e.ids = std::move(ids);
+  if (!push(std::move(e))) return kInvalidSpan;
+  open_.emplace(id, events_.size() - 1);
+  Depth& d = depth_[events_.back().track];
+  if (++d.current > d.max) d.max = d.current;
+  return id;
+}
+
+void TraceBuffer::end(sim::SimTime ts, SpanId span) {
+  if (!enabled_ || span == kInvalidSpan) return;
+  auto it = open_.find(span);
+  if (it == open_.end()) return;
+  const TraceEvent& b = events_[it->second];
+  TraceEvent e;
+  e.phase = Phase::span_end;
+  e.ts = ts;
+  e.span = span;
+  e.component = b.component;
+  e.name = b.name;
+  e.track = b.track;
+  e.ids = b.ids;
+  std::string track = b.track;
+  open_.erase(it);
+  (void)push(std::move(e));
+  auto dit = depth_.find(track);
+  if (dit != depth_.end() && dit->second.current > 0) --dit->second.current;
+}
+
+void TraceBuffer::annotate_call(SpanId span, const std::string& call_id) {
+  if (span == kInvalidSpan) return;
+  auto it = open_.find(span);
+  if (it == open_.end()) return;
+  events_[it->second].ids.call_id = call_id;
+}
+
+void TraceBuffer::complete(sim::SimTime ts, sim::SimDuration dur,
+                           const char* component, std::string name,
+                           std::string track, TraceIds ids) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.phase = Phase::complete;
+  e.ts = ts;
+  e.dur = dur;
+  e.component = component;
+  e.name = std::move(name);
+  e.track = std::move(track);
+  e.ids = std::move(ids);
+  (void)push(std::move(e));
+}
+
+void TraceBuffer::instant(sim::SimTime ts, const char* component,
+                          std::string name, std::string track, TraceIds ids) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.phase = Phase::instant;
+  e.ts = ts;
+  e.component = component;
+  e.name = std::move(name);
+  e.track = std::move(track);
+  e.ids = std::move(ids);
+  (void)push(std::move(e));
+}
+
+void TraceBuffer::counter(sim::SimTime ts, const char* component,
+                          std::string name, std::string track, double value) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.phase = Phase::counter;
+  e.ts = ts;
+  e.component = component;
+  e.name = std::move(name);
+  e.track = std::move(track);
+  e.value = value;
+  (void)push(std::move(e));
+}
+
+std::size_t TraceBuffer::max_depth(const std::string& track) const {
+  auto it = depth_.find(track);
+  return it == depth_.end() ? 0 : it->second.max;
+}
+
+std::size_t TraceBuffer::open_spans(const std::string& track) const {
+  auto it = depth_.find(track);
+  return it == depth_.end() ? 0 : it->second.current;
+}
+
+void TraceBuffer::clear() {
+  events_.clear();
+  open_.clear();
+  depth_.clear();
+  dropped_ = 0;
+  next_span_ = 1;
+}
+
+}  // namespace xunet::obs

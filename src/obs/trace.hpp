@@ -1,0 +1,124 @@
+// trace.hpp — structured, sim-time-stamped trace events.
+//
+// The observability half of the paper's measurements: Table 1, the §9
+// latency decomposition and the Figure 2-4 message-sequence charts are all
+// *timelines*, so the substrate records one.  A TraceBuffer holds span and
+// instant events stamped with SimTime and tagged with the stable identifiers
+// of this system (call key, VCI, fd, pid).  Because every timestamp is
+// simulated time, two identically-seeded runs produce byte-identical traces
+// — the trace itself is a regression artifact.
+//
+// Recording is designed to cost one predictable branch when tracing is off;
+// components check `enabled()` (or use the XOBS_* macros in obs.hpp) before
+// building any strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace xunet::obs {
+
+/// Identifies a live span between begin()/end().
+using SpanId = std::uint64_t;
+inline constexpr SpanId kInvalidSpan = 0;
+
+/// Event phases, mirroring the Chrome trace_event vocabulary.
+enum class Phase : std::uint8_t {
+  span_begin,  ///< "B": a span opens on (track, component)
+  span_end,    ///< "E": the matching close
+  complete,    ///< "X": a span whose duration was known at record time
+  instant,     ///< "i": a point event
+  counter,     ///< "C": a sampled value (list lengths, queue depths)
+};
+[[nodiscard]] std::string_view to_string(Phase p) noexcept;
+
+/// The stable identifiers a component can attach to an event.  All fields
+/// are optional; -1 / empty mean "not applicable".
+struct TraceIds {
+  std::string call_id;    ///< end-to-end call key, "origin#req_id"
+  std::int64_t vci = -1;  ///< ATM virtual circuit identifier
+  std::int64_t fd = -1;   ///< descriptor within the owning process
+  std::int64_t pid = -1;  ///< process id within the machine's kernel
+};
+
+/// One recorded event.
+struct TraceEvent {
+  Phase phase = Phase::instant;
+  sim::SimTime ts{};        ///< simulated timestamp
+  sim::SimDuration dur{};   ///< complete spans only
+  SpanId span = kInvalidSpan;  ///< begin/end pairing
+  const char* component = "";  ///< category: "stub", "sighost", "kern", ...
+  std::string name;            ///< e.g. "call.setup", "maint.log"
+  std::string track;           ///< timeline row: machine or entity name
+  TraceIds ids;
+  double value = 0.0;  ///< counter phase only
+};
+
+/// The per-simulation event buffer.  Disabled (and free) by default.
+class TraceBuffer {
+ public:
+  /// Turn recording on or off.  Events recorded so far are kept.
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Bound the buffer; events past the cap are counted, not stored, so a
+  /// runaway bench cannot eat the heap.  The drop count is exported.
+  void set_capacity(std::size_t max_events) noexcept { capacity_ = max_events; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Open a span on (track, component).  Returns the id end() needs.
+  SpanId begin(sim::SimTime ts, const char* component, std::string name,
+               std::string track, TraceIds ids = {});
+  /// Close a span.  Unknown/expired ids are ignored (the begin may have
+  /// been dropped at capacity).
+  void end(sim::SimTime ts, SpanId span);
+  /// Attach the end-to-end call id to an already-open span (the id is often
+  /// only learned mid-span, e.g. when REQ_ID arrives).
+  void annotate_call(SpanId span, const std::string& call_id);
+
+  /// A span whose duration is known at record time.
+  void complete(sim::SimTime ts, sim::SimDuration dur, const char* component,
+                std::string name, std::string track, TraceIds ids = {});
+  /// A point event.
+  void instant(sim::SimTime ts, const char* component, std::string name,
+               std::string track, TraceIds ids = {});
+  /// A sampled value (rendered as a counter graph in Chrome tracing).
+  void counter(sim::SimTime ts, const char* component, std::string name,
+               std::string track, double value);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Deepest begin/end nesting reached on `track` so far (tests use this to
+  /// assert span nesting is well formed).
+  [[nodiscard]] std::size_t max_depth(const std::string& track) const;
+  /// Spans currently open on `track`.
+  [[nodiscard]] std::size_t open_spans(const std::string& track) const;
+
+  void clear();
+
+ private:
+  bool push(TraceEvent e);
+
+  bool enabled_ = false;
+  std::size_t capacity_ = 1 << 20;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+  SpanId next_span_ = 1;
+  /// Open-span index: span id -> position of its begin event.
+  std::unordered_map<SpanId, std::size_t> open_;
+  struct Depth {
+    std::size_t current = 0;
+    std::size_t max = 0;
+  };
+  std::unordered_map<std::string, Depth> depth_;
+};
+
+}  // namespace xunet::obs

@@ -57,6 +57,13 @@ void AnandServerStub::drain_device() {
 void AnandServerStub::relay_up(const kern::AnandUpMsg& msg,
                                ip::IpAddress origin) {
   if (sighost_fd_ < 0) return;  // sighost not attached yet: indication lost
+  obs::Observability& o = k_.simulator().obs();
+  if (XOBS_TRACING(&o)) {
+    obs::TraceIds ids;
+    ids.vci = msg.vci;
+    ids.pid = pid_;
+    o.instant("stub", "anand.relay_up", k_.name(), std::move(ids));
+  }
   StubMsg m;
   m.type = StubMsg::Type::up_indication;
   m.up_type = msg.type;
@@ -98,6 +105,13 @@ void AnandServerStub::handle_conn_msg(Conn& c, const StubMsg& m) {
 }
 
 void AnandServerStub::handle_down(const StubMsg& m) {
+  obs::Observability& o = k_.simulator().obs();
+  if (XOBS_TRACING(&o)) {
+    obs::TraceIds ids;
+    ids.vci = m.vci;
+    ids.pid = pid_;
+    o.instant("stub", "anand.relay_down", k_.name(), std::move(ids));
+  }
   // Stop forwarding first: "the server then writes a VCI_SHUT message ...
   // so that no more data is forwarded to the remote host on that VCI."
   if (auto it = vci_host_.find(m.vci); it != vci_host_.end()) {
@@ -179,11 +193,17 @@ util::Result<void> AnandClientStub::start() {
 
 void AnandClientStub::drain_device() {
   if (server_fd_ < 0) return;
+  obs::Observability& o = k_.simulator().obs();
   for (;;) {
     auto msg = k_.anand_read(pid_, anand_fd_);
     if (!msg) return;
+    if (XOBS_TRACING(&o)) {
+      obs::TraceIds ids;
+      ids.vci = msg->vci;
+      ids.pid = pid_;
+      o.instant("stub", "anand.relay_up", k_.name(), std::move(ids));
+    }
     StubMsg m;
-    m.type = StubMsg::Type::up_indication;
     m.up_type = msg->type;
     m.vci = msg->vci;
     m.cookie = msg->cookie;

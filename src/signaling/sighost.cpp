@@ -8,7 +8,21 @@ using util::Errc;
 
 Sighost::Sighost(kern::Kernel& router, atm::AtmNetwork& net,
                  SighostConfig cfg)
-    : k_(router), net_(net), cfg_(cfg), cookies_(cfg.cookie_seed) {}
+    : k_(router), net_(net), cfg_(cfg), cookies_(cfg.cookie_seed),
+      obs_(&router.simulator().obs()), track_(router.atm_address().name) {
+  obs::MetricsRegistry& mx = obs_->metrics();
+  m_maint_records_ = &mx.counter("sighost." + track_ + ".maint.records");
+  m_maint_records_all_ = &mx.counter("sighost.maint.records");
+  m_established_ = &mx.counter("sighost." + track_ + ".calls.established");
+  m_torn_down_ = &mx.counter("sighost." + track_ + ".calls.torn_down");
+  m_setup_us_ = &mx.histogram("sighost." + track_ + ".setup.latency_us");
+  static constexpr const char* kLists[5] = {
+      "service_list", "outgoing_requests", "incoming_requests",
+      "wait_for_bind", "vci_mapping"};
+  for (int i = 0; i < 5; ++i) {
+    m_lists_[i] = &mx.gauge("sighost." + track_ + ".list." + kLists[i]);
+  }
+}
 
 Sighost::~Sighost() = default;
 
@@ -63,7 +77,7 @@ util::Result<void> Sighost::add_peer(const atm::AtmAddress& peer,
 
 // ---------------------------------------------------------------- plumbing
 
-void Sighost::maintenance_log(const std::string& what,
+void Sighost::maintenance_log(const std::string& what, const std::string& call,
                               std::function<void()> then) {
   if (!cfg_.maintenance_logging) {
     k_.simulator().schedule(sim::SimDuration{}, std::move(then));
@@ -74,11 +88,53 @@ void Sighost::maintenance_log(const std::string& what,
   // process, so logging work SERIALIZES: concurrent calls queue behind one
   // another (this pacing is what let the paper's 80-buffer pseudo-device
   // keep up with the 100-call burst).
+  m_maint_records_->inc();
+  m_maint_records_all_->inc();
   k_.simulator().logger().info("sighost@" + k_.atm_address().name, what);
   sim::SimTime now = k_.simulator().now();
   if (busy_until_ < now) busy_until_ = now;
+  if (XOBS_TRACING(obs_)) {
+    // The span covers when the write actually occupies the (serialized)
+    // sighost process, which may start after queued predecessors finish.
+    obs::TraceIds ids;
+    ids.call_id = call;
+    obs_->trace().complete(busy_until_, cfg_.per_call_log_cost, "sighost",
+                           "maint.log", track_, std::move(ids));
+  }
   busy_until_ = busy_until_ + cfg_.per_call_log_cost;
   k_.simulator().schedule_at(busy_until_, std::move(then));
+}
+
+void Sighost::fsm(const char* what, const std::string& call, std::int64_t vci,
+                  std::int64_t fd) {
+  if (!XOBS_TRACING(obs_)) return;
+  obs::TraceIds ids;
+  ids.call_id = call;
+  ids.vci = vci;
+  ids.fd = fd;
+  obs_->instant("sighost", what, track_, std::move(ids));
+}
+
+void Sighost::record_lists() {
+  const std::size_t sizes[5] = {services_.size(), outgoing_.size(),
+                                incoming_.size(), wait_bind_.size(),
+                                vci_map_.size()};
+  static constexpr const char* kNames[5] = {
+      "lists.service_list", "lists.outgoing_requests",
+      "lists.incoming_requests", "lists.wait_for_bind", "lists.vci_mapping"};
+  for (int i = 0; i < 5; ++i) {
+    m_lists_[i]->set(static_cast<std::int64_t>(sizes[i]));
+    XOBS_COUNTER(obs_, "sighost", kNames[i], track_,
+                 static_cast<double>(sizes[i]));
+  }
+}
+
+void Sighost::end_setup_trace(ReqId id) {
+  auto it = setup_trace_.find(id);
+  if (it == setup_trace_.end()) return;
+  m_setup_us_->observe((k_.simulator().now() - it->second.begin).us());
+  XOBS_END(obs_, it->second.span);
+  setup_trace_.erase(it);
 }
 
 void Sighost::send_app(int fd, const Msg& m) {
@@ -177,6 +233,7 @@ void Sighost::handle_export_srv(int fd, const Msg& m) {
   svc.notify_port = m.port;
   services_[m.service] = svc;
   ++stats_.services_registered;
+  record_lists();
   // Registration writes only a one-line record, not the heavyweight
   // per-call maintenance information: §9 measures 17–20 ms for this RPC and
   // attributes essentially all of it to the four context switches.
@@ -194,6 +251,7 @@ void Sighost::handle_withdraw_srv(int fd, const Msg& m) {
   auto it = services_.find(m.service);
   if (it != services_.end() && it->second.server_ip == k_.tcp_peer(pid_, fd)) {
     services_.erase(it);
+    record_lists();
     k_.simulator().logger().info("sighost@" + k_.atm_address().name,
                                  "WITHDRAW_SRV " + m.service);
   }
@@ -206,6 +264,18 @@ void Sighost::handle_withdraw_srv(int fd, const Msg& m) {
 void Sighost::handle_connect_req(int fd, const Msg& m) {
   ReqId id = next_req_++;
   Cookie cookie = cookies_.mint();
+  const std::string key = call_key(k_.atm_address().name, id);
+  // Originator-side end-to-end setup: CONNECT_REQ in → VCI_FOR_CONN out.
+  SetupTrace st;
+  st.begin = k_.simulator().now();
+  if (XOBS_TRACING(obs_)) {
+    obs::TraceIds ids;
+    ids.call_id = key;
+    ids.fd = fd;
+    st.span = obs_->begin("sighost", "call.setup", track_, std::move(ids));
+  }
+  setup_trace_.emplace(id, st);
+  fsm("fsm.connect_req", key, -1, fd);
   Outgoing out;
   out.id = id;
   out.client_fd = fd;
@@ -235,9 +305,13 @@ void Sighost::handle_connect_req(int fd, const Msg& m) {
   reply.type = MsgType::req_id;
   reply.req_id = id;
   reply.cookie = cookie;
+  // The originating sighost's name rides along so the client stub can form
+  // the end-to-end call key ("origin#req_id") for its own trace spans.
+  reply.dst = k_.atm_address().name;
   send_app(fd, reply);
+  record_lists();
 
-  maintenance_log("CONNECT_REQ " + m.dst + ":" + m.service,
+  maintenance_log("CONNECT_REQ " + m.dst + ":" + m.service, key,
                   [this, id, dst = m.dst, service = m.service, qos = m.qos,
                    comment = m.comment] {
                     auto oit = outgoing_.find(id);
@@ -309,9 +383,10 @@ void Sighost::handle_reject_conn(int fd, const Msg& m) {
 // ------------------------------------------------------------- peer flows
 
 void Sighost::handle_peer_setup(const std::string& origin, const Msg& m) {
+  fsm("fsm.peer_setup", call_key(origin, m.req_id));
   maintenance_log(
       "PEER_SETUP " + origin + "#" + std::to_string(m.req_id) + " " + m.service,
-      [this, origin, m] {
+      call_key(origin, m.req_id), [this, origin, m] {
         auto sit = services_.find(m.service);
         if (sit == services_.end()) {
           ++stats_.rejects_sent;
@@ -423,6 +498,7 @@ void Sighost::handle_peer_setup(const std::string& origin, const Msg& m) {
           incoming_.erase(iit);
         });
         incoming_.emplace(key, std::move(inc));
+        record_lists();
       });
 }
 
@@ -495,6 +571,9 @@ void Sighost::establish_vc(ReqId req_id, const std::string& qos_granted) {
         vci_map_.emplace(vci, e);
         load_wait_for_bind(vci, out.client_cookie);
         ++stats_.calls_established;
+        m_established_->inc();
+        fsm("fsm.established", e.call_key, vci);
+        record_lists();
 
         Msg est;
         est.type = MsgType::peer_established;
@@ -502,7 +581,8 @@ void Sighost::establish_vc(ReqId req_id, const std::string& qos_granted) {
         est.vci = r->dst_vci;
         est.qos = qos_granted;
         send_peer(dst, est);
-      });
+      },
+      call_key(k_.atm_address().name, req_id));
 }
 
 void Sighost::handle_peer_reject(const std::string& origin, const Msg& m) {
@@ -540,6 +620,9 @@ void Sighost::handle_peer_established(const std::string& origin, const Msg& m) {
   vci_map_.emplace(vci, e);
   load_wait_for_bind(vci, inc.server_cookie);
   ++stats_.calls_established;
+  m_established_->inc();
+  fsm("fsm.established", key, vci);
+  record_lists();
 
   Msg vmsg;
   vmsg.type = MsgType::vci_for_conn;
@@ -565,6 +648,10 @@ void Sighost::handle_peer_bound(const std::string& origin, const Msg& m) {
     vmsg.qos = e.qos;
     send_app(e.pending_client_fd, vmsg);
     e.pending_client_fd = -1;
+    fsm("fsm.peer_bound", key, vci);
+    // The callee is bound and the client has its VCI: setup is complete
+    // from the originating sighost's point of view.
+    end_setup_trace(e.req_id);
     return;
   }
 }
@@ -685,6 +772,9 @@ void Sighost::fail_outgoing(ReqId id, Errc reason) {
   Outgoing out = std::move(oit->second);
   outgoing_.erase(oit);
   cookies_.discard(out.client_cookie);
+  fsm("fsm.conn_failed", call_key(k_.atm_address().name, id));
+  end_setup_trace(id);
+  record_lists();
   if (auto ac = app_conns_.find(out.client_fd); ac != app_conns_.end()) {
     ac->second.reqs.erase(id);
     Msg fail;
@@ -737,6 +827,11 @@ void Sighost::teardown_vci(atm::Vci vci, bool notify_peer) {
   wait_bind_.erase(vci);
   cookies_.release_vci(vci);
   ++stats_.calls_torn_down;
+  m_torn_down_->inc();
+  fsm("fsm.teardown", e.call_key, vci);
+  // A call that dies before the client ever saw its VCI still closes the
+  // originator-side setup span (through the failure path below).
+  if (e.originator) end_setup_trace(e.req_id);
 
   if (e.pending_client_fd >= 0 && app_conns_.contains(e.pending_client_fd)) {
     // The call died before the client ever saw its VCI.
@@ -765,7 +860,8 @@ void Sighost::teardown_vci(atm::Vci vci, bool notify_peer) {
     down.machine = e.endpoint_ip;
     (void)k_.tcp_send(pid_, anand_fd_, serialize(down));
   }
-  maintenance_log("TEARDOWN vci=" + std::to_string(vci), [] {});
+  maintenance_log("TEARDOWN vci=" + std::to_string(vci), e.call_key, [] {});
+  record_lists();
 }
 
 }  // namespace xunet::sig

@@ -16,6 +16,7 @@
 
 #include "atm/network.hpp"
 #include "kern/kernel.hpp"
+#include "obs/obs.hpp"
 #include "signaling/cookie.hpp"
 #include "signaling/messages.hpp"
 #include "signaling/stub_proto.hpp"
@@ -171,7 +172,20 @@ class Sighost {
   void send_peer(const std::string& peer, const Msg& m);
   void on_peer_msg(const std::string& peer, const Msg& m);
   void on_stub_msg(const StubMsg& m);
-  void maintenance_log(const std::string& what, std::function<void()> then);
+  /// Charge the §9 per-call maintenance-information write.  `call` is the
+  /// end-to-end call key the record belongs to; it tags the trace span and
+  /// the MetricsRegistry counters the logging-cost bench reads.
+  void maintenance_log(const std::string& what, const std::string& call,
+                       std::function<void()> then);
+
+  // ---- observability ----
+  /// FSM-transition instant event (call key + optional VCI/fd identifiers).
+  void fsm(const char* what, const std::string& call, std::int64_t vci = -1,
+           std::int64_t fd = -1);
+  /// Refresh the five-list gauges (and, when tracing, counter events).
+  void record_lists();
+  /// Close the originator-side call-setup span and record its latency.
+  void end_setup_trace(ReqId id);
 
   // ---- application-side handlers ----
   void handle_export_srv(int fd, const Msg& m);
@@ -228,6 +242,21 @@ class Sighost {
   ReqId next_req_ = 1;
   sim::SimTime busy_until_{};  ///< end of the queued maintenance-log work
   SighostStats stats_;
+
+  // Observability: context + cached metric handles (resolved once).
+  obs::Observability* obs_ = nullptr;
+  std::string track_;  ///< timeline row: this router's ATM name
+  obs::Counter* m_maint_records_ = nullptr;      ///< per-instance
+  obs::Counter* m_maint_records_all_ = nullptr;  ///< fleet-wide
+  obs::Counter* m_established_ = nullptr;
+  obs::Counter* m_torn_down_ = nullptr;
+  obs::Histogram* m_setup_us_ = nullptr;
+  obs::Gauge* m_lists_[5] = {};  ///< the five lists, in paper order
+  struct SetupTrace {
+    obs::SpanId span = obs::kInvalidSpan;
+    sim::SimTime begin{};
+  };
+  std::map<ReqId, SetupTrace> setup_trace_;  ///< originator-side open calls
 };
 
 }  // namespace xunet::sig

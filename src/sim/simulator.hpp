@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/time.hpp"
 #include "util/logging.hpp"
 
@@ -22,7 +23,7 @@ using EventId = std::uint64_t;
 /// Discrete-event simulator: event queue + clock + per-simulation logger.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() { obs_.bind_clock(&now_); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -57,6 +58,11 @@ class Simulator {
   /// The per-simulation logger shared by every component.
   [[nodiscard]] util::Logger& logger() noexcept { return logger_; }
 
+  /// The per-simulation observability context (trace buffer + metrics),
+  /// clock-bound to this simulator.  Tracing is off by default.
+  [[nodiscard]] obs::Observability& obs() noexcept { return obs_; }
+  [[nodiscard]] const obs::Observability& obs() const noexcept { return obs_; }
+
  private:
   struct Entry {
     SimTime when;
@@ -79,6 +85,7 @@ class Simulator {
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
   util::Logger logger_;
+  obs::Observability obs_;
 };
 
 }  // namespace xunet::sim

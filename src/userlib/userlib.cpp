@@ -8,7 +8,8 @@ using util::Errc;
 
 UserLib::UserLib(kern::Kernel& k, kern::Pid pid, ip::IpAddress sighost_ip,
                  std::uint16_t sighost_port)
-    : k_(k), pid_(pid), sighost_ip_(sighost_ip), sighost_port_(sighost_port) {}
+    : k_(k), pid_(pid), sighost_ip_(sighost_ip), sighost_port_(sighost_port),
+      obs_(&k.simulator().obs()) {}
 
 // ------------------------------------------------------ signaling channel
 
@@ -45,10 +46,16 @@ void UserLib::ensure_channel(std::function<void(util::Result<void>)> then) {
           auto opens = std::move(opens_);
           opens_.clear();
           open_by_cookie_.clear();
-          for (auto& [id, po] : opens) po.on_done(Errc::connection_reset);
+          for (auto& [id, po] : opens) {
+            XOBS_END(obs_, po.span);
+            po.on_done(Errc::connection_reset);
+          }
           auto waiting = std::move(awaiting_req_id_);
           awaiting_req_id_.clear();
-          for (auto& po : waiting) po.on_done(Errc::connection_reset);
+          for (auto& po : waiting) {
+            XOBS_END(obs_, po.span);
+            po.on_done(Errc::connection_reset);
+          }
           auto regs = std::move(pending_registrations_);
           pending_registrations_.clear();
           for (auto& cb : regs) cb(Errc::connection_reset);
@@ -91,6 +98,12 @@ void UserLib::on_channel_msg(const Msg& m) {
         PendingOpen po = std::move(awaiting_req_id_.front());
         awaiting_req_id_.pop_front();
         po.cookie = m.cookie;
+        // REQ_ID carries the originating sighost's name in `dst`: now the
+        // end-to-end call key exists, patch it onto the open span.
+        if (XOBS_TRACING(obs_) && po.span != obs::kInvalidSpan) {
+          obs_->trace().annotate_call(po.span,
+                                      m.dst + "#" + std::to_string(m.req_id));
+        }
         open_by_cookie_[m.cookie] = m.req_id;
         opens_.emplace(m.req_id, std::move(po));
       }
@@ -102,6 +115,7 @@ void UserLib::on_channel_msg(const Msg& m) {
       PendingOpen po = std::move(it->second);
       opens_.erase(it);
       open_by_cookie_.erase(po.cookie);
+      XOBS_END(obs_, po.span);
       OpenResult r;
       r.vci = m.vci;
       r.cookie = m.cookie;
@@ -115,6 +129,7 @@ void UserLib::on_channel_msg(const Msg& m) {
       PendingOpen po = std::move(it->second);
       opens_.erase(it);
       open_by_cookie_.erase(po.cookie);
+      XOBS_END(obs_, po.span);
       po.on_done(static_cast<Errc>(m.error == 0
                                        ? static_cast<std::uint8_t>(Errc::rejected)
                                        : m.error));
@@ -147,6 +162,7 @@ void UserLib::export_service(const std::string& name,
       (void)k_.tcp_on_close(pid_, fd, [this, fd](util::Errc) {
         auto it = percall_.find(fd);
         if (it != percall_.end()) {
+          XOBS_END(obs_, it->second.span);
           if (it->second.accept_cb) {
             it->second.accept_cb(Errc::connection_reset);
           }
@@ -215,6 +231,8 @@ void UserLib::on_percall_msg(int fd, const Msg& m) {
       break;
     }
     case MsgType::vci_for_conn: {
+      XOBS_END(obs_, it->second.span);
+      it->second.span = obs::kInvalidSpan;
       if (it->second.accept_cb) {
         auto cb = std::move(it->second.accept_cb);
         it->second.accept_cb = {};
@@ -228,6 +246,8 @@ void UserLib::on_percall_msg(int fd, const Msg& m) {
       break;
     }
     case MsgType::conn_failed: {
+      XOBS_END(obs_, it->second.span);
+      it->second.span = obs::kInvalidSpan;
       if (it->second.accept_cb) {
         auto cb = std::move(it->second.accept_cb);
         it->second.accept_cb = {};
@@ -271,6 +291,12 @@ void UserLib::accept_connection(const IncomingRequest& req,
     return;
   }
   it->second.accept_cb = std::move(on_done);
+  // Server-observed establishment: accept sent → VCI (or failure) back.
+  obs::TraceIds ids;
+  ids.fd = req.conn_fd;
+  ids.pid = pid_;
+  it->second.span =
+      XOBS_BEGIN(obs_, "stub", "call.accept", k_.name(), std::move(ids));
   Msg m;
   m.type = MsgType::accept_conn;
   m.cookie = req.cookie;
@@ -294,9 +320,18 @@ void UserLib::open_connection(const std::string& dst,
                               const std::string& comment,
                               const std::string& qos, OpenFn on_done,
                               CookieFn on_req_id) {
-  ensure_channel([this, dst, service, comment, qos, on_done = std::move(on_done),
+  // The client-observed end-to-end open: open_connection called → VCI (or
+  // failure) delivered.  The call key is unknown until REQ_ID arrives; the
+  // span is annotated with it then.
+  obs::TraceIds span_ids;
+  span_ids.pid = pid_;
+  obs::SpanId span =
+      XOBS_BEGIN(obs_, "stub", "call.open", k_.name(), std::move(span_ids));
+  ensure_channel([this, dst, service, comment, qos, span,
+                  on_done = std::move(on_done),
                   on_req_id = std::move(on_req_id)](util::Result<void> r) mutable {
     if (!r) {
+      XOBS_END(obs_, span);
       on_done(r.error());
       return;
     }
@@ -304,6 +339,7 @@ void UserLib::open_connection(const std::string& dst,
     // FIFO of not-yet-identified requests correlates CONNECT_REQ to REQ_ID.
     PendingOpen po;
     po.on_done = std::move(on_done);
+    po.span = span;
     awaiting_req_id_.push_back(std::move(po));
     // Deliver the cookie as soon as REQ_ID assigns it (possibly empty; the
     // queue must stay aligned with the CONNECT_REQ order).

@@ -102,6 +102,7 @@ class UserLib {
   struct PendingOpen {
     OpenFn on_done;
     sig::Cookie cookie = 0;
+    obs::SpanId span = obs::kInvalidSpan;  ///< "call.open" stub span
   };
   struct PerCall {  // a per-call conn from sighost (server side)
     int fd = -1;
@@ -111,6 +112,7 @@ class UserLib {
     std::shared_ptr<sig::MsgFramer> framer;
     bool have_request = false;
     OpenFn accept_cb;  ///< set once the app accepts
+    obs::SpanId span = obs::kInvalidSpan;  ///< "call.accept" stub span
   };
 
   void ensure_channel(std::function<void(util::Result<void>)> then);
@@ -123,6 +125,7 @@ class UserLib {
   kern::Pid pid_;
   ip::IpAddress sighost_ip_;
   std::uint16_t sighost_port_;
+  obs::Observability* obs_ = nullptr;
 
   // Persistent signaling channel.
   int chan_fd_ = -1;

@@ -1,0 +1,304 @@
+// obs_test.cpp — the observability subsystem: trace buffer, metrics
+// registry, exporters, the §9 breakdown report, and the determinism
+// guarantee (two identically-seeded runs produce byte-identical traces).
+#include <gtest/gtest.h>
+
+#include "core/apps.hpp"
+#include "core/testbed.hpp"
+#include "obs/export.hpp"
+#include "obs/report.hpp"
+#include "util/logging.hpp"
+
+namespace xunet {
+namespace {
+
+using core::CallClient;
+using core::CallServer;
+using core::Testbed;
+
+// ---------------------------------------------------------------- TraceBuffer
+
+TEST(TraceBuffer, SpanNestingTracksDepthPerTrack) {
+  obs::TraceBuffer buf;
+  buf.set_enabled(true);
+  obs::SpanId outer = buf.begin(sim::SimTime{}, "sighost", "call.setup", "mh.rt");
+  obs::SpanId inner =
+      buf.begin(sim::SimTime{} + sim::milliseconds(1), "sighost", "maint.log", "mh.rt");
+  EXPECT_EQ(buf.open_spans("mh.rt"), 2u);
+  EXPECT_EQ(buf.max_depth("mh.rt"), 2u);
+  buf.end(sim::SimTime{} + sim::milliseconds(2), inner);
+  buf.end(sim::SimTime{} + sim::milliseconds(3), outer);
+  EXPECT_EQ(buf.open_spans("mh.rt"), 0u);
+  EXPECT_EQ(buf.max_depth("mh.rt"), 2u);  // high-water mark survives
+  EXPECT_EQ(buf.max_depth("berkeley.rt"), 0u);
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(TraceBuffer, EndIgnoresInvalidAndUnknownSpans) {
+  obs::TraceBuffer buf;
+  buf.set_enabled(true);
+  buf.end(sim::SimTime{}, obs::kInvalidSpan);
+  buf.end(sim::SimTime{}, 12345);  // never begun
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(TraceBuffer, DisabledBufferRecordsNothing) {
+  obs::TraceBuffer buf;
+  EXPECT_FALSE(buf.enabled());
+  buf.instant(sim::SimTime{}, "kern", "xunet.send", "mh.rt");
+  EXPECT_EQ(buf.begin(sim::SimTime{}, "stub", "call.open", "mh.rt"),
+            obs::kInvalidSpan);
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(TraceBuffer, CapacityBoundsTheBufferAndCountsDrops) {
+  obs::TraceBuffer buf;
+  buf.set_enabled(true);
+  buf.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    buf.instant(sim::SimTime{} + sim::microseconds(i), "kern", "tick", "mh.rt");
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.dropped(), 6u);
+}
+
+TEST(TraceBuffer, AnnotateCallPatchesTheBeginEvent) {
+  obs::TraceBuffer buf;
+  buf.set_enabled(true);
+  obs::SpanId s = buf.begin(sim::SimTime{}, "stub", "call.open", "mh.rt");
+  buf.annotate_call(s, "mh.rt#7");
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.events()[0].ids.call_id, "mh.rt#7");
+  buf.annotate_call(obs::kInvalidSpan, "nope");  // must not crash
+}
+
+// ------------------------------------------------------------------- Metrics
+
+TEST(Metrics, CounterGaugeHistogramRoundTrip) {
+  obs::MetricsRegistry mx;
+  obs::Counter& c = mx.counter("kern.mh.rt.xunet.tx");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(mx.counter_value("kern.mh.rt.xunet.tx"), 5u);
+  EXPECT_EQ(mx.counter_value("never.touched"), 0u);
+
+  obs::Gauge& g = mx.gauge("sighost.mh.rt.list.incoming");
+  g.set(3);
+  g.add(-1);
+  EXPECT_EQ(mx.gauge_value("sighost.mh.rt.list.incoming"), 2);
+
+  obs::Histogram& h = mx.histogram("sighost.mh.rt.setup.latency_us");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  const util::Summary* s = mx.histogram_summary("sighost.mh.rt.setup.latency_us");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count(), 100u);
+  EXPECT_DOUBLE_EQ(s->mean(), 50.5);
+  EXPECT_NEAR(s->percentile(50.0), 50.5, 0.6);
+  EXPECT_NEAR(s->percentile(99.0), 99.0, 1.1);
+  EXPECT_EQ(mx.histogram_summary("never.touched"), nullptr);
+}
+
+TEST(Metrics, ReferencesAreStableAcrossLaterRegistrations) {
+  obs::MetricsRegistry mx;
+  obs::Counter& first = mx.counter("a.first");
+  for (int i = 0; i < 100; ++i) {
+    (void)mx.counter("b.filler." + std::to_string(i));
+  }
+  first.inc();
+  EXPECT_EQ(mx.counter_value("a.first"), 1u);
+  EXPECT_EQ(&first, &mx.counter("a.first"));
+}
+
+TEST(Metrics, RenderTextIsDeterministicallyOrderedAndCoversAllKinds) {
+  obs::MetricsRegistry mx;
+  mx.counter("count.z").inc(2);
+  mx.counter("count.a").inc(1);
+  mx.gauge("level.m").set(-4);
+  mx.histogram("lat.a").observe(1.0);
+  std::string text = mx.render_text();
+  std::size_t ca = text.find("count.a");
+  std::size_t cz = text.find("count.z");
+  ASSERT_NE(ca, std::string::npos);
+  ASSERT_NE(cz, std::string::npos);
+  EXPECT_LT(ca, cz);  // name-sorted within a kind
+  EXPECT_NE(text.find("level.m -4"), std::string::npos);
+  EXPECT_NE(text.find("lat.a count=1"), std::string::npos);
+  EXPECT_EQ(text, mx.render_text());  // rendering is a pure function
+}
+
+// ------------------------------------------------------------------ Exporters
+
+obs::TraceBuffer small_trace() {
+  obs::TraceBuffer buf;
+  buf.set_enabled(true);
+  obs::TraceIds ids;
+  ids.call_id = "mh.rt#1";
+  ids.vci = 64;
+  obs::SpanId s = buf.begin(sim::SimTime{}, "stub", "call.open", "mh.rt", ids);
+  buf.complete(sim::SimTime{} + sim::microseconds(10), sim::microseconds(5),
+               "atm", "vc.setup", "net", ids);
+  buf.instant(sim::SimTime{} + sim::microseconds(12), "kern",
+              "quote\"and\\slash", "mh.rt");
+  buf.counter(sim::SimTime{} + sim::microseconds(13), "sighost",
+              "lists.incoming", "mh.rt", 2.0);
+  buf.end(sim::SimTime{} + sim::microseconds(20), s);
+  return buf;
+}
+
+TEST(Export, ChromeTraceIsValidJsonWithExpectedShape) {
+  obs::TraceBuffer buf = small_trace();
+  std::string json = obs::to_chrome_trace(buf);
+  ASSERT_TRUE(obs::validate_json(json).ok()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // Escaping: the raw quote/backslash must not survive unescaped.
+  EXPECT_NE(json.find("quote\\\"and\\\\slash"), std::string::npos);
+}
+
+TEST(Export, JsonlValidatesAndLeadsWithSchemaHeader) {
+  obs::TraceBuffer buf = small_trace();
+  obs::MetricsRegistry mx;
+  mx.counter("sighost.maint.records").inc(2);
+  std::string jsonl = obs::to_jsonl(buf, mx);
+  ASSERT_TRUE(obs::validate_jsonl(jsonl).ok()) << jsonl;
+  std::string first = jsonl.substr(0, jsonl.find('\n'));
+  EXPECT_NE(first.find(obs::kJsonlSchema), std::string::npos);
+  EXPECT_NE(jsonl.find("sighost.maint.records"), std::string::npos);
+}
+
+TEST(Export, ValidatorRejectsMalformedJson) {
+  EXPECT_FALSE(obs::validate_json("{\"a\":1").ok());
+  EXPECT_FALSE(obs::validate_json("{\"a\":}").ok());
+  EXPECT_FALSE(obs::validate_json("[1,2,]").ok());
+  EXPECT_TRUE(obs::validate_json("{\"a\":[1,2],\"b\":\"x\"}").ok());
+}
+
+// -------------------------------------------------------------------- Logger
+//
+// Regression: emitted() must count suppressed-by-no-sink records too — the
+// §9 bench counts maintenance records through it before any sink exists.
+
+TEST(Logger, EmittedCountsRecordsEvenWithNoSinks) {
+  util::Logger log;  // no sinks registered
+  log.set_threshold(util::LogLevel::info);
+  log.info("sighost@mh.rt", "maintenance record");
+  log.warn("sighost@mh.rt", "another");
+  EXPECT_EQ(log.emitted(), 2u);
+  log.debug("sighost@mh.rt", "below threshold");
+  EXPECT_EQ(log.emitted(), 2u);  // threshold still filters
+}
+
+// ------------------------------------------------- end-to-end traced scenario
+
+struct TracedRun {
+  std::string jsonl;
+  std::string chrome;
+  std::string report;
+  std::vector<obs::CallBreakdown> calls;
+  std::set<std::string> components;
+  std::uint64_t maint_records = 0;
+};
+
+TracedRun traced_canonical_run() {
+  TracedRun out;
+  auto tb = Testbed::canonical();
+  tb->sim().obs().set_tracing(true);
+  EXPECT_TRUE(tb->bring_up().ok());
+
+  kern::Kernel& server_host = *tb->router(1).kernel;
+  kern::Kernel& client_host = *tb->router(0).kernel;
+  CallServer server(server_host, server_host.ip_node().address(), "traced",
+                    4990);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+
+  CallClient client(client_host, client_host.ip_node().address());
+  int opened = 0;
+  client.open("berkeley.rt", "traced", "",
+              [&](util::Result<CallClient::Call> r) {
+                EXPECT_TRUE(r.ok());
+                ++opened;
+              });
+  tb->sim().run_for(sim::seconds(5));
+  EXPECT_EQ(opened, 1);
+
+  const obs::Observability& o = tb->sim().obs();
+  out.jsonl = obs::to_jsonl(o.trace(), o.metrics());
+  out.chrome = obs::to_chrome_trace(o.trace());
+  out.report = obs::breakdown_report(o.trace());
+  out.calls = obs::per_call_breakdown(o.trace());
+  for (const obs::TraceEvent& e : o.trace().events()) {
+    out.components.insert(e.component);
+  }
+  out.maint_records = o.metrics().counter_value("sighost.maint.records");
+  return out;
+}
+
+TEST(TracedRun, CoversAllFiveComponentsEndToEnd) {
+  TracedRun run = traced_canonical_run();
+  for (const char* comp : {"stub", "sighost", "kern", "orc", "atm"}) {
+    EXPECT_TRUE(run.components.count(comp)) << "missing component: " << comp;
+  }
+  EXPECT_GE(run.maint_records, 2u);  // both sighosts log per call
+  ASSERT_TRUE(obs::validate_jsonl(run.jsonl).ok());
+  ASSERT_TRUE(obs::validate_json(run.chrome).ok());
+}
+
+TEST(TracedRun, BreakdownAttributesSetupTimeWithLoggingDominant) {
+  TracedRun run = traced_canonical_run();
+  ASSERT_FALSE(run.calls.empty());
+  const obs::CallBreakdown& c = run.calls.front();
+  EXPECT_FALSE(c.call_id.empty());
+  EXPECT_GT(c.total.ns(), 0);
+  // The decomposition is exact: parts sum back to the observed total.
+  EXPECT_EQ((c.maint_log + c.vc_install + c.sighost_proc + c.stub_rpc).ns(),
+            c.total.ns());
+  // §9: "the large amount of maintenance information logged per call" is
+  // the dominant cost — two sighosts at 128 ms each out of ~330 ms.
+  EXPECT_TRUE(c.logging_dominant());
+  EXPECT_GT(c.maint_log.ns(), c.total.ns() / 2);
+  EXPECT_NE(run.report.find("<- dominant"), std::string::npos);
+}
+
+TEST(TracedRun, SighostGaugesAndHistogramArePopulated) {
+  auto tb = Testbed::canonical();
+  tb->sim().obs().set_tracing(true);
+  ASSERT_TRUE(tb->bring_up().ok());
+  kern::Kernel& r1 = *tb->router(1).kernel;
+  CallServer server(r1, r1.ip_node().address(), "gauged", 4991);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+
+  const obs::Observability& o = tb->sim().obs();
+  EXPECT_EQ(o.metrics().gauge_value("sighost.berkeley.rt.list.service_list"), 1);
+
+  kern::Kernel& r0 = *tb->router(0).kernel;
+  CallClient client(r0, r0.ip_node().address());
+  client.open("berkeley.rt", "gauged", "",
+              [](util::Result<CallClient::Call>) {});
+  tb->sim().run_for(sim::seconds(5));
+  EXPECT_EQ(o.metrics().counter_value("sighost.mh.rt.calls.established"), 1u);
+  const util::Summary* lat =
+      o.metrics().histogram_summary("sighost.mh.rt.setup.latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), 1u);
+  EXPECT_GT(lat->mean(), 0.0);
+  // The datapath counters moved through the registry too.
+  EXPECT_GT(o.metrics().counter_value("kern.mh.rt.xunet.tx"), 0u);
+  EXPECT_GT(o.metrics().counter_value("atm.net.setups_attempted"), 0u);
+}
+
+TEST(TracedRun, IdenticallySeededRunsProduceByteIdenticalExports) {
+  TracedRun a = traced_canonical_run();
+  TracedRun b = traced_canonical_run();
+  ASSERT_FALSE(a.jsonl.empty());
+  EXPECT_EQ(a.jsonl, b.jsonl);    // byte-identical regression artifact
+  EXPECT_EQ(a.chrome, b.chrome);  // and the Chrome rendering with it
+  EXPECT_EQ(a.report, b.report);
+}
+
+}  // namespace
+}  // namespace xunet
