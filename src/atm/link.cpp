@@ -20,6 +20,13 @@ void CellLink::send(const Cell& cell) {
     ++cells_dropped_;
     return;
   }
+  Cell delivered = cell;
+  if (corrupt_prob_ > 0.0 && rng_ != nullptr && rng_->chance(corrupt_prob_)) {
+    // One flipped payload bit; AAL5's CRC-32 catches it at reassembly.
+    const std::size_t byte = rng_->below(kCellPayload);
+    delivered.payload[byte] ^= static_cast<std::uint8_t>(1u << rng_->below(8));
+    ++cells_corrupted_;
+  }
   // Serialization: the cell starts when the transmitter frees up, takes one
   // cell-time on the wire, then propagates.
   const sim::SimTime start = std::max(line_free_at_, sim_.now());
@@ -27,7 +34,7 @@ void CellLink::send(const Cell& cell) {
   line_free_at_ = tx_done;
   ++cells_sent_;
   sim_.schedule_at(tx_done + propagation_,
-                   [this, cell] { sink_.cell_arrival(cell); });
+                   [this, delivered] { sink_.cell_arrival(delivered); });
 }
 
 }  // namespace xunet::atm

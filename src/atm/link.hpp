@@ -49,10 +49,19 @@ class CellLink {
   void set_down(bool down) noexcept { down_ = down; }
   [[nodiscard]] bool is_down() const noexcept { return down_; }
 
+  /// Flip one payload bit in each cell independently with probability `p`
+  /// (rng must outlive the link).  The AAL5 CRC-32 at the reassembling
+  /// endpoint detects the damage and discards the whole frame.
+  void set_corrupt(double p, util::Rng* rng) noexcept {
+    corrupt_prob_ = p;
+    rng_ = rng;
+  }
+
   [[nodiscard]] std::uint64_t rate_bps() const noexcept { return rate_bps_; }
   [[nodiscard]] sim::SimDuration propagation() const noexcept { return propagation_; }
   [[nodiscard]] std::uint64_t cells_sent() const noexcept { return cells_sent_; }
   [[nodiscard]] std::uint64_t cells_dropped() const noexcept { return cells_dropped_; }
+  [[nodiscard]] std::uint64_t cells_corrupted() const noexcept { return cells_corrupted_; }
 
   /// Serialization time of one cell at this link's rate.
   [[nodiscard]] sim::SimDuration cell_time() const noexcept {
@@ -68,9 +77,11 @@ class CellLink {
   sim::SimTime line_free_at_{};  ///< when the transmitter finishes its queue
   bool down_ = false;
   double loss_prob_ = 0.0;
+  double corrupt_prob_ = 0.0;
   util::Rng* rng_ = nullptr;
   std::uint64_t cells_sent_ = 0;
   std::uint64_t cells_dropped_ = 0;
+  std::uint64_t cells_corrupted_ = 0;
 };
 
 }  // namespace xunet::atm

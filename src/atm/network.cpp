@@ -1,5 +1,6 @@
 #include "atm/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 #include <optional>
@@ -278,6 +279,8 @@ void AtmNetwork::setup_vc(const AtmAddress& src, const AtmAddress& dst,
   h.src_vci = vc->hops.front().vci;
   h.dst_vci = vc->hops.back().vci;
   h.hop_count = static_cast<int>(vc->hops.size());
+  vc->src = src;
+  vc->dst = dst;
   active_.emplace(h.id, std::move(*vc));
   finish(h, latency);
 }
@@ -299,6 +302,8 @@ util::Result<VcHandle> AtmNetwork::setup_pvc(const AtmAddress& src,
   h.src_vci = vc->hops.front().vci;
   h.dst_vci = vc->hops.back().vci;
   h.hop_count = static_cast<int>(vc->hops.size());
+  vc->src = src;
+  vc->dst = dst;
   active_.emplace(h.id, std::move(*vc));
   return h;
 }
@@ -315,6 +320,65 @@ std::size_t AtmNetwork::set_trunk_down(const AtmSwitch& a, const AtmSwitch& b,
     }
   }
   return touched;
+}
+
+std::vector<CellLink*> AtmNetwork::trunk_links(const AtmSwitch& a,
+                                               const AtmSwitch& b) {
+  int na = node_of_switch(a);
+  int nb = node_of_switch(b);
+  std::vector<CellLink*> links;
+  for (Edge& e : edges_) {
+    if ((e.from == na && e.to == nb) || (e.from == nb && e.to == na)) {
+      links.push_back(e.link.get());
+    }
+  }
+  return links;
+}
+
+std::vector<CellLink*> AtmNetwork::endpoint_links(const AtmAddress& addr) {
+  auto it = endpoint_nodes_.find(addr);
+  if (it == endpoint_nodes_.end()) return {};
+  std::vector<CellLink*> links;
+  for (Edge& e : edges_) {
+    if (e.from == it->second || e.to == it->second) links.push_back(e.link.get());
+  }
+  return links;
+}
+
+std::vector<AtmNetwork::VcAudit> AtmNetwork::audit_vcs(
+    const AtmAddress& endpoint) const {
+  std::vector<VcAudit> out;
+  for (const auto& [id, vc] : active_) {
+    if (vc.hops.empty()) continue;
+    VcAudit a;
+    a.id = id;
+    if (vc.src == endpoint) {
+      a.local_vci = vc.hops.front().vci;
+      a.remote_vci = vc.hops.back().vci;
+      a.remote = vc.dst;
+      a.originator = true;
+    } else if (vc.dst == endpoint) {
+      a.local_vci = vc.hops.back().vci;
+      a.remote_vci = vc.hops.front().vci;
+      a.remote = vc.src;
+      a.originator = false;
+    } else {
+      continue;
+    }
+    out.push_back(std::move(a));
+  }
+  // active_ is an unordered_map: impose a deterministic order.
+  std::sort(out.begin(), out.end(), [](const VcAudit& x, const VcAudit& y) {
+    return x.local_vci < y.local_vci;
+  });
+  return out;
+}
+
+AtmSwitch* AtmNetwork::switch_by_name(const std::string& name) noexcept {
+  for (auto& sw : switches_) {
+    if (sw->name() == name) return sw.get();
+  }
+  return nullptr;
 }
 
 util::Result<void> AtmNetwork::teardown(VcId id) {

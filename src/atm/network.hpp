@@ -106,6 +106,30 @@ class AtmNetwork {
   /// (both directions).  Returns the number of directed links touched.
   std::size_t set_trunk_down(const AtmSwitch& a, const AtmSwitch& b, bool down);
 
+  /// Fault injection: the directed links between two switches (both
+  /// directions), for loss/corruption hooks.  Empty when not adjacent.
+  [[nodiscard]] std::vector<CellLink*> trunk_links(const AtmSwitch& a,
+                                                   const AtmSwitch& b);
+  /// Fault injection: an endpoint's uplink and downlink.  Empty when the
+  /// address is not attached.
+  [[nodiscard]] std::vector<CellLink*> endpoint_links(const AtmAddress& addr);
+
+  /// One VC as seen from one endpoint — what a restarted signaling entity
+  /// can learn from the network controller when rebuilding VCI_mapping.
+  struct VcAudit {
+    VcId id = 0;
+    Vci local_vci = kInvalidVci;   ///< VCI on this endpoint's own link
+    Vci remote_vci = kInvalidVci;  ///< VCI at the far endpoint
+    AtmAddress remote;             ///< the far endpoint
+    bool originator = false;       ///< this endpoint is the VC's source
+  };
+  /// Every active VC touching `endpoint`, sorted by local VCI (PVCs
+  /// included — callers filter their own signaling VCIs).
+  [[nodiscard]] std::vector<VcAudit> audit_vcs(const AtmAddress& endpoint) const;
+
+  /// Lookup a switch created by make_switch; nullptr when unknown.
+  [[nodiscard]] AtmSwitch* switch_by_name(const std::string& name) noexcept;
+
   /// Lookup: does this address exist?
   [[nodiscard]] bool has_endpoint(const AtmAddress& addr) const noexcept {
     return endpoint_nodes_.contains(addr);
@@ -142,6 +166,8 @@ class AtmNetwork {
   struct ActiveVc {
     std::vector<HopState> hops;             ///< one per traversed edge
     std::vector<std::pair<AtmSwitch*, std::pair<int, Vci>>> routes;  ///< installed switch routes
+    AtmAddress src;  ///< source endpoint (for post-crash audits)
+    AtmAddress dst;  ///< destination endpoint
   };
 
   int add_node(Node n);

@@ -12,12 +12,35 @@ CallServer::CallServer(kern::Kernel& k, ip::IpAddress sighost_ip,
 }
 
 void CallServer::start(app::UserLib::VoidFn on_registered) {
+  // sighost losing our registration (crash/restart) shows up as the
+  // signaling channel dropping; re-export so new calls find us again.
+  lib_->set_channel_down([this] {
+    if (k_.alive(pid_)) re_register(0);
+  });
   lib_->export_service(service_, port_,
                        [this, on_registered = std::move(on_registered)](
                            util::Result<void> r) {
                          if (r) accept_loop();
                          on_registered(r);
                        });
+}
+
+void CallServer::re_register(int attempt) {
+  // Linear backoff: the replacement sighost needs a moment to start
+  // listening before the reconnect can succeed.
+  k_.simulator().schedule(
+      sim::milliseconds(100) * (attempt + 1), [this, attempt] {
+        if (!k_.alive(pid_)) return;
+        lib_->export_service(service_, port_, [this, attempt](
+                                                  util::Result<void> r) {
+          if (!r) {
+            if (attempt < 20) re_register(attempt + 1);
+            return;
+          }
+          ++re_registrations_;
+          accept_loop();
+        });
+      });
 }
 
 void CallServer::accept_loop() {

@@ -44,9 +44,15 @@ class CallServer {
   [[nodiscard]] std::uint64_t frames_received() const noexcept { return frames_; }
   [[nodiscard]] std::uint64_t bytes_received() const noexcept { return bytes_; }
   [[nodiscard]] std::size_t open_sockets() const noexcept { return socks_.size(); }
+  /// Times the server re-exported its service after losing the signaling
+  /// channel (sighost crash/restart).
+  [[nodiscard]] std::uint64_t re_registrations() const noexcept {
+    return re_registrations_;
+  }
 
  private:
   void accept_loop();
+  void re_register(int attempt);
 
   kern::Kernel& k_;
   std::string service_;
@@ -60,6 +66,7 @@ class CallServer {
   std::uint64_t rejected_ = 0;
   std::uint64_t frames_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t re_registrations_ = 0;
 };
 
 /// A client application.

@@ -98,6 +98,9 @@ util::Result<void> Testbed::bring_up() {
       pvc_count_ += 2;
       if (auto rc = routers_[i]->sighost->add_peer(b, ij, ji); !rc) return rc;
       if (auto rc = routers_[j]->sighost->add_peer(a, ji, ij); !rc) return rc;
+      peer_pvcs_.resize(routers_.size());
+      peer_pvcs_[i].push_back({j, ij, ji});
+      peer_pvcs_[j].push_back({i, ji, ij});
     }
   }
   if (cfg_.ip_over_atm) {
@@ -138,6 +141,40 @@ util::Result<void> Testbed::bring_up() {
   // Let control-plane TCP connections establish.
   sim_->run_for(sim::milliseconds(200));
   return {};
+}
+
+void Testbed::set_wire_fault(sig::Sighost::WireFaultFn fn) {
+  wire_fault_ = std::move(fn);
+  for (auto& r : routers_) {
+    if (r->sighost) r->sighost->set_wire_fault(wire_fault_);
+  }
+}
+
+void Testbed::crash_sighost(std::size_t i) {
+  Router& r = *routers_.at(i);
+  if (!r.sighost) return;
+  // Kill the process first (the kernel reclaims its sockets exactly as it
+  // would for any crashed program), then drop the object (cancelling its
+  // timers — a dead process fires no more events).
+  (void)r.kernel->kill_process(r.sighost->pid());
+  r.sighost.reset();
+}
+
+util::Result<void> Testbed::restart_sighost(std::size_t i) {
+  Router& r = *routers_.at(i);
+  if (r.sighost) return Errc::duplicate;
+  r.sighost = std::make_unique<sig::Sighost>(*r.kernel, *net_, cfg_.sighost);
+  if (wire_fault_) r.sighost->set_wire_fault(wire_fault_);
+  if (auto rc = r.sighost->start(); !rc) return rc;
+  if (peer_pvcs_.size() > i) {
+    for (const PeerPvc& p : peer_pvcs_[i]) {
+      const atm::AtmAddress& peer = routers_.at(p.other)->kernel->atm_address();
+      if (auto rc = r.sighost->add_peer(peer, p.send_vci, p.recv_vci); !rc) {
+        return rc;
+      }
+    }
+  }
+  return r.sighost->recover();
 }
 
 std::unique_ptr<Testbed> Testbed::canonical(TestbedConfig cfg) {

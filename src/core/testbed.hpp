@@ -98,6 +98,21 @@ class Testbed {
   [[nodiscard]] std::size_t router_count() const noexcept { return routers_.size(); }
   [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
 
+  // -- fault injection --------------------------------------------------------
+  /// Install a wire-fault hook on every router's sighost (and remember it,
+  /// so a restarted sighost gets it too).  Pass nullptr to clear.
+  void set_wire_fault(sig::Sighost::WireFaultFn fn);
+
+  /// Kill router i's sighost process abruptly: its TCP listen socket,
+  /// application channels and signaling-PVC sockets all close; established
+  /// data VCs (owned by application processes) keep flowing.
+  void crash_sighost(std::size_t i);
+
+  /// Construct a replacement sighost on router i, re-provision its
+  /// signaling PVC channels, and run crash recovery (kernel/network audit
+  /// plus peer resync).  Requires crash_sighost(i) first.
+  util::Result<void> restart_sighost(std::size_t i);
+
   /// §9's measurement topology: router "mh.rt" — switch s1 — switch s2 —
   /// router "berkeley.rt" (three hops), no hosts.
   static std::unique_ptr<Testbed> canonical(TestbedConfig cfg = TestbedConfig{});
@@ -109,11 +124,21 @@ class Testbed {
   [[nodiscard]] LeakReport audit() const;
 
  private:
+  /// One provisioned signaling-PVC pair, recorded so a restarted sighost
+  /// can re-attach to the same well-known VCIs.
+  struct PeerPvc {
+    std::size_t other = 0;  ///< peer router index
+    atm::Vci send_vci = atm::kInvalidVci;
+    atm::Vci recv_vci = atm::kInvalidVci;
+  };
+
   TestbedConfig cfg_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<atm::AtmNetwork> net_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::vector<PeerPvc>> peer_pvcs_;  ///< by router index
+  sig::Sighost::WireFaultFn wire_fault_;
   std::size_t pvc_count_ = 0;  ///< PVCs provisioned at bring-up
   atm::Vci next_pvc_vci_ = 1;
   bool up_ = false;

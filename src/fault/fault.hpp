@@ -1,0 +1,125 @@
+// fault.hpp — seeded, scripted fault injection for Xunet deployments.
+//
+// Robustness experiments previously reached into individual knobs by hand:
+// ip::IpLink::set_corrupt here, CellLink::set_loss there, switch surgery in
+// a test body.  FaultPlan unifies them behind one API shared by tests,
+// benches and examples: a schedule of faults — signaling messages dropped,
+// duplicated, reordered or corrupted by match rule; ATM trunks and IP links
+// flapped; sighosts crashed and restarted — all driven by one seeded
+// util::Rng, so a run reproduces exactly from (topology, workload, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "util/rng.hpp"
+
+namespace xunet::fault {
+
+/// What the plan actually did to traffic, by category.  Deterministic for a
+/// given seed: two same-seed runs report identical numbers.
+struct InjectionStats {
+  std::uint64_t dropped = 0;     ///< signaling messages lost
+  std::uint64_t duplicated = 0;  ///< signaling messages delivered twice
+  std::uint64_t corrupted = 0;   ///< signaling messages bit-flipped
+  std::uint64_t delayed = 0;     ///< signaling messages held back (reorder)
+  std::uint64_t events_fired = 0;  ///< scripted events executed
+};
+
+/// One wire-fault rule, applied to signaling messages between sighosts at
+/// the moment they hit the PVC.  Empty node/peer match any sender/receiver;
+/// an unset type matches every message type.  The rule fires with
+/// `probability` inside the [from, until) activity window.
+struct WireRule {
+  std::string node;  ///< sender sighost name ("" = any)
+  std::string peer;  ///< receiver sighost name ("" = any)
+  std::optional<sig::MsgType> type;
+  double probability = 1.0;
+  sig::WireFault fault = sig::WireFault::drop;
+  sim::SimDuration delay{};         ///< base hold-back when fault == delay
+  sim::SimDuration delay_jitter{};  ///< + uniform[0, jitter) on top
+  sim::SimTime from{};              ///< window start (default: always)
+  sim::SimTime until{std::numeric_limits<std::int64_t>::max()};
+};
+
+/// A deterministic fault schedule over one Testbed.  Build the plan (rules
+/// plus timed events), then arm() it once before running the simulator.
+class FaultPlan {
+ public:
+  FaultPlan(core::Testbed& tb, std::uint64_t seed);
+  ~FaultPlan();
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // -- wire faults on signaling messages -----------------------------------
+  void add_rule(WireRule r) { rules_.push_back(std::move(r)); }
+  /// Lose fraction `p` of all signaling messages, both directions.
+  void drop_signaling(double p);
+  /// Deliver fraction `p` of signaling messages twice.
+  void duplicate_signaling(double p);
+  /// Flip one bit in fraction `p` of serialized signaling frames (the
+  /// receiver's framer rejects them; retransmission recovers).
+  void corrupt_signaling(double p);
+  /// Hold back fraction `p` of signaling messages by delay + uniform
+  /// jitter, letting later messages overtake them.
+  void reorder_signaling(double p, sim::SimDuration delay,
+                         sim::SimDuration jitter);
+
+  // -- scripted events (delays are measured from arm()) --------------------
+  /// Run an arbitrary action at `when`.
+  void at(sim::SimDuration when, std::string label, std::function<void()> fn);
+  /// Kill router i's sighost process at `when`.
+  void crash_sighost_at(sim::SimDuration when, std::size_t router);
+  /// Bring up a replacement sighost on router i (with recovery) at `when`.
+  void restart_sighost_at(sim::SimDuration when, std::size_t router);
+  /// Fibre cut: both directions of the trunk between two switches go down
+  /// at `when` and come back `duration` later.
+  void cut_trunk(sim::SimDuration when, sim::SimDuration duration,
+                 const std::string& switch_a, const std::string& switch_b);
+  /// Take host i's FDDI link down at `when`, back up `duration` later.
+  void flap_host_link(sim::SimDuration when, sim::SimDuration duration,
+                      std::size_t host);
+
+  // -- steady-state cell-level impairments (applied at arm()) --------------
+  /// Drop each ATM cell on router i's endpoint links with probability `p`.
+  void atm_cell_loss(std::size_t router, double p);
+  /// Flip one payload bit per cell with probability `p` on router i's
+  /// endpoint links; the AAL5 CRC discards the damaged frame.
+  void atm_cell_corruption(std::size_t router, double p);
+
+  /// Install the wire-fault hook and schedule every event.  Call once.
+  void arm();
+
+  [[nodiscard]] const InjectionStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  struct Event {
+    sim::SimDuration when{};
+    std::string label;
+    std::function<void()> fn;
+  };
+  struct CellImpairment {
+    std::size_t router = 0;
+    double loss = 0.0;
+    double corrupt = 0.0;
+  };
+
+  sig::WireVerdict on_wire(const std::string& self, const std::string& peer,
+                           const sig::Msg& m);
+
+  core::Testbed& tb_;
+  util::Rng rng_;
+  std::vector<WireRule> rules_;
+  std::vector<Event> events_;
+  std::vector<CellImpairment> impairments_;
+  InjectionStats stats_;
+  bool armed_ = false;
+};
+
+}  // namespace xunet::fault

@@ -32,6 +32,10 @@ IpNode* IpLink::peer_of(const IpNode& n) const noexcept {
 void IpLink::transmit(const IpNode& from, util::Buffer wire) {
   assert(&from == a_ || &from == b_);
   Direction& dir = (&from == a_) ? to_b_ : to_a_;
+  if (down_) {
+    ++frames_dropped_;
+    return;
+  }
   if (loss_prob_ > 0.0 && rng_ != nullptr && rng_->chance(loss_prob_)) {
     ++frames_dropped_;
     return;

@@ -51,6 +51,11 @@ class IpLink : public IpEgress {
     rng_ = rng;
   }
 
+  /// Fail (or restore) the link: while down, every frame in either
+  /// direction is dropped — an unplugged FDDI ring, for flap experiments.
+  void set_down(bool down) noexcept { down_ = down; }
+  [[nodiscard]] bool is_down() const noexcept { return down_; }
+
   /// With probability `p`, delay a frame by up to `max_extra` beyond its
   /// normal arrival, letting later frames overtake it (reordering).
   void set_reorder(double p, sim::SimDuration max_extra,
@@ -91,6 +96,7 @@ class IpLink : public IpEgress {
   IpNode* b_ = nullptr;
   Direction to_a_;
   Direction to_b_;
+  bool down_ = false;
   double loss_prob_ = 0.0;
   double reorder_prob_ = 0.0;
   sim::SimDuration reorder_extra_{};

@@ -1,5 +1,6 @@
 #include "kern/kernel.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace xunet::kern {
@@ -673,6 +674,23 @@ void Kernel::mark_vci_disconnected(atm::Vci vci) {
   // reused by a later call even while the dead socket lingers unclosed.
   xsock_by_vci_.erase(vci);
   if (hobbit_) hobbit_->release_vc(vci);
+}
+
+std::vector<Kernel::XunetVciInfo> Kernel::audit_xunet_vcis() const {
+  std::vector<XunetVciInfo> out;
+  for (const auto& [h, xs] : xsocks_) {
+    if (xs.vci == atm::kInvalidVci) continue;
+    if (xs.state != SocketState::bound && xs.state != SocketState::connected) {
+      continue;
+    }
+    if (!alive(xs.owner)) continue;
+    out.push_back(XunetVciInfo{xs.vci, xs.cookie, xs.state, xs.owner});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const XunetVciInfo& a, const XunetVciInfo& b) {
+              return a.vci < b.vci;
+            });
+  return out;
 }
 
 void Kernel::close_xunet(XunetSock& xs) {

@@ -130,6 +130,19 @@ class Kernel {
   /// soisdisconnected() on every socket using `vci` (downward anand path).
   void mark_vci_disconnected(atm::Vci vci);
 
+  /// One live PF_XUNET binding, as reported to a recovering signaling
+  /// entity.  §5.3's argument cuts both ways: because call state is
+  /// kernel-mediated, a restarted sighost can read it back.
+  struct XunetVciInfo {
+    atm::Vci vci = atm::kInvalidVci;
+    std::uint16_t cookie = 0;
+    SocketState state = SocketState::created;
+    Pid owner = -1;
+  };
+  /// Every bound/connected PF_XUNET socket whose owner is alive, sorted by
+  /// VCI (deterministic across runs).
+  [[nodiscard]] std::vector<XunetVciInfo> audit_xunet_vcis() const;
+
   // -- /dev/anand --------------------------------------------------------------
   /// Open the pseudo-device.  One holder at a time (sighost or anand server).
   util::Result<int> open_anand(Pid pid);

@@ -25,45 +25,81 @@ std::string_view to_string(MsgType t) noexcept {
     case MsgType::peer_setup_failed: return "PEER_SETUP_FAILED";
     case MsgType::peer_teardown: return "PEER_TEARDOWN";
     case MsgType::peer_cancel: return "PEER_CANCEL";
+    case MsgType::peer_ack: return "PEER_ACK";
+    case MsgType::peer_resync: return "PEER_RESYNC";
+    case MsgType::peer_resync_ack: return "PEER_RESYNC_ACK";
+    case MsgType::peer_resync_info: return "PEER_RESYNC_INFO";
   }
   return "?";
 }
+
+namespace {
+
+// Fletcher-16 over the message body.  The peer PVCs are datagram sockets:
+// a corrupted cell that slips past (or is injected above) the AAL5 CRC
+// must never parse into a plausible message — a flipped bit in `seq`
+// would acknowledge a message that was never delivered and silently
+// remove it from the retransmit queue.  Detected corruption is loss, and
+// loss is what the reliable-delivery layer already handles.
+std::uint16_t fletcher16(util::BytesView data) {
+  std::uint32_t a = 0, b = 0;
+  for (std::uint8_t byte : data) {
+    a = (a + byte) % 255;
+    b = (b + a) % 255;
+  }
+  return static_cast<std::uint16_t>((b << 8) | a);
+}
+
+}  // namespace
 
 util::Buffer serialize(const Msg& m) {
   util::Writer w;
   w.u8(static_cast<std::uint8_t>(m.type));
   w.u32(m.req_id);
+  w.u32(m.seq);
   w.u16(m.cookie);
   w.u16(m.vci);
+  w.u16(m.vci2);
   w.u16(m.port);
   w.u8(m.error);
   w.lp_string(m.service);
   w.lp_string(m.qos);
   w.lp_string(m.dst);
   w.lp_string(m.comment);
-  return w.take();
+  util::Buffer body = w.take();
+  util::Writer out;
+  out.u16(fletcher16(body));
+  out.bytes(body);
+  return out.take();
 }
 
 util::Result<Msg> parse_msg(util::BytesView wire) {
   util::Reader r(wire);
+  auto sum = r.u16();
+  if (!sum) return Errc::protocol_error;
+  if (*sum != fletcher16(wire.subspan(2))) return Errc::protocol_error;
   Msg m;
   auto type = r.u8();
   auto req_id = r.u32();
+  auto seq = r.u32();
   auto cookie = r.u16();
   auto vci = r.u16();
+  auto vci2 = r.u16();
   auto port = r.u16();
   auto error = r.u8();
-  if (!type || !req_id || !cookie || !vci || !port || !error) {
+  if (!type || !req_id || !seq || !cookie || !vci || !vci2 || !port || !error) {
     return Errc::protocol_error;
   }
   if (*type < static_cast<std::uint8_t>(MsgType::export_srv) ||
-      *type > static_cast<std::uint8_t>(MsgType::peer_cancel)) {
+      *type > static_cast<std::uint8_t>(MsgType::peer_resync_info)) {
     return Errc::protocol_error;
   }
   m.type = static_cast<MsgType>(*type);
   m.req_id = *req_id;
+  m.seq = *seq;
   m.cookie = *cookie;
   m.vci = *vci;
+  m.vci2 = *vci2;
   m.port = *port;
   m.error = *error;
   auto service = r.lp_string();

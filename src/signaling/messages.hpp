@@ -48,6 +48,11 @@ enum class MsgType : std::uint8_t {
   peer_setup_failed, ///< originating sighost: VC setup failed after accept
   peer_teardown,     ///< either side: call is gone, release and notify
   peer_cancel,       ///< originating sighost: client cancelled the request
+  // reliable-delivery / crash-recovery control (sighost <-> sighost)
+  peer_ack,          ///< acknowledges one sequenced peer message (seq field)
+  peer_resync,       ///< restarted sighost: reset the channel, send your calls
+  peer_resync_ack,   ///< peer: channel reset done (echoes the resync nonce)
+  peer_resync_info,  ///< peer: one established call it shares with the sender
 };
 [[nodiscard]] std::string_view to_string(MsgType t) noexcept;
 
@@ -56,8 +61,16 @@ enum class MsgType : std::uint8_t {
 struct Msg {
   MsgType type = MsgType::export_srv;
   ReqId req_id = 0;
+  /// Reliable-delivery sequence number on the signaling PVC.  0 means
+  /// unsequenced (acks, resyncs, and all app<->sighost traffic, which rides
+  /// TCP).  For peer_ack the field holds the sequence being acknowledged.
+  std::uint32_t seq = 0;
   Cookie cookie = 0;
   atm::Vci vci = atm::kInvalidVci;
+  /// Second VCI: peer_established carries the originator's own VCI here so
+  /// both endpoints learn both ends of the VC (crash recovery needs it);
+  /// peer_resync_info carries the reporter's local VCI.
+  atm::Vci vci2 = atm::kInvalidVci;
   std::uint16_t port = 0;        ///< export_srv notify port / connect_req reply port
   std::string service;           ///< service name
   std::string qos;               ///< uninterpreted QoS string

@@ -9,12 +9,17 @@ using util::Errc;
 Sighost::Sighost(kern::Kernel& router, atm::AtmNetwork& net,
                  SighostConfig cfg)
     : k_(router), net_(net), cfg_(cfg), cookies_(cfg.cookie_seed),
+      rng_(cfg.retransmit_seed),
       obs_(&router.simulator().obs()), track_(router.atm_address().name) {
   obs::MetricsRegistry& mx = obs_->metrics();
   m_maint_records_ = &mx.counter("sighost." + track_ + ".maint.records");
   m_maint_records_all_ = &mx.counter("sighost.maint.records");
   m_established_ = &mx.counter("sighost." + track_ + ".calls.established");
   m_torn_down_ = &mx.counter("sighost." + track_ + ".calls.torn_down");
+  m_retransmits_ = &mx.counter("sighost." + track_ + ".peer.retransmits");
+  m_dup_suppressed_ = &mx.counter("sighost." + track_ + ".peer.dup_suppressed");
+  m_sheds_ = &mx.counter("sighost." + track_ + ".overload.sheds");
+  m_recovered_ = &mx.counter("sighost." + track_ + ".recovery.calls");
   m_setup_us_ = &mx.histogram("sighost." + track_ + ".setup.latency_us");
   static constexpr const char* kLists[5] = {
       "service_list", "outgoing_requests", "incoming_requests",
@@ -69,18 +74,135 @@ util::Result<void> Sighost::add_peer(const atm::AtmAddress& peer,
   std::string name = peer.name;
   (void)k_.xunet_on_receive(pid_, *recv_fd, [this, name](util::BytesView data) {
     auto m = parse_msg(data);
-    if (m) on_peer_msg(name, *m);
+    if (!m) {
+      // A corrupted signaling frame that slipped past (or was injected
+      // above) the AAL5 CRC: count it and rely on retransmission.
+      ++stats_.peer_parse_errors;
+      return;
+    }
+    on_peer_msg(name, *m);
   });
-  peers_.emplace(name, Peer{peer, *send_fd, *recv_fd, send_vci, recv_vci});
+  Peer p;
+  p.addr = peer;
+  p.send_fd = *send_fd;
+  p.recv_fd = *recv_fd;
+  p.send_vci = send_vci;
+  p.recv_vci = recv_vci;
+  peers_.emplace(name, std::move(p));
   return {};
+}
+
+// ------------------------------------------------- reliable peer delivery
+
+bool Sighost::sequenced(MsgType t) noexcept {
+  // Everything call-related is sequenced; the ack and the resync handshake
+  // carry their own correlation and must bypass duplicate suppression
+  // (after a restart the two sides disagree about sequence state).
+  return (t >= MsgType::peer_setup && t <= MsgType::peer_cancel) ||
+         t == MsgType::peer_resync_info;
+}
+
+sim::SimDuration Sighost::backoff(int attempts) {
+  sim::SimDuration d = cfg_.retransmit_base * (std::int64_t{1} << attempts);
+  if (cfg_.retransmit_jitter.ns() > 0) {
+    d += sim::nanoseconds(static_cast<std::int64_t>(
+        rng_.below(static_cast<std::uint64_t>(cfg_.retransmit_jitter.ns()))));
+  }
+  return d;
+}
+
+void Sighost::wire_send(int send_fd, const Msg& m) {
+  (void)k_.xunet_send(pid_, send_fd, serialize(m));
+}
+
+void Sighost::transmit_peer(Peer& p, const Msg& m) {
+  if (trace_) trace_("->" + p.addr.name, k_.atm_address().name, m);
+  WireVerdict v;
+  if (wire_fault_) v = wire_fault_(k_.atm_address().name, p.addr.name, m);
+  switch (v.fault) {
+    case WireFault::drop:
+      return;
+    case WireFault::duplicate:
+      wire_send(p.send_fd, m);
+      wire_send(p.send_fd, m);
+      return;
+    case WireFault::corrupt: {
+      util::Buffer wire = serialize(m);
+      wire[rng_.below(wire.size())] ^=
+          static_cast<std::uint8_t>(1u << rng_.below(8));
+      (void)k_.xunet_send(pid_, p.send_fd, wire);
+      return;
+    }
+    case WireFault::delay:
+      k_.simulator().schedule(
+          v.delay, [this, guard = std::weak_ptr<char>(alive_),
+                    send_fd = p.send_fd, m] {
+            if (!guard.expired()) wire_send(send_fd, m);
+          });
+      return;
+    case WireFault::deliver:
+      break;
+  }
+  wire_send(p.send_fd, m);
+}
+
+void Sighost::queue_retransmit(const std::string& peer, const Msg& m) {
+  Peer& p = peers_.at(peer);
+  PendingTx tx;
+  tx.msg = m;
+  tx.timer = std::make_unique<sim::Timer>(k_.simulator());
+  tx.timer->arm(backoff(0),
+                [this, peer, seq = m.seq] { retransmit(peer, seq); });
+  p.pending.emplace(m.seq, std::move(tx));
+}
+
+void Sighost::retransmit(const std::string& peer, std::uint32_t seq) {
+  auto pit = peers_.find(peer);
+  if (pit == peers_.end()) return;
+  auto it = pit->second.pending.find(seq);
+  if (it == pit->second.pending.end()) return;  // acked meanwhile
+  PendingTx& tx = it->second;
+  if (++tx.attempts >= cfg_.retransmit_max_attempts) {
+    // Give up; the request/bind watchdog timers convert the silence into a
+    // clean failure at the call level.
+    ++stats_.retx_abandoned;
+    pit->second.pending.erase(it);
+    return;
+  }
+  ++stats_.retransmits;
+  m_retransmits_->inc();
+  transmit_peer(pit->second, tx.msg);
+  tx.timer->arm(backoff(tx.attempts),
+                [this, peer, seq] { retransmit(peer, seq); });
+}
+
+bool Sighost::note_received(Peer& p, std::uint32_t seq) {
+  if (seq <= p.recv_floor || p.recv_above.contains(seq)) return true;
+  p.recv_above.insert(seq);
+  while (p.recv_above.contains(p.recv_floor + 1)) {
+    p.recv_above.erase(p.recv_floor + 1);
+    ++p.recv_floor;
+  }
+  return false;
+}
+
+void Sighost::reset_channel(Peer& p) {
+  p.next_seq = 1;
+  p.pending.clear();  // Timer destructors cancel the pending retransmits.
+  p.recv_floor = 0;
+  p.recv_above.clear();
 }
 
 // ---------------------------------------------------------------- plumbing
 
 void Sighost::maintenance_log(const std::string& what, const std::string& call,
                               std::function<void()> then) {
+  auto guarded = [guard = std::weak_ptr<char>(alive_),
+                  then = std::move(then)] {
+    if (!guard.expired()) then();
+  };
   if (!cfg_.maintenance_logging) {
-    k_.simulator().schedule(sim::SimDuration{}, std::move(then));
+    k_.simulator().schedule(sim::SimDuration{}, std::move(guarded));
     return;
   }
   // The per-call maintenance record: §9 identifies writing it as the
@@ -102,7 +224,7 @@ void Sighost::maintenance_log(const std::string& what, const std::string& call,
                            "maint.log", track_, std::move(ids));
   }
   busy_until_ = busy_until_ + cfg_.per_call_log_cost;
-  k_.simulator().schedule_at(busy_until_, std::move(then));
+  k_.simulator().schedule_at(busy_until_, std::move(guarded));
 }
 
 void Sighost::fsm(const char* what, const std::string& call, std::int64_t vci,
@@ -145,8 +267,12 @@ void Sighost::send_app(int fd, const Msg& m) {
 void Sighost::send_peer(const std::string& peer, const Msg& m) {
   auto it = peers_.find(peer);
   if (it == peers_.end()) return;
-  if (trace_) trace_("->" + it->first, k_.atm_address().name, m);
-  (void)k_.xunet_send(pid_, it->second.send_fd, serialize(m));
+  Msg out = m;
+  if (cfg_.reliable_peer_delivery && sequenced(m.type)) {
+    out.seq = it->second.next_seq++;
+    queue_retransmit(peer, out);
+  }
+  transmit_peer(it->second, out);
 }
 
 void Sighost::on_app_accept(int fd) {
@@ -201,6 +327,26 @@ void Sighost::on_app_msg(int fd, const Msg& m) {
 
 void Sighost::on_peer_msg(const std::string& peer, const Msg& m) {
   if (trace_) trace_("<-" + peer, k_.atm_address().name, m);
+  if (auto pit = peers_.find(peer); pit != peers_.end()) {
+    Peer& p = pit->second;
+    if (m.type == MsgType::peer_ack) {
+      p.pending.erase(m.seq);  // Timer destructor cancels the retransmit.
+      return;
+    }
+    if (m.seq != 0 && cfg_.reliable_peer_delivery) {
+      // Ack first (even for duplicates: the original ack may have been the
+      // frame that was lost), then suppress redelivery.
+      Msg ack;
+      ack.type = MsgType::peer_ack;
+      ack.seq = m.seq;
+      transmit_peer(p, ack);
+      if (note_received(p, m.seq)) {
+        ++stats_.dup_suppressed;
+        m_dup_suppressed_->inc();
+        return;
+      }
+    }
+  }
   switch (m.type) {
     case MsgType::peer_setup: handle_peer_setup(peer, m); break;
     case MsgType::peer_accept: handle_peer_accept(peer, m); break;
@@ -210,6 +356,9 @@ void Sighost::on_peer_msg(const std::string& peer, const Msg& m) {
     case MsgType::peer_setup_failed: handle_peer_setup_failed(peer, m); break;
     case MsgType::peer_teardown: handle_peer_teardown(peer, m); break;
     case MsgType::peer_cancel: handle_peer_cancel(peer, m); break;
+    case MsgType::peer_resync: handle_peer_resync(peer, m); break;
+    case MsgType::peer_resync_ack: handle_peer_resync_ack(peer, m); break;
+    case MsgType::peer_resync_info: handle_peer_resync_info(peer, m); break;
     default: break;
   }
 }
@@ -262,6 +411,35 @@ void Sighost::handle_withdraw_srv(int fd, const Msg& m) {
 }
 
 void Sighost::handle_connect_req(int fd, const Msg& m) {
+  auto ac = app_conns_.find(fd);
+  // Idempotency: a client stub that retries CONNECT_REQ stamps it with a
+  // nonce (in req_id); a duplicate gets the original REQ_ID reply back and
+  // never mints a second request (or, later, a second VC).
+  if (m.req_id != 0 && ac != app_conns_.end()) {
+    if (auto nit = ac->second.nonce_replies.find(m.req_id);
+        nit != ac->second.nonce_replies.end()) {
+      send_app(fd, nit->second);
+      return;
+    }
+  }
+  // Bounded-queue overload shedding: at capacity, fail fast with a busy
+  // cause instead of letting outgoing_requests grow without bound.
+  if (outgoing_.size() >= cfg_.max_outgoing_requests) {
+    ++stats_.sheds;
+    m_sheds_->inc();
+    ReqId id = next_req_++;
+    Msg reply;
+    reply.type = MsgType::req_id;
+    reply.req_id = id;
+    reply.dst = k_.atm_address().name;
+    send_app(fd, reply);
+    Msg fail;
+    fail.type = MsgType::conn_failed;
+    fail.req_id = id;
+    fail.error = static_cast<std::uint8_t>(Errc::no_buffer_space);
+    send_app(fd, fail);
+    return;
+  }
   ReqId id = next_req_++;
   Cookie cookie = cookies_.mint();
   const std::string key = call_key(k_.atm_address().name, id);
@@ -308,6 +486,9 @@ void Sighost::handle_connect_req(int fd, const Msg& m) {
   // The originating sighost's name rides along so the client stub can form
   // the end-to-end call key ("origin#req_id") for its own trace spans.
   reply.dst = k_.atm_address().name;
+  if (m.req_id != 0 && ac != app_conns_.end()) {
+    ac->second.nonce_replies.emplace(m.req_id, reply);
+  }
   send_app(fd, reply);
   record_lists();
 
@@ -383,7 +564,23 @@ void Sighost::handle_reject_conn(int fd, const Msg& m) {
 // ------------------------------------------------------------- peer flows
 
 void Sighost::handle_peer_setup(const std::string& origin, const Msg& m) {
-  fsm("fsm.peer_setup", call_key(origin, m.req_id));
+  const std::string key = call_key(origin, m.req_id);
+  // Idempotency: sequence numbers suppress wire duplicates, but a call that
+  // is already in progress (or established) must never open a second
+  // server connection or allocate a second VC, whatever arrives.
+  if (incoming_.contains(key) || vci_for_call(key) != atm::kInvalidVci) return;
+  // Bounded-queue overload shedding, callee side.
+  if (incoming_.size() >= cfg_.max_incoming_requests) {
+    ++stats_.sheds;
+    m_sheds_->inc();
+    Msg rej;
+    rej.type = MsgType::peer_reject;
+    rej.req_id = m.req_id;
+    rej.error = static_cast<std::uint8_t>(Errc::no_buffer_space);
+    send_peer(origin, rej);
+    return;
+  }
+  fsm("fsm.peer_setup", key);
   maintenance_log(
       "PEER_SETUP " + origin + "#" + std::to_string(m.req_id) + " " + m.service,
       call_key(origin, m.req_id), [this, origin, m] {
@@ -505,6 +702,12 @@ void Sighost::handle_peer_setup(const std::string& origin, const Msg& m) {
 void Sighost::handle_peer_accept(const std::string& origin, const Msg& m) {
   auto oit = outgoing_.find(m.req_id);
   if (oit == outgoing_.end() || oit->second.cancelled) {
+    // A late re-accept for a call that already established is not a dead
+    // client: never answer it with a teardown.
+    if (vci_for_call(call_key(k_.atm_address().name, m.req_id)) !=
+        atm::kInvalidVci) {
+      return;
+    }
     // Client is gone or withdrew: unwind the callee's acceptance.
     Msg down;
     down.type = MsgType::peer_teardown;
@@ -562,6 +765,7 @@ void Sighost::establish_vc(ReqId req_id, const std::string& qos_granted) {
         e.vc_id = r->id;
         e.peer = dst;
         e.qos = qos_granted;
+        e.remote_vci = r->dst_vci;
         // "When the connection is actually established, a VCI_FOR_CONN
         // message is sent to the client" — actually established includes
         // the callee side having bound its socket, so the client's VCI is
@@ -579,6 +783,9 @@ void Sighost::establish_vc(ReqId req_id, const std::string& qos_granted) {
         est.type = MsgType::peer_established;
         est.req_id = req_id;
         est.vci = r->dst_vci;
+        // Our own VCI rides along so the callee can reconcile this call
+        // with us if we later crash and restart.
+        est.vci2 = r->src_vci;
         est.qos = qos_granted;
         send_peer(dst, est);
       },
@@ -616,6 +823,7 @@ void Sighost::handle_peer_established(const std::string& origin, const Msg& m) {
   e.cookie = inc.server_cookie;
   e.peer = origin;
   e.qos = m.qos;
+  e.remote_vci = m.vci2;
   e.notify_origin_on_confirm = true;
   vci_map_.emplace(vci, e);
   load_wait_for_bind(vci, inc.server_cookie);
@@ -809,6 +1017,13 @@ std::string Sighost::management_report() const {
          " rejects=" + std::to_string(st.rejects_sent) +
          " auth_failures=" + std::to_string(st.auth_failures) +
          " bind_timeouts=" + std::to_string(st.bind_timeouts) + "\n";
+  out += "  reliability: retransmits=" + std::to_string(st.retransmits) +
+         " dup_suppressed=" + std::to_string(st.dup_suppressed) +
+         " abandoned=" + std::to_string(st.retx_abandoned) +
+         " sheds=" + std::to_string(st.sheds) +
+         " resyncs=" + std::to_string(st.resyncs) +
+         " recovered=" + std::to_string(st.recovered_calls) +
+         " orphans=" + std::to_string(st.orphans_torn_down) + "\n";
   return out;
 }
 
@@ -862,6 +1077,170 @@ void Sighost::teardown_vci(atm::Vci vci, bool notify_peer) {
   }
   maintenance_log("TEARDOWN vci=" + std::to_string(vci), e.call_key, [] {});
   record_lists();
+}
+
+// ------------------------------------------------- crash-restart recovery
+
+util::Result<void> Sighost::recover() {
+  // §5.3 has the kernel report endpoint death to a live sighost; recovery
+  // inverts the flow.  A reborn sighost interrogates the kernel (live
+  // PF_XUNET bindings, with their cookies) and the network controller
+  // (active VCs terminating here) and rebuilds VCI_mapping from their join:
+  // a VC with a surviving socket is a call worth keeping; a VC without one
+  // is an orphan.
+  std::map<atm::Vci, kern::Kernel::XunetVciInfo> socks;
+  for (const auto& s : k_.audit_xunet_vcis()) socks.emplace(s.vci, s);
+  std::size_t rebuilt = 0;
+  for (const auto& vc : net_.audit_vcs(k_.atm_address())) {
+    // Provisioned channels (signaling PVCs, IP-over-ATM) all live below the
+    // switched-VCI floor and are not calls — never audit them back.
+    if (vc.local_vci < atm::kFirstSwitchedVci) continue;
+    auto sit = socks.find(vc.local_vci);
+    if (sit == socks.end()) {
+      // The VC survived our crash but its endpoint socket did not.  Only
+      // the originator holds the network handle; a callee-side orphan is
+      // reclaimed when the peer's PEER_RESYNC_INFO draws PEER_TEARDOWN.
+      if (vc.originator) {
+        (void)net_.teardown(vc.id);
+        ++stats_.orphans_torn_down;
+      }
+      continue;
+    }
+    VciEntry e;
+    e.originator = vc.originator;
+    e.cookie = sit->second.cookie;
+    e.vc_id = vc.originator ? vc.id : 0;
+    e.peer = vc.remote.name;
+    e.confirmed = true;
+    e.remote_vci = vc.remote_vci;
+    e.recovered = true;  // call_key/req_id arrive via PEER_RESYNC_INFO
+    cookies_.bind_vci(vc.local_vci, e.cookie);
+    vci_map_.emplace(vc.local_vci, std::move(e));
+    ++rebuilt;
+  }
+  maintenance_log("RECOVER rebuilt " + std::to_string(rebuilt) + " calls",
+                  "", [] {});
+  std::vector<std::string> names;
+  names.reserve(peers_.size());
+  for (const auto& [name, p] : peers_) names.push_back(name);
+  for (const std::string& name : names) send_resync(name);
+  if (rebuilt > 0) {
+    recovery_grace_ = std::make_unique<sim::Timer>(k_.simulator());
+    recovery_grace_->arm(cfg_.resync_grace,
+                         [this] { expire_unclaimed_recoveries(); });
+  }
+  record_lists();
+  return {};
+}
+
+void Sighost::send_resync(const std::string& peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  Peer& p = it->second;
+  if (p.resync_attempts == 0) {
+    // First attempt: our reliable-channel state died with the old process,
+    // so meet the peer at sequence zero.
+    reset_channel(p);
+    p.resync_nonce = next_resync_nonce_++;
+  }
+  Msg m;
+  m.type = MsgType::peer_resync;
+  m.req_id = p.resync_nonce;
+  transmit_peer(p, m);
+  if (++p.resync_attempts > cfg_.retransmit_max_attempts) return;
+  if (!p.resync_timer)
+    p.resync_timer = std::make_unique<sim::Timer>(k_.simulator());
+  p.resync_timer->arm(backoff(p.resync_attempts - 1),
+                      [this, peer] { send_resync(peer); });
+}
+
+void Sighost::handle_peer_resync(const std::string& origin, const Msg& m) {
+  auto pit = peers_.find(origin);
+  if (pit == peers_.end()) return;
+  Peer& p = pit->second;
+  Msg ack;
+  ack.type = MsgType::peer_resync_ack;
+  ack.req_id = m.req_id;
+  if (m.req_id == p.last_resync_seen) {
+    // Retried resync (our ack was lost).  Re-ack without resetting: the
+    // RESYNC_INFOs from the first pass are sequenced and still retransmit.
+    transmit_peer(p, ack);
+    return;
+  }
+  p.last_resync_seen = m.req_id;
+  ++stats_.resyncs;
+  // The restarted side lost all sequence state; meet it at zero.  Requests
+  // of ours that were in flight toward it die by their own watchdogs.
+  reset_channel(p);
+  transmit_peer(p, ack);
+  // Report every established call we share with the restarted host so it
+  // can restore call_key/req_id on the VCI entries it audited back.
+  for (const auto& [vci, e] : vci_map_) {
+    if (e.peer != origin || !e.confirmed || e.call_key.empty() ||
+        e.remote_vci == atm::kInvalidVci) {
+      continue;
+    }
+    Msg info;
+    info.type = MsgType::peer_resync_info;
+    info.req_id = e.req_id;
+    // call_key is "<originator>#<req_id>"; ship the originator name so the
+    // restarted side can rebuild the key verbatim.
+    info.dst = e.call_key.substr(0, e.call_key.find('#'));
+    info.vci = e.remote_vci;  // their VCI for this call
+    info.vci2 = vci;          // ours
+    info.qos = e.qos;
+    send_peer(origin, info);
+  }
+  maintenance_log("RESYNC from " + origin, "", [] {});
+}
+
+void Sighost::handle_peer_resync_ack(const std::string& origin, const Msg& m) {
+  auto pit = peers_.find(origin);
+  if (pit == peers_.end()) return;
+  Peer& p = pit->second;
+  if (m.req_id != p.resync_nonce) return;  // stale nonce
+  p.resync_timer.reset();
+  p.resync_attempts = 0;
+  p.resync_nonce = 0;
+}
+
+void Sighost::handle_peer_resync_info(const std::string& origin, const Msg& m) {
+  auto vit = vci_map_.find(m.vci);
+  if (vit == vci_map_.end()) {
+    // We audited no such call: the endpoint socket died with us.  Tell the
+    // peer so it can release its half (and the VC, if it originated).
+    Msg down;
+    down.type = MsgType::peer_teardown;
+    down.req_id = m.req_id;
+    send_peer(origin, down);
+    return;
+  }
+  VciEntry& e = vit->second;
+  if (!e.recovered || !e.call_key.empty()) return;  // already claimed
+  e.call_key = call_key(m.dst, m.req_id);
+  e.req_id = m.req_id;
+  e.qos = m.qos;
+  if (e.remote_vci == atm::kInvalidVci) e.remote_vci = m.vci2;
+  ++stats_.recovered_calls;
+  m_recovered_->inc();
+  fsm("fsm.recovered", e.call_key, static_cast<std::int64_t>(m.vci));
+  maintenance_log("RECOVERED vci=" + std::to_string(m.vci), e.call_key,
+                  [] {});
+}
+
+void Sighost::expire_unclaimed_recoveries() {
+  // No peer claimed these audited entries within the grace window: either
+  // the peer lost the call too, or it was never fully established.  Either
+  // way nobody will route data over them again.
+  std::vector<atm::Vci> stale;
+  for (const auto& [vci, e] : vci_map_) {
+    if (e.recovered && e.call_key.empty()) stale.push_back(vci);
+  }
+  for (atm::Vci vci : stale) {
+    ++stats_.orphans_torn_down;
+    // No call_key means no req_id the peer could match — don't notify.
+    teardown_vci(vci, /*notify_peer=*/false);
+  }
 }
 
 }  // namespace xunet::sig

@@ -21,6 +21,7 @@
 #include "signaling/messages.hpp"
 #include "signaling/stub_proto.hpp"
 #include "sim/timer.hpp"
+#include "util/rng.hpp"
 
 namespace xunet::sig {
 
@@ -35,6 +36,17 @@ struct SighostStats {
   std::uint64_t services_registered = 0;
   std::uint64_t setup_failures = 0;
   std::uint64_t request_timeouts = 0;
+  // Reliable peer delivery.
+  std::uint64_t retransmits = 0;      ///< sequenced messages re-sent
+  std::uint64_t dup_suppressed = 0;   ///< duplicates dropped by the receiver
+  std::uint64_t retx_abandoned = 0;   ///< messages given up after max attempts
+  std::uint64_t peer_parse_errors = 0;///< unparseable frames off the PVC
+  // Overload shedding.
+  std::uint64_t sheds = 0;            ///< requests rejected while at capacity
+  // Crash-restart recovery.
+  std::uint64_t resyncs = 0;          ///< PEER_RESYNCs honored from peers
+  std::uint64_t recovered_calls = 0;  ///< calls rebuilt after our restart
+  std::uint64_t orphans_torn_down = 0;///< dangling VCs reclaimed on recovery
 };
 
 struct SighostConfig {
@@ -56,6 +68,39 @@ struct SighostConfig {
   sim::SimDuration per_call_log_cost = sim::milliseconds(128);
   bool maintenance_logging = true;
   std::uint64_t cookie_seed = 0x5163'4057;
+  /// Reliable sighost↔sighost delivery over the signaling PVC: sequence
+  /// numbers, duplicate suppression, retransmission with exponential
+  /// backoff.  The PVC is a bare AAL5 pipe — cells it loses are simply
+  /// gone, so signaling must supply its own reliability.
+  bool reliable_peer_delivery = true;
+  sim::SimDuration retransmit_base = sim::milliseconds(250);
+  /// Uniform extra delay in [0, jitter) added per retransmission, so peers
+  /// that lost the same frame don't retry in lockstep.
+  sim::SimDuration retransmit_jitter = sim::milliseconds(50);
+  int retransmit_max_attempts = 6;
+  std::uint64_t retransmit_seed = 0x7e57'ab1e;
+  /// Bounded-queue overload shedding: a CONNECT_REQ (resp. PEER_SETUP)
+  /// arriving while outgoing_requests (resp. incoming_requests) is at this
+  /// limit is rejected with no_buffer_space instead of growing the list.
+  std::size_t max_outgoing_requests = 256;
+  std::size_t max_incoming_requests = 256;
+  /// After a crash-restart recovery, audited calls not claimed by any
+  /// peer's PEER_RESYNC_INFO within this grace period are torn down.
+  sim::SimDuration resync_grace = sim::seconds(5);
+};
+
+/// What a wire-fault hook may do to one peer signaling message about to be
+/// transmitted on the PVC (the fault-injection seam src/fault drives).
+enum class WireFault : std::uint8_t {
+  deliver,    ///< pass through untouched
+  drop,       ///< lose the frame
+  duplicate,  ///< deliver it twice
+  corrupt,    ///< flip one byte of the serialized frame
+  delay,      ///< hold it back (reordering: later frames overtake it)
+};
+struct WireVerdict {
+  WireFault fault = WireFault::deliver;
+  sim::SimDuration delay{};  ///< extra latency when fault == delay
 };
 
 /// The signaling entity.
@@ -65,6 +110,10 @@ class Sighost {
   /// signaling message sent or received ("dir" is "->" send, "<-" receive).
   using TraceFn = std::function<void(std::string_view dir, std::string_view peer,
                                      const Msg& m)>;
+  /// Fault-injection hook, consulted for every peer message (including
+  /// retransmissions) at the moment it hits the wire.
+  using WireFaultFn = std::function<WireVerdict(
+      const std::string& self, const std::string& peer, const Msg& m)>;
 
   Sighost(kern::Kernel& router, atm::AtmNetwork& net,
           SighostConfig cfg = SighostConfig{});
@@ -82,6 +131,15 @@ class Sighost {
                               atm::Vci recv_vci);
 
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+  void set_wire_fault(WireFaultFn fn) { wire_fault_ = std::move(fn); }
+
+  /// Crash-restart recovery (§5.3 in reverse): audit the kernel's live
+  /// PF_XUNET bindings and the network controller's active VCs, rebuild
+  /// VCI_mapping from their intersection, tear down VCs with no surviving
+  /// socket, and ask every peer to resynchronize its reliable channel and
+  /// report the calls it shares with us.  Call after start() + add_peer()s
+  /// on a freshly constructed sighost replacing a crashed one.
+  util::Result<void> recover();
 
   // -- the five lists (sizes; used by tests and leak audits) ---------------
   [[nodiscard]] std::size_t service_list_size() const noexcept { return services_.size(); }
@@ -115,6 +173,9 @@ class Sighost {
     int fd = -1;
     std::unique_ptr<MsgFramer> framer;
     std::set<ReqId> reqs;  ///< outstanding requests initiated on this conn
+    /// Idempotency: client-stamped CONNECT_REQ nonce → the REQ_ID reply
+    /// already issued for it, so a retried request never mints a second id.
+    std::map<std::uint32_t, Msg> nonce_replies;
   };
   struct Outgoing {  // outgoing_requests: client request awaiting peer reply
     ReqId id = 0;
@@ -155,6 +216,15 @@ class Sighost {
     int pending_client_fd = -1;
     /// Callee side: report PEER_BOUND to the originator on bind confirm.
     bool notify_origin_on_confirm = false;
+    atm::Vci remote_vci = atm::kInvalidVci;  ///< the far endpoint's VCI
+    /// Rebuilt from a post-crash audit; awaiting a peer's PEER_RESYNC_INFO
+    /// to restore call_key/req_id (torn down if none arrives in grace).
+    bool recovered = false;
+  };
+  struct PendingTx {  ///< one unacked sequenced message awaiting retransmit
+    Msg msg;
+    int attempts = 0;
+    std::unique_ptr<sim::Timer> timer;
   };
   struct Peer {
     atm::AtmAddress addr;
@@ -162,6 +232,20 @@ class Sighost {
     int recv_fd = -1;
     atm::Vci send_vci = atm::kInvalidVci;
     atm::Vci recv_vci = atm::kInvalidVci;
+    // Reliable channel, sender side.
+    std::uint32_t next_seq = 1;
+    std::map<std::uint32_t, PendingTx> pending;
+    // Reliable channel, receiver side: everything <= recv_floor was
+    // delivered; recv_above holds out-of-order deliveries beyond it.
+    std::uint32_t recv_floor = 0;
+    std::set<std::uint32_t> recv_above;
+    // Resync client state (we restarted and are reconciling with them).
+    std::uint32_t resync_nonce = 0;
+    int resync_attempts = 0;
+    std::unique_ptr<sim::Timer> resync_timer;
+    // Resync server side: last nonce honored, so a retried PEER_RESYNC is
+    // re-acked without resetting the channel a second time.
+    std::uint32_t last_resync_seen = 0;
   };
 
   // ---- plumbing ----
@@ -172,6 +256,27 @@ class Sighost {
   void send_peer(const std::string& peer, const Msg& m);
   void on_peer_msg(const std::string& peer, const Msg& m);
   void on_stub_msg(const StubMsg& m);
+
+  // ---- reliable peer delivery ----
+  /// Does this type carry a sequence number (and therefore get
+  /// retransmitted until acked)?  Acks and resync handshakes do not.
+  [[nodiscard]] static bool sequenced(MsgType t) noexcept;
+  /// Put the message on the wire, applying any wire-fault verdict.
+  void transmit_peer(Peer& p, const Msg& m);
+  void wire_send(int send_fd, const Msg& m);
+  void queue_retransmit(const std::string& peer, const Msg& m);
+  void retransmit(const std::string& peer, std::uint32_t seq);
+  [[nodiscard]] sim::SimDuration backoff(int attempts);
+  /// Duplicate-suppression bookkeeping; true when `seq` was already seen.
+  [[nodiscard]] static bool note_received(Peer& p, std::uint32_t seq);
+
+  // ---- crash-restart recovery ----
+  void handle_peer_resync(const std::string& origin, const Msg& m);
+  void handle_peer_resync_ack(const std::string& origin, const Msg& m);
+  void handle_peer_resync_info(const std::string& origin, const Msg& m);
+  void send_resync(const std::string& peer);
+  void reset_channel(Peer& p);
+  void expire_unclaimed_recoveries();
   /// Charge the §9 per-call maintenance-information write.  `call` is the
   /// end-to-end call key the record belongs to; it tags the trace span and
   /// the MetricsRegistry counters the logging-cost bench reads.
@@ -223,11 +328,15 @@ class Sighost {
   atm::AtmNetwork& net_;
   SighostConfig cfg_;
   CookieTable cookies_;
+  util::Rng rng_;  ///< retransmit jitter + corruption-fault byte choice
   kern::Pid pid_ = -1;
   int listen_fd_ = -1;
   int anand_fd_ = -1;  ///< TCP connection to the anand server
   std::unique_ptr<StubFramer> stub_framer_;
   TraceFn trace_;
+  WireFaultFn wire_fault_;
+  std::uint32_t next_resync_nonce_ = 1;
+  std::unique_ptr<sim::Timer> recovery_grace_;  ///< armed once by recover()
 
   // The five lists.
   std::map<std::string, Service> services_;          // service_list
@@ -241,6 +350,11 @@ class Sighost {
   std::set<atm::Vci> pvc_vcis_;  ///< own signaling VCIs: ignore their indications
   ReqId next_req_ = 1;
   sim::SimTime busy_until_{};  ///< end of the queued maintenance-log work
+  /// Liveness token for raw simulator events that capture `this` (deferred
+  /// maintenance-log work, fault-injected wire delays).  Timers cancel
+  /// themselves on destruction; these events cannot, so they hold a weak
+  /// reference and no-op once the sighost is gone (crashed).
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   SighostStats stats_;
 
   // Observability: context + cached metric handles (resolved once).
@@ -250,6 +364,10 @@ class Sighost {
   obs::Counter* m_maint_records_all_ = nullptr;  ///< fleet-wide
   obs::Counter* m_established_ = nullptr;
   obs::Counter* m_torn_down_ = nullptr;
+  obs::Counter* m_retransmits_ = nullptr;
+  obs::Counter* m_dup_suppressed_ = nullptr;
+  obs::Counter* m_sheds_ = nullptr;
+  obs::Counter* m_recovered_ = nullptr;
   obs::Histogram* m_setup_us_ = nullptr;
   obs::Gauge* m_lists_[5] = {};  ///< the five lists, in paper order
   struct SetupTrace {

@@ -59,6 +59,7 @@ void UserLib::ensure_channel(std::function<void(util::Result<void>)> then) {
           auto regs = std::move(pending_registrations_);
           pending_registrations_.clear();
           for (auto& cb : regs) cb(Errc::connection_reset);
+          if (on_channel_down_) on_channel_down_();
         });
         for (auto& w : waiters) w(util::ok_result());
       });
@@ -346,6 +347,7 @@ void UserLib::open_connection(const std::string& dst,
     pending_cookie_cbs_.push_back(std::move(on_req_id));
     Msg m;
     m.type = MsgType::connect_req;
+    m.req_id = next_nonce_++;
     m.dst = dst;
     m.service = service;
     m.comment = comment;

@@ -89,6 +89,14 @@ class UserLib {
   /// Withdraw an outstanding open_connection by its cookie.
   void cancel_request(sig::Cookie cookie);
 
+  /// Fires when the persistent signaling channel to sighost drops (after
+  /// all outstanding RPCs have been failed with connection_reset).  A
+  /// server uses this to re-export its services once sighost comes back;
+  /// the next ensure_channel() reconnects automatically.
+  void set_channel_down(std::function<void()> fn) {
+    on_channel_down_ = std::move(fn);
+  }
+
   // -- data-socket helpers (the socket()/bind()/connect() lines of §8) -----
 
   /// Client side: create a PF_XUNET socket and connect it to the call.
@@ -133,6 +141,12 @@ class UserLib {
   bool chan_connecting_ = false;
   std::unique_ptr<sig::MsgFramer> chan_framer_;
   std::vector<std::function<void(util::Result<void>)>> chan_waiters_;
+
+  std::function<void()> on_channel_down_;
+  /// Client-stamped idempotency nonce carried in CONNECT_REQ.req_id: a
+  /// retried request presents the same nonce, and sighost replays the
+  /// original REQ_ID instead of minting a second request.
+  std::uint32_t next_nonce_ = 1;
 
   std::deque<VoidFn> pending_registrations_;
   std::deque<CookieFn> pending_cookie_cbs_;

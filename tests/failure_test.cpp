@@ -6,6 +6,7 @@
 
 #include "core/apps.hpp"
 #include "core/testbed.hpp"
+#include "fault/fault.hpp"
 
 namespace xunet {
 namespace {
@@ -142,6 +143,33 @@ TEST(TrunkCut, PeerCancelAfterHealPreventsGhostCalls) {
   rig.tb->sim().run_for(sim::seconds(10));
   EXPECT_EQ(rig.tb->router(1).sighost->incoming_requests_size(), 0u);
   EXPECT_TRUE(rig.tb->audit().clean()) << rig.tb->audit().describe();
+}
+
+TEST(TrunkCut, TransientPvcLossRecoversViaRetransmission) {
+  // The signaling PVC goes dark for 2 s — shorter than the request timeout.
+  // A call opened during the outage must NOT fail: the reliable-delivery
+  // layer retransmits PEER_SETUP with backoff until the trunk heals, and
+  // the call establishes without the client ever noticing.
+  core::TestbedConfig cfg;
+  cfg.sighost.request_timeout = sim::seconds(15);
+  CutRig rig(cfg);
+
+  fault::FaultPlan plan(*rig.tb, 5);
+  plan.cut_trunk(sim::milliseconds(100), sim::seconds(2), "s1", "s2");
+  plan.arm();
+
+  CallClient client(*rig.tb->router(0).kernel,
+                    rig.tb->router(0).kernel->ip_node().address());
+  std::optional<bool> ok;
+  rig.tb->sim().schedule(sim::milliseconds(200), [&] {
+    client.open("berkeley.rt", "svc", "",
+                [&](util::Result<CallClient::Call> r) { ok = r.ok(); });
+  });
+  rig.tb->sim().run_for(sim::seconds(14));
+  ASSERT_TRUE(ok.has_value()) << "call still unresolved";
+  EXPECT_TRUE(*ok) << "call failed instead of riding out the outage";
+  EXPECT_GT(rig.tb->router(0).sighost->stats().retransmits, 0u);
+  EXPECT_EQ(plan.stats().events_fired, 2u);  // cut + heal
 }
 
 TEST(SighostCrash, EstablishedDataFlowsWithSignalingDead) {

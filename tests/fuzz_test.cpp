@@ -83,6 +83,91 @@ TEST_P(ParserFuzz, TcpSegmentParserNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 4));
 
+// ------------------------------------------------------- framer fuzzing
+
+TEST_P(ParserFuzz, FramerSurvivesTruncatedDuplicatedAndFlippedStreams) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 13);
+  // A pool of well-formed framed messages to build hostile streams from.
+  std::vector<util::Buffer> frames;
+  for (int i = 0; i < 8; ++i) {
+    sig::Msg m;
+    m.type = static_cast<sig::MsgType>(1 + rng.below(12));
+    m.req_id = static_cast<sig::ReqId>(rng.next());
+    m.cookie = static_cast<sig::Cookie>(rng.next());
+    m.service = std::string(rng.below(20), 's');
+    m.qos = std::string(rng.below(20), 'q');
+    frames.push_back(sig::frame(m));
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    // Fresh framer per iteration: no state may leak between streams.
+    int delivered = 0;
+    int errors = 0;
+    sig::MsgFramer framer([&](const sig::Msg&) { ++delivered; },
+                          [&](util::Errc) { ++errors; });
+    util::Buffer stream;
+    int msgs = 1 + static_cast<int>(rng.below(6));
+    for (int k = 0; k < msgs; ++k) {
+      const util::Buffer& f = frames[rng.below(frames.size())];
+      switch (rng.below(4)) {
+        case 0: {  // truncated frame (stream ends mid-message)
+          std::size_t cut = rng.below(f.size()) + 1;
+          stream.insert(stream.end(), f.begin(), f.begin() + cut);
+          k = msgs;  // truncation ends the stream
+          break;
+        }
+        case 1:  // duplicated frame
+          stream.insert(stream.end(), f.begin(), f.end());
+          stream.insert(stream.end(), f.begin(), f.end());
+          break;
+        case 2: {  // one bit flipped somewhere in the frame
+          util::Buffer g = f;
+          g[rng.below(g.size())] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+          stream.insert(stream.end(), g.begin(), g.end());
+          break;
+        }
+        default:  // intact
+          stream.insert(stream.end(), f.begin(), f.end());
+      }
+    }
+    // Feed in random-size chunks; must never crash, and every complete
+    // well-formed frame either parses or surfaces as a counted error.
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      std::size_t n = 1 + rng.below(stream.size() - off);
+      framer.feed(util::BytesView(stream.data() + off, n));
+      off += n;
+    }
+    EXPECT_GE(delivered + errors, 0);
+  }
+}
+
+TEST_P(ParserFuzz, FramerParsesCleanStreamsCompletely) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 211 + 7);
+  for (int iter = 0; iter < 100; ++iter) {
+    int msgs = 1 + static_cast<int>(rng.below(10));
+    util::Buffer stream;
+    for (int k = 0; k < msgs; ++k) {
+      sig::Msg m;
+      m.type = sig::MsgType::connect_req;
+      m.req_id = static_cast<sig::ReqId>(k);
+      m.dst = "berkeley.rt";
+      m.service = "svc";
+      util::Buffer f = sig::frame(m);
+      stream.insert(stream.end(), f.begin(), f.end());
+    }
+    int delivered = 0;
+    sig::MsgFramer framer([&](const sig::Msg&) { ++delivered; });
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      std::size_t n = 1 + rng.below(7);
+      n = std::min(n, stream.size() - off);
+      framer.feed(util::BytesView(stream.data() + off, n));
+      off += n;
+    }
+    EXPECT_EQ(delivered, msgs);  // byte-dribbled streams lose nothing
+  }
+}
+
 // ------------------------------------------------- malicious applications
 
 struct MaliciousRig {
