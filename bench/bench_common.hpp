@@ -51,12 +51,7 @@ inline CanonicalRig make_rig(core::TestbedConfig cfg = {},
                              const std::string& service = "bench",
                              std::uint16_t port = 5000) {
   CanonicalRig rig;
-  rig.tb = core::Testbed::canonical(cfg);
-  auto up = rig.tb->bring_up();
-  if (!up.ok()) {
-    std::fprintf(stderr, "bring_up failed: %d\n", static_cast<int>(up.error()));
-    std::abort();
-  }
+  rig.tb = cfg.routers(2).pvc_mesh().build();
   auto& r1 = rig.tb->router(1);
   rig.server = std::make_unique<core::CallServer>(
       *r1.kernel, r1.kernel->ip_node().address(), service, port);

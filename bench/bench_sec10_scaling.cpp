@@ -8,10 +8,17 @@
 //      TIME_WAIT retention; 100 fixes it);
 //   3. the 200-open-connections head-room check.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "userlib/userlib.hpp"
 
 namespace xunet::bench {
 namespace {
+
+/// Sweep results accumulate here and are written as BENCH_scaling.json.
+JsonReport& report() {
+  static JsonReport rep("scaling");
+  return rep;
+}
 
 struct ClumpResult {
   std::uint64_t dropped = 0;
@@ -63,13 +70,18 @@ void buffer_sweep() {
       "Pseudo-device buffer sweep (100 near-simultaneous connect indications)");
   t.header({"buffers", "indications lost", "calls killed by bind timeout",
             "paper's verdict"});
-  for (std::size_t buffers : {4u, 8u, 16u, 32u, 80u, 160u}) {
+  const std::vector<std::size_t> sweep =
+      bench_short() ? std::vector<std::size_t>{8u, 80u}
+                    : std::vector<std::size_t>{4u, 8u, 16u, 32u, 80u, 160u};
+  for (std::size_t buffers : sweep) {
     auto r = clump_run(buffers);
     std::string verdict = buffers == 8 ? "broken (original config)"
                           : buffers == 80 ? "adequate (fixed config)"
                                           : "";
     t.row({std::to_string(buffers), std::to_string(r.dropped),
            std::to_string(r.timeouts), verdict});
+    report().metric("buffers_" + std::to_string(buffers) + "_lost",
+                    static_cast<double>(r.dropped));
   }
   t.print();
 }
@@ -115,13 +127,18 @@ void fd_sweep() {
       "Descriptor-table sweep (100-call burst; closed per-call sockets linger "
       "2xMSL in TIME_WAIT)");
   t.header({"fd table", "established", "failed", "paper's verdict"});
-  for (std::size_t fds : {20u, 40u, 60u, 100u, 200u}) {
+  const std::vector<std::size_t> sweep =
+      bench_short() ? std::vector<std::size_t>{20u, 100u}
+                    : std::vector<std::size_t>{20u, 40u, 60u, 100u, 200u};
+  for (std::size_t fds : sweep) {
     auto r = fd_burst(fds);
     std::string verdict = fds == 20 ? "broken ('typically around twenty')"
                           : fds == 100 ? "fixed (raised to 100)"
                                        : "";
     t.row({std::to_string(fds), std::to_string(r.established),
            std::to_string(r.failed), verdict});
+    report().metric("fd_" + std::to_string(fds) + "_established",
+                    static_cast<double>(r.established));
   }
   t.print();
 }
@@ -157,6 +174,7 @@ void two_hundred_open() {
           std::to_string(open_count) + " (" +
               std::to_string(tb->network().active_vc_count() - 2) +
               " switched VCs active)");
+  report().metric("open_connections_held", open_count);
 }
 
 }  // namespace
@@ -167,5 +185,10 @@ int main() {
   xunet::bench::buffer_sweep();
   xunet::bench::fd_sweep();
   xunet::bench::two_hundred_open();
+  xunet::bench::report().info(
+      "paper_reference", "section 10: buffer and fd-table scaling sweeps");
+  xunet::bench::report().info("short_mode",
+                              xunet::bench::bench_short() ? "1" : "0");
+  xunet::bench::report().write();
   return 0;
 }

@@ -37,8 +37,7 @@ std::map<std::string, util::Buffer> make_files() {
 int main() {
   std::printf("== file-service: the paper's motivating scenario ==\n\n");
 
-  auto tb = core::Testbed::canonical();
-  if (!tb->bring_up().ok()) return 1;
+  auto tb = core::TestbedConfig{}.pvc_mesh().build();
   auto& mh = *tb->router(0).kernel;        // file server lives here
   auto& berkeley = *tb->router(1).kernel;  // client lives here
 

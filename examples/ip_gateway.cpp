@@ -19,8 +19,7 @@ using namespace xunet;
 int main() {
   std::printf("== ip_gateway: AAL frames over IP ('ATM Everywhere') ==\n\n");
 
-  auto tb = core::Testbed::canonical_with_hosts();
-  if (!tb->bring_up().ok()) return 1;
+  auto tb = core::TestbedConfig{}.hosts(2).pvc_mesh().build();
   auto& h0 = tb->host(0);  // mh.host1 (client, no ATM board)
   auto& h1 = tb->host(1);  // berkeley.host1 (server, no ATM board)
   auto& r0 = tb->router(0);

@@ -16,8 +16,7 @@ int main() {
 
   // DS3 trunk: 45 Mb/s.  Each video stream asks for 15 Mb/s guaranteed, so
   // three fit and the fourth must be refused by admission control.
-  auto tb = core::Testbed::canonical();
-  if (!tb->bring_up().ok()) return 1;
+  auto tb = core::TestbedConfig{}.pvc_mesh().build();
   auto& mh = *tb->router(0).kernel;        // viewers
   auto& berkeley = *tb->router(1).kernel;  // video server machine
 

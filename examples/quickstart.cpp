@@ -19,11 +19,7 @@ int main() {
   // 1. Bring up the Xunet testbed of §9: two routers ("mh.rt" and
   //    "berkeley.rt") joined by a three-hop, two-switch DS3 ATM path, with
   //    sighost + anand server running on each router.
-  auto tb = core::Testbed::canonical();
-  if (auto r = tb->bring_up(); !r.ok()) {
-    std::fprintf(stderr, "bring-up failed\n");
-    return 1;
-  }
+  auto tb = core::TestbedConfig{}.pvc_mesh().build();
   auto& mh = *tb->router(0).kernel;        // client machine
   auto& berkeley = *tb->router(1).kernel;  // server machine
 

@@ -38,7 +38,7 @@ struct RunArtifacts {
 // invocations replay the exact same event sequence.
 RunArtifacts traced_run() {
   RunArtifacts out;
-  auto tb = core::Testbed::canonical();
+  auto tb = core::TestbedConfig{}.build_deferred();
   tb->sim().obs().set_tracing(true);  // before bring-up: trace it all
   if (!tb->bring_up().ok()) return out;
 

@@ -19,50 +19,88 @@ std::string_view to_string(Aal5Error e) noexcept {
   return "?";
 }
 
-util::Result<std::vector<Cell>> Aal5Segmenter::segment(Vci vci,
-                                                       util::BytesView payload) {
-  if (payload.size() > kMaxFramePayload) return Errc::message_too_long;
+util::Result<void> Aal5Segmenter::emit(Vci vci, const util::BytesView* spans,
+                                       std::size_t nspans, std::size_t total,
+                                       std::vector<Cell>& out) {
+  if (total > kMaxFramePayload) return Errc::message_too_long;
   if (vci == kInvalidVci) return Errc::invalid_argument;
 
   std::uint8_t seq = 0;
-  if (auto it = seq_.find(vci); it != seq_.end()) {
-    seq = it->second;
-  }
-  seq_[vci] = static_cast<std::uint8_t>(seq + 1);
+  if (const std::uint8_t* s = seq_.find(vci)) seq = *s;
+  seq_.insert(vci, static_cast<std::uint8_t>(seq + 1));
 
-  // CPCS-PDU = payload | pad | trailer, a multiple of the cell payload size.
-  const std::size_t ncells = cells_for_payload(payload.size());
-  const std::size_t pdu_size = ncells * kCellPayload;
-  util::Buffer pdu(pdu_size, 0);
-  if (!payload.empty()) {
-    std::memcpy(pdu.data(), payload.data(), payload.size());
-  }
-
-  std::uint8_t* trailer = pdu.data() + pdu_size - kAal5TrailerBytes;
-  trailer[0] = seq;  // UU: Xunet-variant frame sequence number
-  trailer[1] = 0;    // CPI
-  trailer[2] = static_cast<std::uint8_t>(payload.size() >> 8);
-  trailer[3] = static_cast<std::uint8_t>(payload.size());
-  // CRC-32 covers the whole PDU except the CRC field itself.
-  std::uint32_t crc = util::crc32({pdu.data(), pdu_size - 4});
-  trailer[4] = static_cast<std::uint8_t>(crc >> 24);
-  trailer[5] = static_cast<std::uint8_t>(crc >> 16);
-  trailer[6] = static_cast<std::uint8_t>(crc >> 8);
-  trailer[7] = static_cast<std::uint8_t>(crc);
-
-  std::vector<Cell> cells(ncells);
+  // CPCS-PDU = payload | pad | trailer, a multiple of the cell payload
+  // size — but the PDU is never materialized: each cell payload is filled
+  // straight from the scattered input and fed to the incremental CRC.
+  const std::size_t ncells = cells_for_payload(total);
+  out.resize(ncells);
+  util::Crc32 crc;
+  std::size_t si = 0;    // current input span
+  std::size_t soff = 0;  // offset within it
   for (std::size_t i = 0; i < ncells; ++i) {
-    cells[i].vci = vci;
-    cells[i].end_of_frame = (i + 1 == ncells);
-    std::memcpy(cells[i].payload.data(), pdu.data() + i * kCellPayload,
-                kCellPayload);
+    Cell& c = out[i];
+    c.vci = vci;
+    c.end_of_frame = (i + 1 == ncells);
+    std::size_t filled = 0;
+    while (filled < kCellPayload && si < nspans) {
+      const util::BytesView& s = spans[si];
+      const std::size_t take = std::min(kCellPayload - filled, s.size() - soff);
+      if (take > 0) {
+        std::memcpy(c.payload.data() + filled, s.data() + soff, take);
+        filled += take;
+        soff += take;
+      }
+      if (soff == s.size()) {
+        ++si;
+        soff = 0;
+      }
+    }
+    std::memset(c.payload.data() + filled, 0, kCellPayload - filled);
+    if (!c.end_of_frame) {
+      crc.update({c.payload.data(), kCellPayload});
+      continue;
+    }
+    // The data never reaches the trailer region of the final cell
+    // (cells_for_payload reserves the 8 trailer bytes), so the zero pad
+    // above is safely overwritten here.
+    std::uint8_t* trailer = c.payload.data() + kCellPayload - kAal5TrailerBytes;
+    trailer[0] = seq;  // UU: Xunet-variant frame sequence number
+    trailer[1] = 0;    // CPI
+    trailer[2] = static_cast<std::uint8_t>(total >> 8);
+    trailer[3] = static_cast<std::uint8_t>(total);
+    // CRC-32 covers the whole PDU except the CRC field itself.
+    crc.update({c.payload.data(), kCellPayload - 4});
+    const std::uint32_t v = crc.value();
+    trailer[4] = static_cast<std::uint8_t>(v >> 24);
+    trailer[5] = static_cast<std::uint8_t>(v >> 16);
+    trailer[6] = static_cast<std::uint8_t>(v >> 8);
+    trailer[7] = static_cast<std::uint8_t>(v);
   }
+  return {};
+}
+
+util::Result<std::vector<Cell>> Aal5Segmenter::segment(Vci vci,
+                                                       util::BytesView payload) {
+  std::vector<Cell> cells;
+  auto r = emit(vci, &payload, 1, payload.size(), cells);
+  if (!r) return r.error();
   return cells;
 }
 
+util::Result<void> Aal5Segmenter::segment_gather(
+    Vci vci, const std::vector<util::Buffer>& segs, std::vector<Cell>& out) {
+  spans_.clear();
+  std::size_t total = 0;
+  for (const util::Buffer& s : segs) {
+    spans_.emplace_back(s.data(), s.size());
+    total += s.size();
+  }
+  return emit(vci, spans_.data(), spans_.size(), total, out);
+}
+
 std::uint8_t Aal5Segmenter::next_seq(Vci vci) const noexcept {
-  auto it = seq_.find(vci);
-  return it == seq_.end() ? 0 : it->second;
+  const std::uint8_t* s = seq_.find(vci);
+  return s == nullptr ? 0 : *s;
 }
 
 Aal5Reassembler::Aal5Reassembler(FrameHandler on_frame, ErrorHandler on_error)

@@ -15,11 +15,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "atm/cell.hpp"
 #include "util/buffer.hpp"
+#include "util/flat_map.hpp"
 #include "util/result.hpp"
 
 namespace xunet::atm {
@@ -55,6 +55,15 @@ class Aal5Segmenter {
   [[nodiscard]] util::Result<std::vector<Cell>> segment(Vci vci,
                                                         util::BytesView payload);
 
+  /// Gather variant for the native send path: segment a frame scattered
+  /// across `segs` (an mbuf chain's segments) without ever building a
+  /// contiguous PDU.  Cell payloads are filled straight from the segments
+  /// and the trailer CRC-32 accumulates incrementally as cells are emitted.
+  /// `out` is overwritten (not appended to), so a hot path can reuse one
+  /// vector forever.
+  [[nodiscard]] util::Result<void> segment_gather(
+      Vci vci, const std::vector<util::Buffer>& segs, std::vector<Cell>& out);
+
   /// Sequence number the next frame on `vci` will carry.
   [[nodiscard]] std::uint8_t next_seq(Vci vci) const noexcept;
 
@@ -62,7 +71,12 @@ class Aal5Segmenter {
   void release(Vci vci) noexcept { seq_.erase(vci); }
 
  private:
-  std::unordered_map<Vci, std::uint8_t> seq_;
+  util::Result<void> emit(Vci vci, const util::BytesView* spans,
+                          std::size_t nspans, std::size_t total,
+                          std::vector<Cell>& out);
+
+  util::FlatMap<Vci, std::uint8_t> seq_;
+  std::vector<util::BytesView> spans_;  ///< reused gather scratch
 };
 
 /// Per-VC reassembler.  Feed cells in arrival order; completed frames and
@@ -98,7 +112,7 @@ class Aal5Reassembler {
 
   FrameHandler on_frame_;
   ErrorHandler on_error_;
-  std::unordered_map<Vci, VcState> vcs_;
+  util::FlatMap<Vci, VcState> vcs_;
   std::uint64_t errors_ = 0;
   std::uint64_t frames_ = 0;
 };

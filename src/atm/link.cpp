@@ -7,8 +7,16 @@ namespace xunet::atm {
 
 CellLink::CellLink(sim::Simulator& sim, std::uint64_t rate_bps,
                    sim::SimDuration propagation, CellSink& sink)
-    : sim_(sim), rate_bps_(rate_bps), propagation_(propagation), sink_(sink) {
+    : sim_(sim),
+      rate_bps_(rate_bps),
+      cell_time_ns_(static_cast<std::int64_t>(kCellBits * 1'000'000'000ull / rate_bps)),
+      propagation_(propagation),
+      sink_(sink) {
   assert(rate_bps_ > 0);
+}
+
+CellLink::~CellLink() {
+  if (armed_ != 0) sim_.cancel(armed_);
 }
 
 void CellLink::send(const Cell& cell) {
@@ -20,21 +28,47 @@ void CellLink::send(const Cell& cell) {
     ++cells_dropped_;
     return;
   }
-  Cell delivered = cell;
-  if (corrupt_prob_ > 0.0 && rng_ != nullptr && rng_->chance(corrupt_prob_)) {
-    // One flipped payload bit; AAL5's CRC-32 catches it at reassembly.
-    const std::size_t byte = rng_->below(kCellPayload);
-    delivered.payload[byte] ^= static_cast<std::uint8_t>(1u << rng_->below(8));
-    ++cells_corrupted_;
-  }
+  const bool corrupt =
+      corrupt_prob_ > 0.0 && rng_ != nullptr && rng_->chance(corrupt_prob_);
   // Serialization: the cell starts when the transmitter frees up, takes one
   // cell-time on the wire, then propagates.
   const sim::SimTime start = std::max(line_free_at_, sim_.now());
   const sim::SimTime tx_done = start + cell_time();
   line_free_at_ = tx_done;
   ++cells_sent_;
-  sim_.schedule_at(tx_done + propagation_,
-                   [this, delivered] { sink_.cell_arrival(delivered); });
+  sim::SimTime at = tx_done + propagation_;
+  if (quantum_.ns() > 0) {
+    const std::int64_t q = quantum_.ns();
+    at = sim::SimTime((at.ns() + q - 1) / q * q);
+  }
+  Pending& p = pending_.push_slot();
+  p.at = at;
+  p.cell = cell;
+  if (corrupt) {
+    // One flipped payload bit; AAL5's CRC-32 catches it at reassembly.
+    const std::size_t byte = rng_->below(kCellPayload);
+    p.cell.payload[byte] ^= static_cast<std::uint8_t>(1u << rng_->below(8));
+    ++cells_corrupted_;
+  }
+  // Arrival instants are non-decreasing (line_free_at_ and now() are both
+  // monotone), so the front of the queue is always the next due cell.
+  if (armed_ == 0) {
+    armed_ = sim_.schedule_at(pending_.front().at, [this] { deliver(); });
+  }
+}
+
+void CellLink::deliver() {
+  armed_ = 0;
+  train_.clear();
+  const sim::SimTime now = sim_.now();
+  while (!pending_.empty() && pending_.front().at <= now) {
+    train_.push_back(pending_.front().cell);
+    pending_.pop_front();
+  }
+  if (!train_.empty()) sink_.cells_arrival(train_.data(), train_.size());
+  if (armed_ == 0 && !pending_.empty()) {
+    armed_ = sim_.schedule_at(pending_.front().at, [this] { deliver(); });
+  }
 }
 
 }  // namespace xunet::atm

@@ -6,9 +6,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "atm/cell.hpp"
 #include "sim/simulator.hpp"
+#include "util/ring.hpp"
 #include "util/rng.hpp"
 
 namespace xunet::atm {
@@ -19,6 +21,11 @@ class CellSink {
  public:
   virtual ~CellSink() = default;
   virtual void cell_arrival(const Cell& cell) = 0;
+  /// A cell train: every cell arrived at the current instant.  Sinks on the
+  /// fast path override this; the default unbundles to cell_arrival.
+  virtual void cells_arrival(const Cell* cells, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) cell_arrival(cells[i]);
+  }
 };
 
 /// Canonical Xunet line rates.
@@ -28,14 +35,31 @@ inline constexpr std::uint64_t kOc12Bps = 622'000'000;
 /// Unidirectional cell pipe.  Models serialization (cells queue behind one
 /// another at the line rate) plus fixed propagation delay.  Optional random
 /// cell loss supports the AAL5 loss-detection experiments.
+///
+/// In-flight cells live in a ring queue ordered by arrival instant; one
+/// armed simulator event delivers every due cell as a train, so the event
+/// queue holds O(1) entries per link instead of one per cell in flight.
+/// With a coalescing quantum set, arrival instants round up to quantum
+/// boundaries (modeling receive-interrupt batching) and trains genuinely
+/// carry many cells per event; the default quantum of zero preserves the
+/// exact per-cell arrival times of the original implementation.
 class CellLink {
  public:
   /// `sink` must outlive the link.
   CellLink(sim::Simulator& sim, std::uint64_t rate_bps,
            sim::SimDuration propagation, CellSink& sink);
+  ~CellLink();
+  CellLink(const CellLink&) = delete;
+  CellLink& operator=(const CellLink&) = delete;
 
   /// Enqueue a cell for transmission.
   void send(const Cell& cell);
+
+  /// Batch arrivals: delivery instants round up to multiples of `quantum`
+  /// so cells serialized within one quantum share a single train event.
+  /// Zero (the default) delivers each cell at its exact arrival instant.
+  void set_coalescing(sim::SimDuration quantum) noexcept { quantum_ = quantum; }
+  [[nodiscard]] sim::SimDuration coalescing() const noexcept { return quantum_; }
 
   /// Drop each cell independently with probability `p` using `rng`
   /// (which must outlive the link).  p=0 disables loss.
@@ -65,16 +89,27 @@ class CellLink {
 
   /// Serialization time of one cell at this link's rate.
   [[nodiscard]] sim::SimDuration cell_time() const noexcept {
-    return sim::nanoseconds(
-        static_cast<std::int64_t>(kCellBits * 1'000'000'000ull / rate_bps_));
+    return sim::nanoseconds(cell_time_ns_);
   }
 
  private:
+  struct Pending {
+    sim::SimTime at;
+    Cell cell;
+  };
+
+  void deliver();
+
   sim::Simulator& sim_;
   std::uint64_t rate_bps_;
+  std::int64_t cell_time_ns_;  ///< cached kCellBits/rate, avoids a div per cell
   sim::SimDuration propagation_;
   CellSink& sink_;
   sim::SimTime line_free_at_{};  ///< when the transmitter finishes its queue
+  sim::SimDuration quantum_{};   ///< arrival coalescing; 0 = exact instants
+  util::RingQueue<Pending> pending_;  ///< in-flight cells, arrival order
+  std::vector<Cell> train_;           ///< reused delivery scratch
+  sim::EventId armed_ = 0;            ///< the one outstanding delivery event
   bool down_ = false;
   double loss_prob_ = 0.0;
   double corrupt_prob_ = 0.0;

@@ -82,6 +82,7 @@ util::Result<CellLink*> AtmNetwork::attach_endpoint(
   up.vcis = shared_vcis;
   up.link = std::make_unique<CellLink>(sim_, rate_bps, propagation,
                                        sw.input(in_port));
+  up.link->set_coalescing(default_coalescing_);
   edges_.push_back(std::move(up));
   out_edges_[static_cast<std::size_t>(ep_node)].push_back(
       static_cast<int>(edges_.size()) - 1);
@@ -95,6 +96,7 @@ util::Result<CellLink*> AtmNetwork::attach_endpoint(
   down.from_port = out_port;
   down.vcis = shared_vcis;
   down.link = std::make_unique<CellLink>(sim_, rate_bps, propagation, sink);
+  down.link->set_coalescing(default_coalescing_);
   sw.set_output(out_port, *down.link);
   edges_.push_back(std::move(down));
   out_edges_[static_cast<std::size_t>(sw_node)].push_back(
@@ -119,6 +121,7 @@ void AtmNetwork::connect_switches(AtmSwitch& a, AtmSwitch& b,
     e.to_port = in_port;
     e.link = std::make_unique<CellLink>(sim_, rate_bps, propagation,
                                         to.input(in_port));
+    e.link->set_coalescing(default_coalescing_);
     from.set_output(out_port, *e.link);
     edges_.push_back(std::move(e));
     out_edges_[static_cast<std::size_t>(nfrom)].push_back(
@@ -281,7 +284,7 @@ void AtmNetwork::setup_vc(const AtmAddress& src, const AtmAddress& dst,
   h.hop_count = static_cast<int>(vc->hops.size());
   vc->src = src;
   vc->dst = dst;
-  active_.emplace(h.id, std::move(*vc));
+  active_.insert(h.id, std::move(*vc));
   finish(h, latency);
 }
 
@@ -304,7 +307,7 @@ util::Result<VcHandle> AtmNetwork::setup_pvc(const AtmAddress& src,
   h.hop_count = static_cast<int>(vc->hops.size());
   vc->src = src;
   vc->dst = dst;
-  active_.emplace(h.id, std::move(*vc));
+  active_.insert(h.id, std::move(*vc));
   return h;
 }
 
@@ -348,8 +351,8 @@ std::vector<CellLink*> AtmNetwork::endpoint_links(const AtmAddress& addr) {
 std::vector<AtmNetwork::VcAudit> AtmNetwork::audit_vcs(
     const AtmAddress& endpoint) const {
   std::vector<VcAudit> out;
-  for (const auto& [id, vc] : active_) {
-    if (vc.hops.empty()) continue;
+  active_.for_each([&](const VcId& id, const ActiveVc& vc) {
+    if (vc.hops.empty()) return;
     VcAudit a;
     a.id = id;
     if (vc.src == endpoint) {
@@ -363,11 +366,12 @@ std::vector<AtmNetwork::VcAudit> AtmNetwork::audit_vcs(
       a.remote = vc.src;
       a.originator = false;
     } else {
-      continue;
+      return;
     }
     out.push_back(std::move(a));
-  }
-  // active_ is an unordered_map: impose a deterministic order.
+  });
+  // Bucket order depends on the insert/erase history: impose a
+  // deterministic order.
   std::sort(out.begin(), out.end(), [](const VcAudit& x, const VcAudit& y) {
     return x.local_vci < y.local_vci;
   });
@@ -382,10 +386,10 @@ AtmSwitch* AtmNetwork::switch_by_name(const std::string& name) noexcept {
 }
 
 util::Result<void> AtmNetwork::teardown(VcId id) {
-  auto it = active_.find(id);
-  if (it == active_.end()) return Errc::not_found;
-  uninstall(it->second);
-  active_.erase(it);
+  ActiveVc* vc = active_.find(id);
+  if (vc == nullptr) return Errc::not_found;
+  uninstall(*vc);
+  active_.erase(id);
   return {};
 }
 

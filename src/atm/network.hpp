@@ -18,6 +18,7 @@
 
 #include "atm/switch.hpp"
 #include "atm/types.hpp"
+#include "util/flat_map.hpp"
 
 namespace xunet::atm {
 
@@ -73,6 +74,13 @@ class AtmNetwork {
   /// Connect two switches with a link pair.
   void connect_switches(AtmSwitch& a, AtmSwitch& b, std::uint64_t rate_bps,
                         sim::SimDuration propagation);
+
+  /// Arrival-coalescing quantum applied to every link created from now on
+  /// (receive-interrupt batching on the fast path).  Zero — the default —
+  /// keeps exact per-cell arrival instants.
+  void set_default_coalescing(sim::SimDuration q) noexcept {
+    default_coalescing_ = q;
+  }
 
   // -- VC signaling --------------------------------------------------------
 
@@ -183,12 +191,16 @@ class AtmNetwork {
 
   sim::Simulator& sim_;
   sim::SimDuration per_switch_setup_;
+  sim::SimDuration default_coalescing_{};
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
   std::vector<std::vector<int>> out_edges_;  ///< per node, indices into edges_
   std::vector<std::unique_ptr<AtmSwitch>> switches_;
   std::unordered_map<AtmAddress, int> endpoint_nodes_;
-  std::unordered_map<VcId, ActiveVc> active_;
+  /// Active VCs, id -> state.  Open-addressing flat table: teardown and the
+  /// per-call signaling path hit this map once per hop, and crash-recovery
+  /// audits iterate it; both want contiguous storage over node chasing.
+  util::FlatMap<VcId, ActiveVc> active_;
   VcId next_vc_id_ = 1;
   std::uint64_t setups_attempted_ = 0;
   std::uint64_t setups_denied_ = 0;

@@ -1,5 +1,6 @@
 #include "atm/switch.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace xunet::atm {
@@ -42,7 +43,7 @@ util::Result<void> AtmSwitch::install_route(int in_port, Vci in_vci,
       out_vci == kInvalidVci) {
     return Errc::invalid_argument;
   }
-  RouteKey key{in_port, in_vci};
+  std::uint64_t key = route_key(in_port, in_vci);
   if (table_.contains(key)) return Errc::duplicate;
 
   Port& out = *ports_[static_cast<std::size_t>(out_port)];
@@ -55,17 +56,18 @@ util::Result<void> AtmSwitch::install_route(int in_port, Vci in_vci,
     reserve = qos.bandwidth_bps;
     out.reserved_bps += reserve;
   }
-  table_.emplace(key, Route{out_port, out_vci, reserve, qos.service_class});
+  table_.insert(key, Route{out_port, out_vci, reserve, qos.service_class});
   return {};
 }
 
 util::Result<void> AtmSwitch::remove_route(int in_port, Vci in_vci) {
-  auto it = table_.find(RouteKey{in_port, in_vci});
-  if (it == table_.end()) return Errc::not_found;
-  Port& out = *ports_[static_cast<std::size_t>(it->second.out_port)];
-  assert(out.reserved_bps >= it->second.reserved_bps);
-  out.reserved_bps -= it->second.reserved_bps;
-  table_.erase(it);
+  std::uint64_t key = route_key(in_port, in_vci);
+  Route* r = table_.find(key);
+  if (r == nullptr) return Errc::not_found;
+  Port& out = *ports_[static_cast<std::size_t>(r->out_port)];
+  assert(out.reserved_bps >= r->reserved_bps);
+  out.reserved_bps -= r->reserved_bps;
+  table_.erase(key);
   return {};
 }
 
@@ -74,36 +76,73 @@ std::uint64_t AtmSwitch::reserved_bps(int port) const {
   return ports_[static_cast<std::size_t>(port)]->reserved_bps;
 }
 
-void AtmSwitch::handle_cell(int in_port, const Cell& cell) {
-  auto it = table_.find(RouteKey{in_port, cell.vci});
-  if (it == table_.end()) {
-    ++cells_unroutable_;
-    m_unroutable_->inc();
-    return;
+void AtmSwitch::handle_cells(int in_port, const Cell* cells, std::size_t n) {
+  const sim::SimTime ready = sim_.now() + per_cell_latency_;
+  const bool tracing = XOBS_TRACING(obs_);
+  std::uint64_t switched = 0;
+  std::uint64_t unroutable = 0;
+  // Cells of one train overwhelmingly share a VCI, so memoize the last
+  // route lookup; the table cannot change mid-train.
+  std::uint64_t last_key = ~std::uint64_t{0};
+  Route* route = nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Cell& cell = cells[i];
+    const std::uint64_t key = route_key(in_port, cell.vci);
+    if (key != last_key) {
+      route = table_.find(key);
+      last_key = key;
+    }
+    if (route == nullptr) {
+      ++unroutable;
+      continue;
+    }
+    Port& out = *ports_[static_cast<std::size_t>(route->out_port)];
+    if (out.out == nullptr) {
+      ++unroutable;
+      continue;
+    }
+    ++switched;
+    if (tracing) {
+      obs::TraceIds ids;
+      ids.vci = cell.vci;
+      obs_->complete(per_cell_latency_, "atm", "cell.fwd", name_,
+                     std::move(ids));
+    }
+    // Cross the fabric (fixed per-cell latency), then join the output port's
+    // class queue.  Every cell of a train shares one ready instant, so the
+    // whole train rides a single fabric event per output port.
+    Staged& s = out.fabric.push_slot();
+    s.ready = ready;
+    s.cell = cell;
+    s.cell.vci = route->out_vci;
+    s.svc_class = route->svc_class;
+    if (out.fabric_armed == 0) {
+      out.fabric_armed = sim_.schedule_at(
+          out.fabric.front().ready, [this, &out] { fabric_deliver(out); });
+    }
   }
-  Port& out = *ports_[static_cast<std::size_t>(it->second.out_port)];
-  if (out.out == nullptr) {
-    ++cells_unroutable_;
-    m_unroutable_->inc();
-    return;
+  if (switched > 0) {
+    cells_switched_ += switched;
+    m_cells_->inc(switched);
   }
-  ++cells_switched_;
-  m_cells_->inc();
-  if (XOBS_TRACING(obs_)) {
-    obs::TraceIds ids;
-    ids.vci = cell.vci;
-    obs_->complete(per_cell_latency_, "atm", "cell.fwd", name_,
-                   std::move(ids));
+  if (unroutable > 0) {
+    cells_unroutable_ += unroutable;
+    m_unroutable_->inc(unroutable);
   }
-  Cell forwarded = cell;
-  forwarded.vci = it->second.out_vci;
-  // Cross the fabric (fixed per-cell latency), then join the output port's
-  // class queue; the port scheduler serves one cell per cell-time.
-  ServiceClass c = it->second.svc_class;
-  sim_.schedule(per_cell_latency_, [this, port = it->second.out_port,
-                                    forwarded, c] {
-    enqueue_out(*ports_[static_cast<std::size_t>(port)], forwarded, c);
-  });
+}
+
+void AtmSwitch::fabric_deliver(Port& out) {
+  out.fabric_armed = 0;
+  const sim::SimTime now = sim_.now();
+  while (!out.fabric.empty() && out.fabric.front().ready <= now) {
+    const Staged& s = out.fabric.front();
+    enqueue_out(out, s.cell, s.svc_class);
+    out.fabric.pop_front();
+  }
+  if (out.fabric_armed == 0 && !out.fabric.empty()) {
+    out.fabric_armed = sim_.schedule_at(out.fabric.front().ready,
+                                        [this, &out] { fabric_deliver(out); });
+  }
 }
 
 void AtmSwitch::enqueue_out(Port& out, const Cell& cell, ServiceClass c) {
@@ -136,14 +175,31 @@ void AtmSwitch::enqueue_out(Port& out, const Cell& cell, ServiceClass c) {
 
 void AtmSwitch::drain(Port& out) {
   // Static priority: guaranteed (2) over predicted (1) over best effort (0).
-  for (int c = 2; c >= 0; --c) {
-    auto& q = out.queues[static_cast<std::size_t>(c)];
-    if (q.empty()) continue;
-    Cell cell = q.front();
-    q.pop_front();
-    out.out->send(cell);
-    // Serve the next cell after one cell-time on the output line.
-    sim_.schedule(out.out->cell_time(), [this, &out] { drain(out); });
+  // When the output link coalesces arrivals anyway, serve a whole quantum's
+  // worth of cells per wakeup; the link's serialization clock (line_free_at_)
+  // still spaces them exactly one cell-time apart on the wire.
+  const sim::SimDuration cell_time = out.out->cell_time();
+  std::int64_t burst = 1;
+  if (out.out->coalescing().ns() > 0 && cell_time.ns() > 0) {
+    burst = std::max<std::int64_t>(1, out.out->coalescing().ns() / cell_time.ns());
+  }
+  std::int64_t sent = 0;
+  while (sent < burst) {
+    bool any = false;
+    for (int c = 2; c >= 0; --c) {
+      auto& q = out.queues[static_cast<std::size_t>(c)];
+      if (q.empty()) continue;
+      out.out->send(q.front());
+      q.pop_front();
+      any = true;
+      break;
+    }
+    if (!any) break;
+    ++sent;
+  }
+  if (sent > 0) {
+    // Serve the next batch after the line has drained what we just sent.
+    sim_.schedule(cell_time * sent, [this, &out] { drain(out); });
     return;
   }
   out.draining = false;

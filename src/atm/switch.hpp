@@ -8,12 +8,16 @@
 // queues — the simplest of the scheduling disciplines the paper points to
 // as future work (refs [17], [18]); overflowing cells are dropped per
 // class, which is what congests first under best-effort load.
+//
+// Fast path: the VC table is an open-addressing flat map keyed by
+// (input port, VCI), incoming trains are routed cell-by-cell but staged
+// per output port with a single armed fabric event (cells that crossed the
+// fabric by the same instant join the output queue together), and the
+// class queues are allocation-free ring buffers.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,7 +25,9 @@
 #include "atm/link.hpp"
 #include "atm/qos.hpp"
 #include "obs/obs.hpp"
+#include "util/flat_map.hpp"
 #include "util/result.hpp"
+#include "util/ring.hpp"
 
 namespace xunet::atm {
 
@@ -72,34 +78,47 @@ class AtmSwitch {
   [[nodiscard]] std::size_t queue_depth(int port) const;
 
  private:
+  /// A routed cell crossing the fabric toward its output port.
+  struct Staged {
+    sim::SimTime ready;
+    Cell cell;
+    ServiceClass svc_class = ServiceClass::best_effort;
+  };
+
   struct Port : CellSink {
     Port(AtmSwitch& sw, int index) : owner(sw), index(index) {}
     void cell_arrival(const Cell& cell) override {
-      owner.handle_cell(index, cell);
+      owner.handle_cells(index, &cell, 1);
+    }
+    void cells_arrival(const Cell* cells, std::size_t n) override {
+      owner.handle_cells(index, cells, n);
     }
     AtmSwitch& owner;
     int index;
     CellLink* out = nullptr;
     std::uint64_t reserved_bps = 0;
+    /// Cells in flight across the fabric to this output port, ready-order.
+    util::RingQueue<Staged> fabric;
+    sim::EventId fabric_armed = 0;
     /// Output queues, one per service class (index = ServiceClass value).
-    std::array<std::deque<Cell>, 3> queues;
+    std::array<util::RingQueue<Cell>, 3> queues;
     std::array<std::uint64_t, 3> drops{};
     bool draining = false;
   };
 
-  struct RouteKey {
-    int in_port;
-    Vci in_vci;
-    auto operator<=>(const RouteKey&) const = default;
-  };
   struct Route {
-    int out_port;
-    Vci out_vci;
-    std::uint64_t reserved_bps;
-    ServiceClass svc_class;
+    int out_port = -1;
+    Vci out_vci = kInvalidVci;
+    std::uint64_t reserved_bps = 0;
+    ServiceClass svc_class = ServiceClass::best_effort;
   };
 
-  void handle_cell(int in_port, const Cell& cell);
+  [[nodiscard]] static std::uint64_t route_key(int in_port, Vci in_vci) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(in_port)) << 16) | in_vci;
+  }
+
+  void handle_cells(int in_port, const Cell* cells, std::size_t n);
+  void fabric_deliver(Port& out);
   void enqueue_out(Port& out, const Cell& cell, ServiceClass c);
   void drain(Port& out);
 
@@ -111,7 +130,7 @@ class AtmSwitch {
   obs::Counter* m_cells_ = nullptr;
   obs::Counter* m_unroutable_ = nullptr;
   std::vector<std::unique_ptr<Port>> ports_;
-  std::map<RouteKey, Route> table_;
+  util::FlatMap<std::uint64_t, Route> table_;
   std::uint64_t cells_switched_ = 0;
   std::uint64_t cells_unroutable_ = 0;
 };

@@ -1,6 +1,8 @@
 #include "core/testbed.hpp"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace xunet::core {
 
@@ -22,9 +24,12 @@ std::string LeakReport::describe() const {
   return s.empty() ? "clean" : s;
 }
 
-Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
-  sim_ = std::make_unique<sim::Simulator>();
+Testbed::Testbed(TestbedConfig cfg) : cfg_(std::move(cfg)) {
+  sim_ = std::make_unique<sim::Simulator>(
+      cfg_.use_legacy_engine ? sim::Simulator::Engine::legacy_heap
+                             : sim::Simulator::Engine::pooled);
   net_ = std::make_unique<atm::AtmNetwork>(*sim_, cfg_.switch_setup);
+  net_->set_default_coalescing(cfg_.cell_quantum);
 }
 
 Testbed::~Testbed() = default;
@@ -177,21 +182,70 @@ util::Result<void> Testbed::restart_sighost(std::size_t i) {
   return r.sighost->recover();
 }
 
-std::unique_ptr<Testbed> Testbed::canonical(TestbedConfig cfg) {
-  auto tb = std::make_unique<Testbed>(cfg);
-  auto& s1 = tb->add_switch("s1");
-  auto& s2 = tb->add_switch("s2");
-  tb->connect_switches(s1, s2);
-  tb->add_router("mh.rt", ip::make_ip(10, 0, 0, 1), s1);
-  tb->add_router("berkeley.rt", ip::make_ip(10, 0, 1, 1), s2);
+namespace {
+
+/// Site name of router `i` — the first two keep the paper's Murray Hill /
+/// Berkeley names so the generalized topology is a superset of canonical().
+std::string site_prefix(int i) {
+  if (i == 0) return "mh";
+  if (i == 1) return "berkeley";
+  return "site" + std::to_string(i);
+}
+
+}  // namespace
+
+std::unique_ptr<Testbed> TestbedConfig::build_deferred() const {
+  assert(n_routers >= 1);
+  auto tb = std::make_unique<Testbed>(*this);
+
+  // Chain of switches, one router per switch: mh.rt — s1 — s2 — … — sN.
+  std::vector<atm::AtmSwitch*> switches;
+  for (int i = 0; i < n_routers; ++i) {
+    switches.push_back(&tb->add_switch("s" + std::to_string(i + 1)));
+    if (i > 0) {
+      tb->connect_switches(*switches[static_cast<std::size_t>(i - 1)],
+                           *switches[static_cast<std::size_t>(i)]);
+    }
+  }
+  for (int i = 0; i < n_routers; ++i) {
+    tb->add_router(site_prefix(i) + ".rt",
+                   ip::make_ip(10, 0, static_cast<std::uint8_t>(i), 1),
+                   *switches[static_cast<std::size_t>(i)]);
+  }
+  // Hosts round-robin across routers; per-site numbering from 1, matching
+  // canonical_with_hosts ("mh.host1" at 10.0.0.2, "berkeley.host1" at
+  // 10.0.1.2).
+  std::vector<int> per_site(static_cast<std::size_t>(n_routers), 0);
+  for (int k = 0; k < n_hosts; ++k) {
+    const int home = k % n_routers;
+    const int idx = ++per_site[static_cast<std::size_t>(home)];
+    tb->add_host(site_prefix(home) + ".host" + std::to_string(idx),
+                 ip::make_ip(10, 0, static_cast<std::uint8_t>(home),
+                             static_cast<std::uint8_t>(1 + idx)),
+                 tb->router(static_cast<std::size_t>(home)));
+  }
   return tb;
 }
 
-std::unique_ptr<Testbed> Testbed::canonical_with_hosts(TestbedConfig cfg) {
-  auto tb = canonical(cfg);
-  tb->add_host("mh.host1", ip::make_ip(10, 0, 0, 2), tb->router(0));
-  tb->add_host("berkeley.host1", ip::make_ip(10, 0, 1, 2), tb->router(1));
+std::unique_ptr<Testbed> TestbedConfig::build() const {
+  auto tb = build_deferred();
+  if (auto_bring_up) {
+    if (auto rc = tb->bring_up(); !rc) {
+      std::fprintf(stderr, "TestbedConfig::build: bring_up failed: %d\n",
+                   static_cast<int>(rc.error()));
+      std::abort();
+    }
+  }
+  if (on_built) on_built(*tb);
   return tb;
+}
+
+std::unique_ptr<Testbed> Testbed::canonical(TestbedConfig cfg) {
+  return cfg.routers(2).hosts(0).build_deferred();
+}
+
+std::unique_ptr<Testbed> Testbed::canonical_with_hosts(TestbedConfig cfg) {
+  return cfg.routers(2).hosts(2).build_deferred();
 }
 
 LeakReport Testbed::audit() const {

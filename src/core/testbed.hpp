@@ -7,6 +7,7 @@
 // each optionally serving IP-connected hosts over FDDI.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,7 +18,24 @@
 
 namespace xunet::core {
 
-/// All tunables of a deployment in one place; benches sweep these.
+class Testbed;
+
+/// All tunables of a deployment in one place, plus a fluent builder over
+/// them.  Benches sweep the fields directly; scenario code chains the
+/// builder:
+///
+///   auto tb = TestbedConfig{}
+///                 .routers(3)
+///                 .hosts(4)
+///                 .trunk(atm::kOc12Bps)
+///                 .pvc_mesh()
+///                 .build();
+///
+/// build() constructs the generalized §9 topology — `n_routers` switches in
+/// a chain, one router per switch, hosts distributed round-robin — and,
+/// when pvc_mesh() was requested, brings the deployment up (anand servers,
+/// sighosts, the signaling-PVC full mesh).  build_deferred() never brings
+/// up, whatever pvc_mesh() said.
 struct TestbedConfig {
   kern::KernelConfig kernel;          ///< default kernel config (all machines)
   sig::SighostConfig sighost;         ///< default sighost config (all routers)
@@ -30,6 +48,45 @@ struct TestbedConfig {
   /// Provision classical IP-over-ATM between every router pair at bring-up
   /// (§1's Xunet IP service): cross-router IP connectivity for hosts.
   bool ip_over_atm = false;
+  /// Topology: routers (one per switch, switches chained) and hosts
+  /// (distributed round-robin across routers).
+  int n_routers = 2;
+  int n_hosts = 0;
+  /// Use the pre-fast-path binary-heap event engine (determinism studies).
+  bool use_legacy_engine = false;
+  /// Arrival-coalescing quantum for every ATM link; zero = exact instants.
+  sim::SimDuration cell_quantum{};
+  /// build() calls bring_up() when set (the fluent pvc_mesh() sets it).
+  bool auto_bring_up = false;
+  /// Hook run on the freshly built (and possibly brought-up) testbed —
+  /// typically installs wire faults or schedules crashes.
+  std::function<void(Testbed&)> on_built;
+
+  // -- fluent builder -------------------------------------------------------
+  TestbedConfig& routers(int n) { n_routers = n; return *this; }
+  TestbedConfig& hosts(int n) { n_hosts = n; return *this; }
+  /// Line rate of every ATM link (trunks and endpoint links).
+  TestbedConfig& trunk(std::uint64_t bps) { atm_rate_bps = bps; return *this; }
+  TestbedConfig& propagation(sim::SimDuration d) { atm_propagation = d; return *this; }
+  /// Provision classical IP-over-ATM between the routers at bring-up.
+  TestbedConfig& ip_gateway() { ip_over_atm = true; return *this; }
+  /// Bring the deployment up inside build(), provisioning the signaling
+  /// PVC full mesh between routers.
+  TestbedConfig& pvc_mesh() { auto_bring_up = true; return *this; }
+  TestbedConfig& legacy_event_engine() { use_legacy_engine = true; return *this; }
+  TestbedConfig& cell_coalescing(sim::SimDuration q) { cell_quantum = q; return *this; }
+  TestbedConfig& fault_plan(std::function<void(Testbed&)> fn) {
+    on_built = std::move(fn);
+    return *this;
+  }
+
+  /// Build the deployment; brings it up when pvc_mesh() was requested
+  /// (aborting on bring-up failure — a topology bug, not a runtime
+  /// condition), then runs the fault plan.
+  [[nodiscard]] std::unique_ptr<Testbed> build() const;
+  /// Build the topology only — the caller owns bring_up(), and the fault
+  /// plan does not run.
+  [[nodiscard]] std::unique_ptr<Testbed> build_deferred() const;
 };
 
 /// One router: kernel + Hobbit + sighost + anand server.
@@ -115,8 +172,10 @@ class Testbed {
 
   /// §9's measurement topology: router "mh.rt" — switch s1 — switch s2 —
   /// router "berkeley.rt" (three hops), no hosts.
+  /// Deprecated: thin shim over `cfg.routers(2).build_deferred()`.
   static std::unique_ptr<Testbed> canonical(TestbedConfig cfg = TestbedConfig{});
   /// The canonical topology plus one IP host behind each router.
+  /// Deprecated: thin shim over `cfg.routers(2).hosts(2).build_deferred()`.
   static std::unique_ptr<Testbed> canonical_with_hosts(
       TestbedConfig cfg = TestbedConfig{});
 

@@ -22,7 +22,9 @@ HobbitInterface::HobbitInterface(atm::AtmAddress addr, std::size_t mbuf_bytes)
 
 util::Result<void> HobbitInterface::send(atm::Vci vci, const MbufChain& chain) {
   if (uplink_ == nullptr) return Errc::not_connected;
-  auto cells = seg_.segment(vci, chain.linearize());
+  // Segment straight over the mbuf chain's segments — the board walks the
+  // chain ("simply a pointer to an mbuf chain") and never linearizes it.
+  auto cells = seg_.segment_gather(vci, chain.segments(), tx_cells_);
   if (!cells) return cells.error();
   if (XOBS_TRACING(obs_)) {
     // AAL5 trailer + SAR on the board: the host CPU pays nothing (Table 1).
@@ -30,7 +32,7 @@ util::Result<void> HobbitInterface::send(atm::Vci vci, const MbufChain& chain) {
     ids.vci = vci;
     obs_->instant("atm", "aal5.segment", addr_.name, std::move(ids));
   }
-  for (const atm::Cell& c : *cells) {
+  for (const atm::Cell& c : tx_cells_) {
     uplink_->send(c);
   }
   ++frames_sent_;

@@ -59,6 +59,7 @@ class HobbitInterface : public atm::CellSink {
   obs::Observability* obs_ = nullptr;
   atm::CellLink* uplink_ = nullptr;
   atm::Aal5Segmenter seg_;
+  std::vector<atm::Cell> tx_cells_;  ///< reused segmentation scratch
   atm::Aal5Reassembler reasm_;
   FrameHandler on_frame_;
   std::uint64_t frames_sent_ = 0;

@@ -1,6 +1,6 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <cstdio>
 
 namespace xunet::sim {
@@ -17,25 +17,150 @@ std::string to_string(SimDuration d) {
   return buf;
 }
 
-EventId Simulator::schedule(SimDuration delay, std::function<void()> fn) {
-  assert(delay.ns() >= 0);
-  return schedule_at(now_ + delay, std::move(fn));
+Simulator::Simulator(Engine engine) : engine_(engine) { obs_.bind_clock(&now_); }
+
+Simulator::~Simulator() {
+  // Destroy queued callables without running them.
+  auto scrap = [this](const Ref& r) {
+    EventRec& rc = rec(r.rec);
+    rc.thunk(rc, /*run=*/false);
+  };
+  for (const Ref& r : active_) scrap(r);
+  for (const Ref& r : overflow_) scrap(r);
+  for (auto& slot : ring_)
+    for (const Ref& r : slot) scrap(r);
 }
 
-EventId Simulator::schedule_at(SimTime when, std::function<void()> fn) {
-  assert(when >= now_);
+std::uint32_t Simulator::alloc_rec() {
+  if (free_list_.empty()) {
+    std::uint32_t base = static_cast<std::uint32_t>(chunks_.size()) << kChunkShift;
+    chunks_.push_back(std::make_unique<EventRec[]>(kChunkSize));
+    free_list_.reserve(free_list_.capacity() + kChunkSize);
+    // Hand out low indices first so early events stay in warm chunks.
+    for (std::uint32_t i = kChunkSize; i-- > 0;) free_list_.push_back(base + i);
+  }
+  std::uint32_t idx = free_list_.back();
+  free_list_.pop_back();
+  return idx;
+}
+
+EventId Simulator::insert_ref(SimTime when, std::uint32_t idx) {
   EventId id = next_id_++;
-  queue_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  next_seq_++;  // kept in lockstep with ids so both engines agree on order
+  Ref r{when.ns(), id, idx};
+  std::int64_t slot = r.when >> kGranShift;
+  // slot < active_slot_ happens when the window was advanced past `now`
+  // (run_until peeked at a far event); the active heap orders by (when, id)
+  // and is always drained before the ring, so early events stay correct.
+  if (slot <= active_slot_) {
+    active_.push_back(r);
+    std::push_heap(active_.begin(), active_.end(), RefLater{});
+  } else if (slot - active_slot_ < static_cast<std::int64_t>(kSlots)) {
+    std::size_t ri = static_cast<std::size_t>(slot) & kSlotMask;
+    ring_[ri].push_back(r);
+    set_occ(ri);
+    ++ring_count_;
+  } else {
+    overflow_.push_back(r);
+    std::push_heap(overflow_.begin(), overflow_.end(), RefLater{});
+  }
+  ++size_;
+  peak_pending_ = std::max(peak_pending_, pending());
   return id;
 }
 
-bool Simulator::cancel(EventId id) {
-  // Lazy cancellation: the entry stays queued but is skipped at dispatch.
-  if (id == 0 || id >= next_id_) return false;
-  return cancelled_.insert(id).second;
+void Simulator::activate_slot(std::int64_t abs_slot) {
+  active_slot_ = abs_slot;
+  std::size_t ri = static_cast<std::size_t>(abs_slot) & kSlotMask;
+  std::vector<Ref>& bucket = ring_[ri];
+  ring_count_ -= bucket.size();
+  for (const Ref& r : bucket) active_.push_back(r);
+  bucket.clear();  // keeps capacity: steady state never re-allocates
+  clear_occ(ri);
+  std::make_heap(active_.begin(), active_.end(), RefLater{});
+  // The window start moved forward; far events may now fit in the ring.
+  drain_overflow();
 }
 
-void Simulator::dispatch(Entry& e) {
+void Simulator::drain_overflow() {
+  while (!overflow_.empty()) {
+    std::int64_t slot = overflow_.front().when >> kGranShift;
+    if (slot - active_slot_ >= static_cast<std::int64_t>(kSlots)) break;
+    std::pop_heap(overflow_.begin(), overflow_.end(), RefLater{});
+    Ref r = overflow_.back();
+    overflow_.pop_back();
+    if (slot == active_slot_) {
+      active_.push_back(r);
+      std::push_heap(active_.begin(), active_.end(), RefLater{});
+    } else {
+      std::size_t ri = static_cast<std::size_t>(slot) & kSlotMask;
+      ring_[ri].push_back(r);
+      set_occ(ri);
+      ++ring_count_;
+    }
+  }
+}
+
+bool Simulator::refill() {
+  if (!active_.empty()) return true;
+  while (true) {
+    if (ring_count_ > 0) {
+      // Scan the occupancy bitmap in ring order starting just past the
+      // active slot; the first set bit is the earliest occupied slot
+      // because every ring entry lies within the 1024-slot window.
+      std::size_t start = (static_cast<std::size_t>(active_slot_) + 1) & kSlotMask;
+      for (std::size_t step = 0; step < kSlots;) {
+        std::size_t ri = (start + step) & kSlotMask;
+        std::size_t word = ri >> 6;
+        std::uint64_t bits = occ_[word] >> (ri & 63);
+        if (bits != 0) {
+          std::size_t ri_hit = ri + static_cast<std::size_t>(std::countr_zero(bits));
+          if (ri_hit < (word + 1) << 6) {  // hit stays within this word
+            std::size_t delta = (ri_hit - start) & kSlotMask;
+            activate_slot(active_slot_ + 1 + static_cast<std::int64_t>(delta));
+            return true;
+          }
+        }
+        // Advance to the next 64-bit word boundary (or wrap point).
+        std::size_t word_end = (word + 1) << 6;
+        step += word_end - ri;
+      }
+      // ring_count_ > 0 guarantees a hit; unreachable.
+      return false;
+    }
+    if (overflow_.empty()) return false;
+    // Ring empty: jump the window to the earliest far event and re-split.
+    active_slot_ = overflow_.front().when >> kGranShift;
+    drain_overflow();
+    if (!active_.empty()) return true;
+    // drain_overflow may have landed everything in later ring slots.
+  }
+}
+
+void Simulator::dispatch_ref(const Ref& r) {
+  EventRec& rc = rec(r.rec);
+  if (!cancelled_.empty()) {
+    if (auto it = cancelled_.find(r.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      rc.thunk(rc, /*run=*/false);
+      free_rec(r.rec);
+      return;
+    }
+  }
+  now_ = SimTime(r.when);
+  auto thunk = rc.thunk;
+  thunk(rc, /*run=*/true);
+  free_rec(r.rec);
+}
+
+EventId Simulator::legacy_schedule_at(SimTime when, std::function<void()> fn) {
+  EventId id = next_id_++;
+  legacy_queue_.push(LegacyEntry{when, next_seq_++, id, std::move(fn)});
+  peak_pending_ = std::max(peak_pending_, pending());
+  return id;
+}
+
+void Simulator::legacy_dispatch(LegacyEntry& e) {
   if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
     cancelled_.erase(it);
     return;
@@ -45,12 +170,29 @@ void Simulator::dispatch(Entry& e) {
   fn();
 }
 
+bool Simulator::cancel(EventId id) {
+  // Lazy cancellation: the entry stays queued but is skipped at dispatch.
+  if (id == 0 || id >= next_id_) return false;
+  return cancelled_.insert(id).second;
+}
+
 std::size_t Simulator::run() {
   std::size_t n = 0;
-  while (!queue_.empty()) {
-    Entry e = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    dispatch(e);
+  if (engine_ == Engine::legacy_heap) {
+    while (!legacy_queue_.empty()) {
+      LegacyEntry e = std::move(const_cast<LegacyEntry&>(legacy_queue_.top()));
+      legacy_queue_.pop();
+      legacy_dispatch(e);
+      ++n;
+    }
+    return n;
+  }
+  while (refill()) {
+    std::pop_heap(active_.begin(), active_.end(), RefLater{});
+    Ref r = active_.back();
+    active_.pop_back();
+    --size_;
+    dispatch_ref(r);
     ++n;
   }
   return n;
@@ -58,10 +200,22 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    Entry e = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    dispatch(e);
+  if (engine_ == Engine::legacy_heap) {
+    while (!legacy_queue_.empty() && legacy_queue_.top().when <= deadline) {
+      LegacyEntry e = std::move(const_cast<LegacyEntry&>(legacy_queue_.top()));
+      legacy_queue_.pop();
+      legacy_dispatch(e);
+      ++n;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+  }
+  while (refill() && active_.front().when <= deadline.ns()) {
+    std::pop_heap(active_.begin(), active_.end(), RefLater{});
+    Ref r = active_.back();
+    active_.pop_back();
+    --size_;
+    dispatch_ref(r);
     ++n;
   }
   if (now_ < deadline) now_ = deadline;

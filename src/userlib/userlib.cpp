@@ -305,13 +305,18 @@ void UserLib::accept_connection(const IncomingRequest& req,
   (void)k_.tcp_send(pid_, req.conn_fd, sig::frame(m));
 }
 
-void UserLib::reject_connection(const IncomingRequest& req) {
-  if (!percall_.contains(req.conn_fd)) return;
+void UserLib::reject_connection(const IncomingRequest& req,
+                                Completion<void> done) {
+  if (!percall_.contains(req.conn_fd)) {
+    if (done) done(Errc::not_found);  // unknown or already decided
+    return;
+  }
   Msg m;
   m.type = MsgType::reject_conn;
   m.cookie = req.cookie;
   (void)k_.tcp_send(pid_, req.conn_fd, sig::frame(m));
   finish_percall(req.conn_fd);
+  if (done) done(util::ok_result());
 }
 
 // -------------------------------------------------------------- client side
@@ -333,6 +338,7 @@ void UserLib::open_connection(const std::string& dst,
                   on_req_id = std::move(on_req_id)](util::Result<void> r) mutable {
     if (!r) {
       XOBS_END(obs_, span);
+      if (on_req_id) on_req_id(r.error());  // no cookie will ever exist
       on_done(r.error());
       return;
     }
@@ -356,12 +362,17 @@ void UserLib::open_connection(const std::string& dst,
   });
 }
 
-void UserLib::cancel_request(sig::Cookie cookie) {
-  if (!chan_ready_) return;
+void UserLib::cancel_request(sig::Cookie cookie, Completion<void> done) {
+  if (!chan_ready_) {
+    // No channel means no request of ours can be outstanding at sighost.
+    if (done) done(Errc::not_connected);
+    return;
+  }
   Msg m;
   m.type = MsgType::cancel_req;
   m.cookie = cookie;
   channel_send(m);
+  if (done) done(util::ok_result());
 }
 
 // ------------------------------------------------------ data-socket helpers

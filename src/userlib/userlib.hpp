@@ -42,10 +42,15 @@ struct OpenResult {
 /// The library.  One instance per application process.
 class UserLib {
  public:
-  using VoidFn = std::function<void(util::Result<void>)>;
-  using OpenFn = std::function<void(util::Result<OpenResult>)>;
-  using RequestFn = std::function<void(util::Result<IncomingRequest>)>;
-  using CookieFn = std::function<void(sig::Cookie)>;
+  /// Every UserLib completion has one shape: a callback taking a
+  /// util::Result<T>.  The historical aliases below are all instances.
+  template <typename T>
+  using Completion = std::function<void(util::Result<T>)>;
+
+  using VoidFn = Completion<void>;
+  using OpenFn = Completion<OpenResult>;
+  using RequestFn = Completion<IncomingRequest>;
+  using CookieFn = Completion<sig::Cookie>;
 
   /// `sighost_ip` is the nearest router's address (where sighost runs).
   UserLib(kern::Kernel& k, kern::Pid pid, ip::IpAddress sighost_ip,
@@ -75,8 +80,11 @@ class UserLib {
   void accept_connection(const IncomingRequest& req, const std::string& qos,
                          OpenFn on_done);
 
-  /// Decline a call.
-  void reject_connection(const IncomingRequest& req);
+  /// Decline a call.  `done` (optional) reports the outcome: ok when the
+  /// rejection was sent, not_found when the call is unknown or already
+  /// decided (a double reject is a no-op).
+  void reject_connection(const IncomingRequest& req,
+                         Completion<void> done = {});
 
   // -- client side (Figure 6) ------------------------------------------------
 
@@ -86,8 +94,11 @@ class UserLib {
                        const std::string& comment, const std::string& qos,
                        OpenFn on_done, CookieFn on_req_id = {});
 
-  /// Withdraw an outstanding open_connection by its cookie.
-  void cancel_request(sig::Cookie cookie);
+  /// Withdraw an outstanding open_connection by its cookie.  `done`
+  /// (optional) reports the outcome: ok when the cancel was sent,
+  /// not_connected when the signaling channel is not up (nothing to
+  /// cancel could be outstanding then).
+  void cancel_request(sig::Cookie cookie, Completion<void> done = {});
 
   /// Fires when the persistent signaling channel to sighost drops (after
   /// all outstanding RPCs have been failed with connection_reset).  A

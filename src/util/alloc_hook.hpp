@@ -1,0 +1,21 @@
+// alloc_hook.hpp — heap-allocation counter for perf assertions.
+//
+// Linking the xunet_alloc_hook library into a binary replaces the global
+// operator new/delete with counting versions.  Benchmarks and the
+// zero-alloc datapath test use the counter to assert that the steady-state
+// cell path never touches the allocator; binaries that don't link the
+// library are completely unaffected.
+#pragma once
+
+#include <cstdint>
+
+namespace xunet::util {
+
+/// Total operator-new calls since process start.  Returns 0 (and stays 0)
+/// unless the binary links xunet_alloc_hook.
+[[nodiscard]] std::uint64_t alloc_count() noexcept;
+
+/// True when the counting operator new is actually installed.
+[[nodiscard]] bool alloc_hook_installed() noexcept;
+
+}  // namespace xunet::util

@@ -1,0 +1,13 @@
+// alloc_hook_default.cpp — weak fallbacks for binaries without the hook.
+//
+// Compiled into xunet_util so every binary links; the strong definitions in
+// xunet_alloc_hook override these when that library is linked in.
+#include "util/alloc_hook.hpp"
+
+namespace xunet::util {
+
+__attribute__((weak)) std::uint64_t alloc_count() noexcept { return 0; }
+
+__attribute__((weak)) bool alloc_hook_installed() noexcept { return false; }
+
+}  // namespace xunet::util

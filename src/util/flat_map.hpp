@@ -1,0 +1,179 @@
+// flat_map.hpp — open-addressing hash table for the cell fast path.
+//
+// The per-switch VCI routing tables and the network's active-VC map sit on
+// the per-cell forwarding path; std::map's pointer-chasing dominated the
+// profile there.  FlatMap keeps keys and values in one contiguous array with
+// linear probing and Fibonacci hash mixing, so a route lookup is typically a
+// single cache line.  Erase uses tombstones; the table rehashes when live +
+// dead slots pass the load limit.  Keys and values must be default- and
+// move-constructible.  Iteration order is bucket order (not insertion order)
+// — callers that need determinism across runs get it anyway because bucket
+// layout is a pure function of the insert/erase sequence.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace xunet::util {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class FlatMap {
+  enum class SlotState : std::uint8_t { kEmpty, kFull, kTombstone };
+
+  struct Slot {
+    K key{};
+    V value{};
+    SlotState state = SlotState::kEmpty;
+  };
+
+ public:
+  FlatMap() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+  /// Find the value for `key`, or nullptr.
+  [[nodiscard]] V* find(const K& key) noexcept {
+    if (slots_.empty()) return nullptr;
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = index_for(key);
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.state == SlotState::kEmpty) return nullptr;
+      if (s.state == SlotState::kFull && s.key == key) return &s.value;
+      i = (i + 1) & mask;
+    }
+  }
+  [[nodiscard]] const V* find(const K& key) const noexcept {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  [[nodiscard]] bool contains(const K& key) const noexcept { return find(key) != nullptr; }
+
+  /// Insert or overwrite.  Returns true if the key was newly inserted.
+  bool insert(const K& key, V value) {
+    reserve_for(live_ + 1);
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = index_for(key);
+    std::size_t first_tomb = slots_.size();
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.state == SlotState::kFull && s.key == key) {
+        s.value = std::move(value);
+        return false;
+      }
+      if (s.state == SlotState::kTombstone && first_tomb == slots_.size()) first_tomb = i;
+      if (s.state == SlotState::kEmpty) {
+        std::size_t target = (first_tomb != slots_.size()) ? first_tomb : i;
+        Slot& t = slots_[target];
+        if (t.state == SlotState::kTombstone) --dead_;
+        t.key = key;
+        t.value = std::move(value);
+        t.state = SlotState::kFull;
+        ++live_;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Value for `key`, default-constructing if absent.
+  V& operator[](const K& key) {
+    if (V* v = find(key)) return *v;
+    insert(key, V{});
+    return *find(key);
+  }
+
+  /// Erase `key`.  Returns true if it was present.
+  bool erase(const K& key) {
+    if (slots_.empty()) return false;
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = index_for(key);
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.state == SlotState::kEmpty) return false;
+      if (s.state == SlotState::kFull && s.key == key) {
+        s.key = K{};
+        s.value = V{};
+        s.state = SlotState::kTombstone;
+        --live_;
+        ++dead_;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  void clear() {
+    slots_.clear();
+    live_ = 0;
+    dead_ = 0;
+  }
+
+  /// Visit every live (key, value) pair; `fn(const K&, V&)`.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Slot& s : slots_)
+      if (s.state == SlotState::kFull) fn(static_cast<const K&>(s.key), s.value);
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_)
+      if (s.state == SlotState::kFull) fn(s.key, s.value);
+  }
+
+  /// Collect live keys (for erase-while-iterating patterns).
+  [[nodiscard]] std::vector<K> keys() const {
+    std::vector<K> out;
+    out.reserve(live_);
+    for (const Slot& s : slots_)
+      if (s.state == SlotState::kFull) out.push_back(s.key);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index_for(const K& key) const noexcept {
+    // Fibonacci mixing spreads consecutive integer keys (VCIs, port ids)
+    // across buckets even with the identity std::hash most libcs ship.
+    std::uint64_t h = static_cast<std::uint64_t>(Hash{}(key));
+    h *= 0x9E3779B97F4A7C15ull;
+    unsigned shift = 64 - bits_;
+    return static_cast<std::size_t>(h >> shift);
+  }
+
+  void reserve_for(std::size_t want_live) {
+    // Rehash when live + tombstones would exceed 70% occupancy.
+    if (!slots_.empty() && (want_live + dead_) * 10 <= slots_.size() * 7) return;
+    std::size_t new_size = slots_.empty() ? 16 : slots_.size();
+    while (want_live * 10 > new_size * 7) new_size *= 2;
+    // If growth isn't needed but tombstones piled up, rehash at same size.
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_size, Slot{});
+    bits_ = 0;
+    for (std::size_t s = new_size; s > 1; s >>= 1) ++bits_;
+    dead_ = 0;
+    live_ = 0;
+    for (Slot& s : old) {
+      if (s.state != SlotState::kFull) continue;
+      // Plain insert into the fresh table (no tombstones to consider).
+      std::size_t mask = slots_.size() - 1;
+      std::size_t i = index_for(s.key);
+      while (slots_[i].state == SlotState::kFull) i = (i + 1) & mask;
+      slots_[i].key = std::move(s.key);
+      slots_[i].value = std::move(s.value);
+      slots_[i].state = SlotState::kFull;
+      ++live_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t live_ = 0;
+  std::size_t dead_ = 0;
+  unsigned bits_ = 0;
+};
+
+}  // namespace xunet::util

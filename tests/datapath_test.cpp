@@ -113,8 +113,7 @@ TEST(Hobbit, LossyWireSurfacesAal5Errors) {
 TEST(DataPlane, Ds3TrunkIsTheBottleneck) {
   // Router-to-router bulk transfer: the 45 Mb/s DS3 path (plus AAL5
   // cell-tax: 48 payload bytes per 53-byte cell) bounds throughput.
-  auto tb = Testbed::canonical();
-  ASSERT_TRUE(tb->bring_up().ok());
+  auto tb = core::TestbedConfig{}.pvc_mesh().build();
   auto& r1 = tb->router(1);
   CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "bulk", 4930);
   server.start([](util::Result<void>) {});
@@ -146,8 +145,7 @@ TEST(DataPlane, Ds3TrunkIsTheBottleneck) {
 TEST(DataPlane, IntegrityUnderSustainedLoad) {
   // Every frame delivered end to end must be byte-identical: checksummed
   // payloads over 500 frames of varying size.
-  auto tb = Testbed::canonical_with_hosts();
-  ASSERT_TRUE(tb->bring_up().ok());
+  auto tb = core::TestbedConfig{}.hosts(2).pvc_mesh().build();
   auto& h1 = tb->host(1);
   kern::Pid spid = h1.kernel->spawn("integrity-server");
   app::UserLib server(*h1.kernel, spid, h1.home->kernel->ip_node().address());
@@ -197,8 +195,7 @@ TEST(DataPlane, IntegrityUnderSustainedLoad) {
 
 /// Run the standard scenario and fingerprint every observable counter.
 std::string run_fingerprint() {
-  auto tb = Testbed::canonical_with_hosts();
-  if (!tb->bring_up().ok()) return "bringup-failed";
+  auto tb = core::TestbedConfig{}.hosts(2).pvc_mesh().build();
   auto& h1 = tb->host(1);
   CallServer server(*h1.kernel, h1.home->kernel->ip_node().address(), "fp",
                     4940);

@@ -212,11 +212,17 @@ TEST(SignalingEdge, RejectAfterCancelDoesNotCorruptState) {
                          [&](util::Result<app::OpenResult> r) {
                            err = r.error();
                          },
-                         [&](sig::Cookie c) { cookie = c; });
+                         [&](util::Result<sig::Cookie> c) {
+                           if (c.ok()) cookie = *c;
+                         });
   tb->sim().run_for(sim::seconds(1));
   ASSERT_TRUE(pending.has_value());  // server holds the request, undecided
   ASSERT_TRUE(cookie.has_value());
-  client.cancel_request(*cookie);
+  std::optional<util::Result<void>> cancel_rc;
+  client.cancel_request(*cookie,
+                        [&](util::Result<void> r) { cancel_rc = r; });
+  ASSERT_TRUE(cancel_rc.has_value());
+  EXPECT_TRUE(cancel_rc->ok());
   tb->sim().run_for(sim::seconds(1));
   ASSERT_TRUE(err.has_value());
   EXPECT_EQ(*err, util::Errc::cancelled);

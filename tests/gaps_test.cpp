@@ -139,8 +139,13 @@ TEST(ApiMisuse, DoubleRejectAndRejectAfterAcceptAreHarmless) {
               });
   tb->sim().run_for(sim::seconds(1));
   ASSERT_TRUE(req.has_value());
-  server.reject_connection(*req);
-  server.reject_connection(*req);  // double reject: no-op
+  std::optional<util::Result<void>> first, second;
+  server.reject_connection(*req, [&](util::Result<void> r) { first = r; });
+  // Double reject: a no-op, reported as not_found through the completion.
+  server.reject_connection(*req, [&](util::Result<void> r) { second = r; });
+  ASSERT_TRUE(first.has_value() && second.has_value());
+  EXPECT_TRUE(first->ok());
+  EXPECT_EQ(second->error(), util::Errc::not_found);
   // Accept after reject: the per-call conn is gone; the callback must see a
   // clean failure rather than anything hanging.
   bool accept_cb = false;

@@ -29,8 +29,7 @@ struct Rig {
     // per-call conns sit in TIME_WAIT for 2xMSL and would exhaust the
     // default 20-entry table under a many-call workload.
     cfg.kernel.fd_table_size = 512;
-    tb = Testbed::canonical(cfg);
-    EXPECT_TRUE(tb->bring_up().ok());
+    tb = cfg.routers(2).pvc_mesh().build();
     auto& r1 = tb->router(1);
     server = std::make_unique<CallServer>(
         *r1.kernel, r1.kernel->ip_node().address(), "svc", 6200);

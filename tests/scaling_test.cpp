@@ -33,8 +33,7 @@ struct BurstOutcome {
 /// for one second and then torn down (the paper's robustness workload).
 BurstOutcome run_burst(core::TestbedConfig cfg, int burst,
                        sim::SimDuration settle = sim::seconds(120)) {
-  auto tb = Testbed::canonical(cfg);
-  EXPECT_TRUE(tb->bring_up().ok());
+  auto tb = cfg.routers(2).pvc_mesh().build();
   auto& r1 = tb->router(1);
   CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "burst", 4400);
   server.start([](util::Result<void>) {});
@@ -85,8 +84,7 @@ AnandBurstOutcome run_anand_burst(std::size_t buffers, int n) {
   // Phase 1 parks granted VCIs unconnected while the clump is assembled;
   // the wait-for-bind timer must not fire during that staging.
   cfg.sighost.wait_for_bind_timeout = sim::seconds(20);
-  auto tb = Testbed::canonical(cfg);
-  EXPECT_TRUE(tb->bring_up().ok());
+  auto tb = cfg.routers(2).pvc_mesh().build();
   auto& r0 = tb->router(0);
   auto& r1 = tb->router(1);
 
@@ -167,8 +165,7 @@ TEST(Scaling, TimeWaitDescriptorsDrainAfterTwoMsl) {
   core::TestbedConfig cfg;
   cfg.kernel.fd_table_size = 100;
   cfg.sighost.per_call_log_cost = sim::milliseconds(1);
-  auto tb = Testbed::canonical(cfg);
-  ASSERT_TRUE(tb->bring_up().ok());
+  auto tb = cfg.routers(2).pvc_mesh().build();
   auto& r1 = tb->router(1);
   CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "tw", 4401);
   server.start([](util::Result<void>) {});
@@ -202,8 +199,7 @@ TEST(Scaling, TwoHundredConnectionsStayOpenBetweenTwoRouters) {
   cfg.kernel.fd_table_size = 512;
   cfg.kernel.anand_buffers = 80;
   cfg.kernel.tcp_msl = sim::seconds(5);
-  auto tb = Testbed::canonical(cfg);
-  ASSERT_TRUE(tb->bring_up().ok());
+  auto tb = cfg.routers(2).pvc_mesh().build();
   auto& r0 = tb->router(0);
   auto& r1 = tb->router(1);
 

@@ -248,9 +248,10 @@ TEST_F(SighostFixture, CancelWithdrawsOutstandingRequest) {
   client.lib().open_connection(
       "berkeley.rt", "slow-svc", "", "",
       [&](util::Result<app::OpenResult> r) { err = r.error(); },
-      [&](Cookie c) {
-        cookie = c;
-        client.lib().cancel_request(c);
+      [&](util::Result<Cookie> c) {
+        if (!c.ok()) return;
+        cookie = *c;
+        client.lib().cancel_request(*c);
       });
   tb->sim().run_for(sim::seconds(2));
   ASSERT_TRUE(cookie.has_value());

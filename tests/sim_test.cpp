@@ -93,6 +93,68 @@ TEST(Simulator, EventsCanScheduleMoreEvents) {
   EXPECT_EQ(sim.now().us(), 100.0);
 }
 
+TEST(Simulator, NegativeDelayClampsToNow) {
+  // Regression: a negative delay (e.g. computed from a clock that ran
+  // slightly backwards) must behave like zero delay, not wrap into the
+  // far future or corrupt the timer wheel.
+  Simulator sim;
+  sim.schedule(milliseconds(1), [&] {
+    sim.schedule(nanoseconds(-5), [&] {
+      EXPECT_EQ(sim.now().ms(), 1.0);  // fired at the clamped instant
+    });
+  });
+  std::vector<int> order;
+  sim.schedule(nanoseconds(-100), [&] { order.push_back(1); });
+  sim.schedule(nanoseconds(0), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // clamp preserves FIFO at now
+  EXPECT_EQ(sim.now().ms(), 1.0);
+}
+
+TEST(Simulator, FarFutureEventsBeyondWheelHorizonDispatchInOrder) {
+  // Events past the timer wheel's span land in the overflow heap; they must
+  // still interleave correctly with near events as the wheel advances.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(seconds(30), [&] { order.push_back(3); });   // far overflow
+  sim.schedule(microseconds(10), [&] { order.push_back(1); });
+  sim.schedule(seconds(1), [&] { order.push_back(2); });
+  sim.schedule(seconds(60), [&] { order.push_back(4); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.now().sec(), 60.0);
+}
+
+TEST(Simulator, PeakPendingTracksHighWaterMark) {
+  Simulator sim;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule(microseconds(i), [] {});
+  }
+  EXPECT_EQ(sim.pending(), 50u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_GE(sim.peak_pending(), 50u);
+}
+
+TEST(Simulator, BothEnginesAgreeOnDispatchOrder) {
+  auto run_with = [](Simulator::Engine e) {
+    Simulator sim(e);
+    std::vector<int> order;
+    sim.schedule(milliseconds(2), [&] { order.push_back(2); });
+    sim.schedule(milliseconds(1), [&] {
+      order.push_back(1);
+      sim.schedule(nanoseconds(-1), [&] { order.push_back(10); });
+      sim.schedule(milliseconds(5), [&] { order.push_back(4); });
+    });
+    sim.schedule(milliseconds(2), [&] { order.push_back(3); });
+    sim.schedule(seconds(20), [&] { order.push_back(5); });
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run_with(Simulator::Engine::pooled),
+            run_with(Simulator::Engine::legacy_heap));
+}
+
 TEST(Timer, FiresOnce) {
   Simulator sim;
   Timer t(sim);

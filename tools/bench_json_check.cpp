@@ -1,0 +1,171 @@
+// bench_json_check — CI gate for the BENCH_*.json trajectory files.
+//
+// Usage: bench_json_check FILE...
+//
+// For each file: verify it is well-formed enough to trust (single JSON
+// object, balanced structure, no truncation), carries the
+// "xunet.bench.v1" schema marker, and contains every metric key required
+// for its bench name.  Exit 0 only when every file passes; a missing file
+// is a failure (the bench silently not writing its report is exactly the
+// regression this tool exists to catch).
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string slurp(const char* path, bool& ok) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    ok = false;
+    return {};
+  }
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  ok = true;
+  return out;
+}
+
+/// Structural check: one top-level object, braces/brackets balanced,
+/// strings closed, nothing after the final brace but whitespace.
+bool well_formed(const std::string& s, std::string& why) {
+  std::size_t i = 0;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  if (i == s.size() || s[i] != '{') {
+    why = "does not start with '{'";
+    return false;
+  }
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  std::size_t end = std::string::npos;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      if (depth < 0) {
+        why = "unbalanced close at byte " + std::to_string(i);
+        return false;
+      }
+      if (depth == 0) {
+        end = i;
+        break;
+      }
+    }
+  }
+  if (in_string) {
+    why = "unterminated string";
+    return false;
+  }
+  if (end == std::string::npos) {
+    why = "truncated (object never closes)";
+    return false;
+  }
+  for (std::size_t j = end + 1; j < s.size(); ++j) {
+    if (!std::isspace(static_cast<unsigned char>(s[j]))) {
+      why = "trailing garbage after the object";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool has_key(const std::string& s, const std::string& key) {
+  return s.find("\"" + key + "\":") != std::string::npos;
+}
+
+/// Extract the value of "bench" (the report's name).
+std::string bench_name(const std::string& s) {
+  const std::string tag = "\"bench\": \"";
+  auto p = s.find(tag);
+  if (p == std::string::npos) return {};
+  p += tag.size();
+  auto q = s.find('"', p);
+  if (q == std::string::npos) return {};
+  return s.substr(p, q - p);
+}
+
+const std::map<std::string, std::vector<std::string>>& required_keys() {
+  static const std::map<std::string, std::vector<std::string>> keys = {
+      {"datapath",
+       {"baseline_cells_per_sec", "cells_per_sec_wall", "speedup",
+        "peak_event_queue_depth", "allocs_per_cell"}},
+      {"signaling",
+       {"calls_per_sec_wall", "setup_ms_p50", "setup_ms_p90", "setup_ms_p99"}},
+      {"scaling", {"open_connections_held"}},
+  };
+  return keys;
+}
+
+bool check_file(const char* path) {
+  bool read_ok = false;
+  const std::string s = slurp(path, read_ok);
+  if (!read_ok) {
+    std::fprintf(stderr, "FAIL %s: cannot read\n", path);
+    return false;
+  }
+  std::string why;
+  if (!well_formed(s, why)) {
+    std::fprintf(stderr, "FAIL %s: malformed JSON: %s\n", path, why.c_str());
+    return false;
+  }
+  if (s.find("\"xunet.bench.v1\"") == std::string::npos) {
+    std::fprintf(stderr, "FAIL %s: missing schema marker xunet.bench.v1\n",
+                 path);
+    return false;
+  }
+  const std::string name = bench_name(s);
+  if (name.empty()) {
+    std::fprintf(stderr, "FAIL %s: missing \"bench\" name\n", path);
+    return false;
+  }
+  auto it = required_keys().find(name);
+  if (it == required_keys().end()) {
+    // Unknown bench names are allowed (new reports predate their checks)
+    // as long as the envelope is valid.
+    std::printf("OK   %s (bench \"%s\", no key profile)\n", path,
+                name.c_str());
+    return true;
+  }
+  bool ok = true;
+  for (const std::string& key : it->second) {
+    if (!has_key(s, key)) {
+      std::fprintf(stderr, "FAIL %s: bench \"%s\" missing required key %s\n",
+                   path, name.c_str(), key.c_str());
+      ok = false;
+    }
+  }
+  if (ok) std::printf("OK   %s (bench \"%s\")\n", path, name.c_str());
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_json_check FILE...\n");
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) all_ok &= check_file(argv[i]);
+  return all_ok ? 0 : 1;
+}
