@@ -658,16 +658,24 @@ void Kernel::pf_xunet_input(atm::Vci vci, const MbufChain& chain) {
 }
 
 void Kernel::mark_vci_disconnected(atm::Vci vci) {
-  for (auto& [h, xs] : xsocks_) {
+  // Hash order must not decide the order the on_disconnect callbacks are
+  // scheduled in: walk a sorted handle snapshot, not the unordered map.
+  std::vector<std::uint64_t> handles;
+  for (const auto& [h, xs] : xsocks_) {
     if (xs.vci == vci && (xs.state == SocketState::bound ||
                           xs.state == SocketState::connected)) {
-      xs.state = SocketState::disconnected;
-      if (xs.on_disconnect) {
-        sim_.schedule(cfg_.context_switch,
-                      [this, owner = xs.owner, fn = xs.on_disconnect] {
-                        if (alive(owner)) fn();
-                      });
-      }
+      handles.push_back(h);
+    }
+  }
+  std::sort(handles.begin(), handles.end());
+  for (std::uint64_t h : handles) {
+    XunetSock& xs = xsocks_.at(h);
+    xs.state = SocketState::disconnected;
+    if (xs.on_disconnect) {
+      sim_.schedule(cfg_.context_switch,
+                    [this, owner = xs.owner, fn = xs.on_disconnect] {
+                      if (alive(owner)) fn();
+                    });
     }
   }
   // soisdisconnected() detaches the socket from its address: the VCI can be

@@ -13,6 +13,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "atm/network.hpp"
 #include "kern/kernel.hpp"
@@ -147,6 +148,17 @@ class Sighost {
   [[nodiscard]] std::size_t incoming_requests_size() const noexcept { return incoming_.size(); }
   [[nodiscard]] std::size_t wait_for_bind_size() const noexcept { return wait_bind_.size(); }
   [[nodiscard]] std::size_t vci_mapping_size() const noexcept { return vci_map_.size(); }
+  /// VCI_mapping keys in iteration order.  The resync path
+  /// (handle_peer_resync emitting PEER_RESYNC_INFO per shared call) and the
+  /// management report both walk vci_map_ in this order, so deterministic
+  /// replay requires it to be ascending — vci_map_ must stay an ordered map,
+  /// and the recovery tests pin that contract.
+  [[nodiscard]] std::vector<atm::Vci> vci_mapping_vcis() const {
+    std::vector<atm::Vci> out;
+    out.reserve(vci_map_.size());
+    for (const auto& [vci, e] : vci_map_) out.push_back(vci);
+    return out;
+  }
   [[nodiscard]] bool has_service(const std::string& name) const {
     return services_.contains(name);
   }

@@ -1,5 +1,6 @@
 #include "util/loc_scan.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -56,17 +57,39 @@ ComponentSize scan_component(const std::string& name, const std::string& dir,
                              bool recurse) {
   ComponentSize out;
   out.name = name;
+  if (recurse) {
+    for (const std::string& p : list_source_files(dir, true)) scan_file(p, out);
+    return out;
+  }
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return out;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    if (e.is_regular_file() && is_source_file(e.path())) scan_file(e.path(), out);
+  }
+  return out;
+}
+
+std::vector<std::string> list_source_files(const std::string& dir,
+                                           bool recurse) {
+  std::vector<std::string> out;
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) return out;
   if (recurse) {
     for (const auto& e : fs::recursive_directory_iterator(dir, ec)) {
-      if (e.is_regular_file() && is_source_file(e.path())) scan_file(e.path(), out);
+      if (e.is_regular_file() && is_source_file(e.path())) {
+        out.push_back(e.path().generic_string());
+      }
     }
   } else {
     for (const auto& e : fs::directory_iterator(dir, ec)) {
-      if (e.is_regular_file() && is_source_file(e.path())) scan_file(e.path(), out);
+      if (e.is_regular_file() && is_source_file(e.path())) {
+        out.push_back(e.path().generic_string());
+      }
     }
   }
+  // Directory-iteration order is filesystem-dependent; the callers' outputs
+  // (Table 2 rows, lint findings) must not be.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -32,4 +32,10 @@ struct ComponentSize {
 [[nodiscard]] ComponentSize scan_files(const std::string& name,
                                        const std::vector<std::string>& paths);
 
+/// List the .hpp/.cpp/.h/.cc files under `dir`, sorted by path so consumers
+/// (the Table 2 scan, xunet_lint) are order-stable across filesystems.  A
+/// missing directory yields an empty list.
+[[nodiscard]] std::vector<std::string> list_source_files(const std::string& dir,
+                                                         bool recurse = true);
+
 }  // namespace xunet::util

@@ -200,6 +200,31 @@ TEST_F(KernelFixture, DisconnectMarksSocketUnusable) {
   EXPECT_EQ(k->xunet_send(p, *fd, {}).error(), util::Errc::connection_reset);
 }
 
+TEST_F(KernelFixture, DisconnectCallbacksFireInSocketCreationOrder) {
+  // Regression pin for the DET-UNORD-ITER finding xunet_lint surfaced here:
+  // mark_vci_disconnected used to walk the unordered socket table directly
+  // while scheduling on_disconnect callbacks, so hash order decided the
+  // event order.  It now schedules over a sorted handle snapshot, and
+  // handles are allocated sequentially — so callbacks must fire in socket
+  // creation order.  16 sockets make an accidental hash-order match
+  // vanishingly unlikely.
+  constexpr int kSocks = 16;
+  std::vector<int> order;
+  for (int i = 0; i < kSocks; ++i) {
+    Pid p = k->spawn("app" + std::to_string(i));
+    auto fd = k->xunet_socket(p);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(k->xunet_connect(p, *fd, 70, 1).ok());
+    ASSERT_TRUE(
+        k->xunet_on_disconnect(p, *fd, [&order, i] { order.push_back(i); })
+            .ok());
+  }
+  k->mark_vci_disconnected(70);
+  sim.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kSocks));
+  for (int i = 0; i < kSocks; ++i) EXPECT_EQ(order[i], i);
+}
+
 TEST_F(KernelFixture, CloseOfActiveSocketPostsTermination) {
   Pid p = k->spawn("app");
   auto fd = k->xunet_socket(p);

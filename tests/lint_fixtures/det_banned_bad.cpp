@@ -1,0 +1,25 @@
+// Fixture: every line here that names a wall clock or ambient RNG must be
+// flagged DET-BANNED.  Expected findings: 5.
+#include <cstdlib>
+
+int noise() {
+  return rand();  // finding 1
+}
+
+void reseed(unsigned s) {
+  srand(s);  // finding 2
+}
+
+unsigned hw_entropy() {
+  std::random_device rd;  // finding 3
+  return rd();
+}
+
+long long stamp_ns() {
+  auto t = std::chrono::system_clock::now();  // finding 4
+  return t.time_since_epoch().count();
+}
+
+long unix_now() {
+  return time(nullptr);  // finding 5
+}

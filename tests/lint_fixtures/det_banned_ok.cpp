@@ -1,0 +1,20 @@
+// Fixture: near-misses of DET-BANNED that must NOT be flagged.
+// Expected findings: 0.
+// Dice's members are declared elsewhere (fixtures are lexed, not compiled);
+// note that DECLARING a member named `rand` would itself be flagged — the
+// matcher only exempts member accesses, and shadowing a banned name in
+// product code deserves the complaint.
+struct Dice;
+
+int use(Dice& d) {
+  // rand() in a comment is not a call, and neither is "rand()" in a string.
+  const char* label = "rand() replay help text";
+  int grand = 7;  // identifier merely containing the banned name
+  return d.rand() + grand + static_cast<int>(d.time(0)) +
+         static_cast<int>(label[0]);
+}
+
+long scaled_time(long time_scale) {
+  // `time(expr)` with a non-wall-clock argument shape is left alone.
+  return time_scale * 2;
+}

@@ -1,0 +1,16 @@
+// Fixture: ordered containers keyed by pointers sort by address, which
+// varies run to run.  Expected findings: 2 (the map and the set); pointers
+// as VALUES are fine.
+#include <map>
+#include <set>
+
+struct Session {
+  int id;
+};
+
+struct Registry {
+  std::map<Session*, int> by_session_;       // finding: pointer key
+  std::set<const Session*> live_;            // finding: pointer key
+  std::map<int, Session*> by_id_;            // ok: pointer value
+  std::multimap<long, const Session*> tmp_;  // ok: pointer value
+};

@@ -1,0 +1,29 @@
+// Fixture: range-for over an unordered container whose body schedules events
+// or sends messages leaks hash order into replayed state.
+// Expected findings: 2 (disconnect_all, notify_peers); count_open is benign.
+#include "det_unord_bad.hpp"
+
+void ConnTable::disconnect_all() {
+  for (auto& [id, state] : conns_) {  // finding: schedules inside
+    sim_.schedule(10, [id = id] { (void)id; });
+    state = 0;
+  }
+}
+
+void send_to(std::uint64_t peer);
+
+void ConnTable::notify_peers() {
+  for (std::uint64_t p : peers_) {  // finding: sends inside
+    send_to(p);
+  }
+}
+
+std::size_t ConnTable::count_open() const {
+  // Pure aggregation: order cannot escape, so this is fine.
+  std::size_t n = 0;
+  for (const auto& [id, state] : conns_) {
+    if (state != 0) ++n;
+  }
+  (void)n;
+  return n;
+}

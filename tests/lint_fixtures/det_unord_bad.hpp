@@ -1,0 +1,24 @@
+// Fixture header: declares the unordered members det_unord_bad.cpp iterates.
+// The sibling-stem pairing (det_unord_bad.cpp <-> det_unord_bad.hpp) is what
+// lets the .cpp rule see these declarations.  Expected findings: 0 (here).
+#pragma once
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct FakeSim {
+  template <typename F>
+  void schedule(long delay, F&& fn);
+};
+
+class ConnTable {
+ public:
+  void disconnect_all();
+  void notify_peers();
+  std::size_t count_open() const;
+
+ private:
+  FakeSim sim_;
+  std::unordered_map<std::uint64_t, int> conns_;
+  std::unordered_set<std::uint64_t> peers_;
+};

@@ -1,0 +1,10 @@
+// Fixture: hygiene violations.  Expected findings: 3 —
+// HYG-PRAGMA-ONCE (no #pragma once), HYG-BANNED-INCLUDE (<thread>),
+// HYG-REL-INCLUDE ("../escape.hpp").
+#include <thread>
+
+#include "../escape.hpp"
+
+struct Hygiene {
+  int x;
+};

@@ -1,0 +1,9 @@
+// Fixture: a hygienic header.  Expected findings: 0.
+#pragma once
+#include <vector>
+
+#include "det_unord_bad.hpp"
+
+struct Tidy {
+  std::vector<int> xs;
+};

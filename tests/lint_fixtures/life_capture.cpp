@@ -1,0 +1,30 @@
+// Fixture: by-reference lambda captures handed to the event engine outlive
+// the enclosing frame.  Expected findings: 2 (the [&] and the [this, &queue]
+// sites); by-value captures and non-sink calls are fine.
+#include <cstdint>
+#include <vector>
+
+struct Sim {
+  template <typename F>
+  void schedule(long delay, F&& fn);
+  template <typename F>
+  std::uint64_t schedule_at(long when, F&& fn);
+};
+
+template <typename F>
+void for_each_cell(const std::vector<int>& v, F&& fn);
+
+void run(Sim& sim, std::vector<int>& queue) {
+  int local = 3;
+  sim.schedule(5, [&] { queue.push_back(local); });  // finding: [&]
+
+  sim.schedule_at(9, [&queue] { queue.clear(); });  // finding: &queue
+
+  sim.schedule(7, [local] { (void)local; });  // ok: by value
+
+  // Not a sink: an immediate call can borrow the frame freely.
+  for_each_cell(queue, [&](int) { ++local; });
+
+  // Subscripts in sink arguments are not lambda introducers.
+  sim.schedule(queue[0], [n = queue[1]] { (void)n; });
+}

@@ -1,0 +1,40 @@
+// Fixture: a miniature sighost with a known transition set, for exercising
+// the STATE rule against the good/undeclared/stale tables next to it.
+// Ground-truth transitions:
+//   handle_export_srv   service_list       insert
+//   handle_withdraw_srv service_list       erase
+//   establish_vc        outgoing_requests  erase
+//   establish_vc        vci_mapping        insert   (via operator[] assign)
+//   reset               vci_mapping        clear
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+class Sighost {
+ public:
+  void handle_export_srv(const std::string& name, int sap);
+  void handle_withdraw_srv(const std::string& name);
+  void establish_vc(std::uint64_t req, std::uint32_t vci);
+  void reset();
+
+ private:
+  std::map<std::string, int> services_;
+  std::set<std::uint64_t> outgoing_;
+  std::map<std::uint32_t, std::uint64_t> vci_map_;
+};
+
+void Sighost::handle_export_srv(const std::string& name, int sap) {
+  services_.emplace(name, sap);
+}
+
+void Sighost::handle_withdraw_srv(const std::string& name) {
+  services_.erase(name);
+}
+
+void Sighost::establish_vc(std::uint64_t req, std::uint32_t vci) {
+  outgoing_.erase(req);
+  vci_map_[vci] = req;
+}
+
+void Sighost::reset() { vci_map_.clear(); }

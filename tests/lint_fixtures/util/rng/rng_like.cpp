@@ -1,0 +1,18 @@
+// Fixture: files under util/rng are the deterministic-RNG wrapper itself and
+// are exempt from DET-BANNED (they must name the primitives they replace).
+// Expected findings: 0.
+#include <cstdint>
+#include <random>  // exempt here: <random> is banned everywhere else
+
+struct RngImpl {
+  std::uint64_t state;
+};
+
+// Naming mt19937 / random_device in code here is fair game.
+using reference_engine = std::mt19937;
+
+std::uint64_t reseed(RngImpl& r) {
+  std::random_device rd;
+  r.state = rd();
+  return r.state * 6364136223846793005ULL + 1442695040888963407ULL;
+}

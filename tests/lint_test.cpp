@@ -1,0 +1,240 @@
+// lint_test.cpp — drives the xunet_lint rule engine over the fixture corpus
+// in tests/lint_fixtures/ (known-bad and known-good files per rule), checks
+// the annotation / baseline suppression mechanics, the STATE rule's both
+// directions against the mini sighost, the xunet.lint.v1 renderer against a
+// golden report, and finally self-checks that the real src/ tree is clean
+// modulo the checked-in baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "xunet_lint/lint.hpp"
+
+namespace {
+
+using xunet::lint::Config;
+using xunet::lint::Finding;
+using xunet::lint::Report;
+using xunet::lint::Transition;
+
+const std::string kRepo = XUNET_SOURCE_DIR;
+const std::string kFix = kRepo + "/tests/lint_fixtures";
+
+Report lint_files(const std::vector<std::string>& rel_files,
+                  Config cfg = Config{}) {
+  cfg.root = kFix;
+  std::vector<std::string> paths;
+  paths.reserve(rel_files.size());
+  for (const std::string& f : rel_files) paths.push_back(kFix + "/" + f);
+  return xunet::lint::run_lint(paths, cfg);
+}
+
+std::vector<const Finding*> with_rule(const Report& r, const std::string& rule) {
+  std::vector<const Finding*> out;
+  for (const Finding& f : r.findings) {
+    if (f.rule == rule) out.push_back(&f);
+  }
+  return out;
+}
+
+std::vector<int> lines_of(const std::vector<const Finding*>& fs) {
+  std::vector<int> out;
+  out.reserve(fs.size());
+  for (const Finding* f : fs) out.push_back(f->line);
+  return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ------------------------------------------------------------------- DET
+
+TEST(LintDet, BannedFlagsEveryWallClockAndRngSite) {
+  Report r = lint_files({"det_banned_bad.cpp"});
+  auto fs = with_rule(r, "DET-BANNED");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{6, 10, 14, 19, 24}));
+  EXPECT_EQ(r.findings.size(), 5u);
+  EXPECT_EQ(r.unsuppressed(), 5u);
+}
+
+TEST(LintDet, BannedIgnoresNearMisses) {
+  Report r = lint_files({"det_banned_ok.cpp"});
+  EXPECT_TRUE(r.findings.empty()) << xunet::lint::render_text(r);
+}
+
+TEST(LintDet, UtilRngIsExemptFromBannedSymbolsAndRandomInclude) {
+  Report r = lint_files({"util/rng/rng_like.cpp"});
+  EXPECT_TRUE(r.findings.empty()) << xunet::lint::render_text(r);
+}
+
+TEST(LintDet, UnordIterFlagsOnlyEffectfulLoops) {
+  // The .hpp rides along: the sibling-stem pairing supplies the member
+  // declarations the .cpp's loops iterate.
+  Report r = lint_files({"det_unord_bad.cpp", "det_unord_bad.hpp"});
+  auto fs = with_rule(r, "DET-UNORD-ITER");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{7, 16}));
+  // The pure counting loop in count_open() must not be flagged.
+  EXPECT_EQ(r.findings.size(), 2u);
+}
+
+TEST(LintDet, PtrKeyFlagsPointerKeysButNotPointerValues) {
+  Report r = lint_files({"det_ptr_key.cpp"});
+  auto fs = with_rule(r, "DET-PTR-KEY");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{12, 13}));
+  EXPECT_EQ(r.findings.size(), 2u);
+}
+
+// ------------------------------------------------------------------ LIFE
+
+TEST(LintLife, RefCaptureFlaggedOnlyAtScheduleSinks) {
+  Report r = lint_files({"life_capture.cpp"});
+  auto fs = with_rule(r, "LIFE-REF-CAPTURE");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{19, 21}));
+  EXPECT_EQ(r.findings.size(), 2u);
+}
+
+// ------------------------------------------------------------------- HYG
+
+TEST(LintHyg, HeaderViolationsAndCleanHeader) {
+  Report r = lint_files({"hyg_bad.hpp", "hyg_ok.hpp"});
+  ASSERT_EQ(r.findings.size(), 3u);
+  EXPECT_EQ(r.findings[0].rule, "HYG-PRAGMA-ONCE");
+  EXPECT_EQ(r.findings[1].rule, "HYG-BANNED-INCLUDE");
+  EXPECT_EQ(r.findings[2].rule, "HYG-REL-INCLUDE");
+  for (const Finding& f : r.findings) EXPECT_EQ(f.file, "hyg_bad.hpp");
+}
+
+// ----------------------------------------------------- annotations/baseline
+
+TEST(LintAnnot, TrailingAndStandaloneSuppressReasonlessDoesNot) {
+  Report r = lint_files({"annot.cpp"});
+  auto banned = with_rule(r, "DET-BANNED");
+  ASSERT_EQ(banned.size(), 3u);
+  EXPECT_TRUE(banned[0]->suppressed);  // trailing form, line 9
+  EXPECT_EQ(banned[0]->reason, "fixture: trailing form");
+  EXPECT_TRUE(banned[1]->suppressed);  // standalone form across a comment gap
+  EXPECT_FALSE(banned[2]->suppressed) << "reason-less allow must not suppress";
+
+  auto annot = with_rule(r, "LINT-ANNOT");
+  ASSERT_EQ(annot.size(), 2u);
+  EXPECT_NE(annot[0]->message.find("without a reason"), std::string::npos);
+  EXPECT_NE(annot[1]->message.find("malformed"), std::string::npos);
+  EXPECT_EQ(r.unsuppressed(), 3u);  // live DET-BANNED + two LINT-ANNOT
+}
+
+TEST(LintBaseline, SuppressesByLineTextAndReportsStaleEntries) {
+  Config cfg;
+  cfg.baseline = kFix + "/baseline_demo.txt";
+  Report r = lint_files({"det_banned_bad.cpp"}, cfg);
+  auto fs = with_rule(r, "DET-BANNED");
+  ASSERT_EQ(fs.size(), 5u);
+  EXPECT_TRUE(fs[0]->suppressed);  // rand() at line 6, grandfathered
+  EXPECT_EQ(fs[0]->reason, "fixture: grandfathered exemplar");
+  for (std::size_t i = 1; i < fs.size(); ++i) EXPECT_FALSE(fs[i]->suppressed);
+  EXPECT_EQ(r.unsuppressed(), 4u);
+  bool noted = std::any_of(r.notes.begin(), r.notes.end(), [](const auto& n) {
+    return n.find("stale baseline entry") != std::string::npos;
+  });
+  EXPECT_TRUE(noted) << "unmatched baseline entries must be surfaced";
+}
+
+TEST(LintBaseline, EntryWithoutReasonFailsToLoad) {
+  std::string err;
+  auto entries = xunet::lint::load_baseline(kFix + "/baseline_bad.txt", err);
+  EXPECT_TRUE(entries.empty());
+  EXPECT_NE(err.find("no reason"), std::string::npos) << err;
+}
+
+// ----------------------------------------------------------------- STATE
+
+Config mini_cfg(const std::string& table) {
+  Config cfg;
+  cfg.state_file = "mini_sighost/sighost.cpp";
+  cfg.state_table = kFix + "/mini_sighost/" + table;
+  return cfg;
+}
+
+TEST(LintState, ExactTableIsClean) {
+  Report r = lint_files({"mini_sighost/sighost.cpp"}, mini_cfg("state_good.tbl"));
+  EXPECT_TRUE(r.findings.empty()) << xunet::lint::render_text(r);
+  // The extraction itself is the ground truth the tables are written against.
+  ASSERT_EQ(r.transitions.size(), 5u);
+  auto has = [&](const char* fn, const char* list, const char* op) {
+    return std::any_of(r.transitions.begin(), r.transitions.end(),
+                       [&](const Transition& t) {
+                         return t.fn == fn && t.list == list && t.op == op;
+                       });
+  };
+  EXPECT_TRUE(has("handle_export_srv", "service_list", "insert"));
+  EXPECT_TRUE(has("handle_withdraw_srv", "service_list", "erase"));
+  EXPECT_TRUE(has("establish_vc", "outgoing_requests", "erase"));
+  EXPECT_TRUE(has("establish_vc", "vci_mapping", "insert"));
+  EXPECT_TRUE(has("reset", "vci_mapping", "clear"));
+}
+
+TEST(LintState, UndeclaredTransitionFails) {
+  Report r = lint_files({"mini_sighost/sighost.cpp"},
+                        mini_cfg("state_undeclared.tbl"));
+  auto fs = with_rule(r, "STATE-UNDECLARED");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_NE(fs[0]->message.find("reset"), std::string::npos);
+  EXPECT_NE(fs[0]->message.find("clear"), std::string::npos);
+  EXPECT_NE(fs[0]->message.find("vci_mapping"), std::string::npos);
+}
+
+TEST(LintState, StaleTableEntryFails) {
+  Report r = lint_files({"mini_sighost/sighost.cpp"},
+                        mini_cfg("state_stale.tbl"));
+  auto fs = with_rule(r, "STATE-MISSING");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_NE(fs[0]->message.find("handle_peer_resync"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ JSON
+
+TEST(LintJson, GoldenReportForPtrKeyFixture) {
+  Report r = lint_files({"det_ptr_key.cpp"});
+  EXPECT_EQ(xunet::lint::render_json(r), slurp(kFix + "/golden_ptr_key.json"));
+}
+
+TEST(LintJson, SchemaEnvelopeFields) {
+  Report r = lint_files({"det_banned_ok.cpp"});
+  std::string j = xunet::lint::render_json(r);
+  for (const char* key : {"\"schema\": \"xunet.lint.v1\"", "\"tool\"",
+                          "\"files_scanned\"", "\"total\"", "\"unsuppressed\"",
+                          "\"findings\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key;
+  }
+}
+
+// ------------------------------------------------------------- self-check
+
+TEST(LintSelfCheck, SrcTreeCleanModuloBaselineAndStateTable) {
+  Config cfg;
+  cfg.root = kRepo;
+  cfg.baseline = kRepo + "/tools/xunet_lint/baseline.txt";
+  cfg.state_table = kRepo + "/tools/xunet_lint/sighost_state.tbl";
+  Report r = xunet::lint::run_lint({kRepo + "/src"}, cfg);
+  EXPECT_EQ(r.unsuppressed(), 0u) << xunet::lint::render_text(r);
+  EXPECT_GE(r.files_scanned, 90u);
+  // The real sighost's transition extraction must stay non-trivial: the
+  // STATE rule is only exhaustive if it is actually seeing the mutations.
+  EXPECT_GE(r.transitions.size(), 15u);
+  // Every suppression in the tree carries a reason.
+  for (const Finding& f : r.findings) {
+    if (f.suppressed) {
+      EXPECT_FALSE(f.reason.empty()) << f.file << ":" << f.line;
+    }
+  }
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 // FaultPlan so every scenario reproduces exactly from its seed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -230,6 +231,46 @@ TEST(CrashRecovery, EstablishedCallsSurviveCalleeSighostRestart) {
   rig.client->close_call(calls[4]);
   rig.tb->sim().run_for(sim::seconds(5));
   EXPECT_EQ(rig.tb->router(1).sighost->vci_mapping_size(), 5u);  // 5 + new - closed
+}
+
+TEST(CrashRecovery, VciMappingOrderIsAscendingAndSurvivesResync) {
+  // Pins the iteration-order contract behind handle_peer_resync: the
+  // surviving peer reports shared calls by walking VCI_mapping, so the
+  // PEER_RESYNC_INFO sequence (and replayed traces with it) is deterministic
+  // only while vci_map_ iterates in ascending VCI order — i.e. stays an
+  // ordered map.  A switch to a hash map turns both assertions flaky.
+  Rig rig;
+  std::vector<CallClient::Call> calls;
+  for (int i = 0; i < 5; ++i) {
+    rig.client->open("berkeley.rt", "svc", "",
+                     [&](util::Result<CallClient::Call> r) {
+                       ASSERT_TRUE(r.ok()) << to_string(r.error());
+                       calls.push_back(*r);
+                     });
+    rig.tb->sim().run_for(sim::seconds(1));
+  }
+  ASSERT_EQ(calls.size(), 5u);
+
+  auto strictly_ascending = [](const std::vector<atm::Vci>& v) {
+    return std::adjacent_find(v.begin(), v.end(),
+                              [](atm::Vci a, atm::Vci b) { return a >= b; }) ==
+           v.end();
+  };
+  const auto caller_before = rig.tb->router(0).sighost->vci_mapping_vcis();
+  const auto callee_before = rig.tb->router(1).sighost->vci_mapping_vcis();
+  ASSERT_EQ(caller_before.size(), 5u);
+  EXPECT_TRUE(strictly_ascending(caller_before));
+  EXPECT_TRUE(strictly_ascending(callee_before));
+
+  // Crash/restart the callee: its mapping is audited back from the kernel
+  // and network and re-keyed by the caller's PEER_RESYNC_INFO report.  The
+  // rebuilt mapping must be the same set of VCIs in the same order.
+  rig.tb->crash_sighost(1);
+  rig.tb->sim().run_for(sim::milliseconds(500));
+  ASSERT_TRUE(rig.tb->restart_sighost(1).ok());
+  rig.tb->sim().run_for(sim::seconds(10));
+  EXPECT_EQ(rig.tb->router(1).sighost->vci_mapping_vcis(), callee_before);
+  EXPECT_EQ(rig.tb->router(0).sighost->vci_mapping_vcis(), caller_before);
 }
 
 TEST(CrashRecovery, OrphanedVcsAreTornDownAfterRestart) {

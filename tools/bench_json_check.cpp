@@ -1,13 +1,14 @@
-// bench_json_check — CI gate for the BENCH_*.json trajectory files.
+// bench_json_check — CI gate for machine-readable trajectory files
+// (BENCH_*.json benchmark reports and LINT_findings.json lint reports).
 //
 // Usage: bench_json_check FILE...
 //
 // For each file: verify it is well-formed enough to trust (single JSON
-// object, balanced structure, no truncation), carries the
-// "xunet.bench.v1" schema marker, and contains every metric key required
-// for its bench name.  Exit 0 only when every file passes; a missing file
-// is a failure (the bench silently not writing its report is exactly the
-// regression this tool exists to catch).
+// object, balanced structure, no truncation), carries a known schema
+// marker ("xunet.bench.v1" or "xunet.lint.v1"), and contains every key
+// required for its profile.  Exit 0 only when every file passes; a
+// missing file is a failure (the tool silently not writing its report is
+// exactly the regression this gate exists to catch).
 #include <cctype>
 #include <cstdio>
 #include <map>
@@ -128,8 +129,24 @@ bool check_file(const char* path) {
     std::fprintf(stderr, "FAIL %s: malformed JSON: %s\n", path, why.c_str());
     return false;
   }
+  if (s.find("\"xunet.lint.v1\"") != std::string::npos) {
+    // Static-analysis report from tools/xunet_lint --json.
+    bool ok = true;
+    for (const char* key :
+         {"tool", "files_scanned", "total", "unsuppressed", "findings"}) {
+      if (!has_key(s, key)) {
+        std::fprintf(stderr, "FAIL %s: lint report missing required key %s\n",
+                     path, key);
+        ok = false;
+      }
+    }
+    if (ok) std::printf("OK   %s (lint report)\n", path);
+    return ok;
+  }
   if (s.find("\"xunet.bench.v1\"") == std::string::npos) {
-    std::fprintf(stderr, "FAIL %s: missing schema marker xunet.bench.v1\n",
+    std::fprintf(stderr,
+                 "FAIL %s: missing schema marker "
+                 "(xunet.bench.v1 or xunet.lint.v1)\n",
                  path);
     return false;
   }

@@ -1,0 +1,329 @@
+// lint.cpp — the xunet_lint driver: file discovery, rule composition,
+// suppression (annotations + baseline), and the text / xunet.lint.v1
+// renderers.
+#include "xunet_lint/lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/loc_scan.hpp"
+#include "xunet_lint/rules.hpp"
+#include "xunet_lint/scan.hpp"
+
+namespace xunet::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string normalize_ws(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return {};
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::string rel_to_root(const std::string& path, const std::string& root) {
+  std::error_code ec;
+  fs::path p = fs::weakly_canonical(path, ec);
+  fs::path r = fs::weakly_canonical(root, ec);
+  std::string ps = p.generic_string();
+  std::string rs = r.generic_string();
+  if (!rs.empty() && rs.back() != '/') rs += '/';
+  if (ps.compare(0, rs.size(), rs) == 0) return ps.substr(rs.size());
+  return path;
+}
+
+/// stem of "a/b/foo.cpp" -> "a/b/foo" (for .cpp <-> .hpp pairing).
+std::string stem_of(const std::string& rel) {
+  std::size_t dot = rel.find_last_of('.');
+  return dot == std::string::npos ? rel : rel.substr(0, dot);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void json_escape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<BaselineEntry> load_baseline(const std::string& path,
+                                         std::string& err) {
+  std::vector<BaselineEntry> out;
+  std::ifstream in(path);
+  if (!in) {
+    err = "cannot read baseline: " + path;
+    return out;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string t = normalize_ws(line);
+    if (t.empty() || t[0] == '#') continue;
+    BaselineEntry e;
+    std::size_t p1 = t.find('|');
+    std::size_t p2 = p1 == std::string::npos ? p1 : t.find('|', p1 + 1);
+    std::size_t p3 = p2 == std::string::npos ? p2 : t.find('|', p2 + 1);
+    if (p3 == std::string::npos) {
+      err = "baseline line " + std::to_string(lineno) +
+            ": expected 'rule|file|line text|reason'";
+      return {};
+    }
+    e.rule = normalize_ws(t.substr(0, p1));
+    e.file = normalize_ws(t.substr(p1 + 1, p2 - p1 - 1));
+    e.line_text = normalize_ws(t.substr(p2 + 1, p3 - p2 - 1));
+    e.reason = normalize_ws(t.substr(p3 + 1));
+    if (e.rule.empty() || e.file.empty() || e.line_text.empty()) {
+      err = "baseline line " + std::to_string(lineno) + ": empty field";
+      return {};
+    }
+    if (e.reason.empty()) {
+      err = "baseline line " + std::to_string(lineno) +
+            ": entry carries no reason (every grandfathered finding must "
+            "say why it is acceptable)";
+      return {};
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Report run_lint(const std::vector<std::string>& paths, const Config& cfg) {
+  Report r;
+
+  // ---- discovery: files as-is, directories via util::list_source_files.
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (std::string& f : util::list_source_files(p, /*recurse=*/true)) {
+        files.push_back(std::move(f));
+      }
+    } else {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // ---- lex everything first: DET-UNORD-ITER needs the sibling header's
+  // member declarations when scanning a .cpp.
+  std::vector<Unit> units;
+  units.reserve(files.size());
+  for (const std::string& f : files) {
+    bool ok = false;
+    Unit u = lex_file(f, rel_to_root(f, cfg.root), ok);
+    if (!ok) {
+      r.notes.push_back("unreadable: " + f);
+      continue;
+    }
+    units.push_back(std::move(u));
+  }
+  // Re-sort by rel path so findings are ordered the same from any checkout.
+  std::sort(units.begin(), units.end(),
+            [](const Unit& a, const Unit& b) { return a.rel < b.rel; });
+  r.files_scanned = units.size();
+  std::map<std::string, const Unit*> by_stem;
+  for (const Unit& u : units) {
+    if (u.is_header) by_stem.emplace(stem_of(u.rel), &u);
+  }
+
+  // ---- declared state table.
+  std::vector<Transition> declared;
+  bool state_enabled = !cfg.state_table.empty();
+  if (state_enabled) {
+    std::string err;
+    declared = load_state_table(cfg.state_table, err);
+    if (!err.empty()) {
+      Finding f;
+      f.rule = "LINT-ANNOT";
+      f.file = cfg.state_table;
+      f.line = 0;
+      f.message = err;
+      r.findings.push_back(std::move(f));
+      state_enabled = false;
+    }
+  }
+
+  // ---- rules.
+  for (const Unit& u : units) {
+    rule_det_banned(u, r.findings);
+    rule_det_ptr_key(u, r.findings);
+    rule_life_ref_capture(u, r.findings);
+    rule_hyg(u, r.findings);
+    std::set<std::string> unordered = u.unordered_names;
+    if (!u.is_header) {
+      auto hit = by_stem.find(stem_of(u.rel));
+      if (hit != by_stem.end()) {
+        unordered.insert(hit->second->unordered_names.begin(),
+                         hit->second->unordered_names.end());
+      }
+    }
+    rule_det_unord_iter(u, unordered, r.findings);
+    if (ends_with(u.rel, cfg.state_file)) {
+      r.transitions = extract_transitions(u);
+      if (state_enabled) rule_state(u, r.transitions, declared, r.findings);
+    }
+    // The annotations themselves are linted: every allow carries a reason.
+    for (const Allow& a : u.allows) {
+      if (a.malformed) {
+        Finding f;
+        f.rule = "LINT-ANNOT";
+        f.file = u.rel;
+        f.line = a.line;
+        f.message = "malformed xunet-lint annotation; expected "
+                    "'xunet-lint: allow(<rule>[,<rule>...]) -- <reason>'";
+        r.findings.push_back(std::move(f));
+      } else if (a.reason.empty()) {
+        Finding f;
+        f.rule = "LINT-ANNOT";
+        f.file = u.rel;
+        f.line = a.line;
+        f.message = "allow(...) without a reason; append '-- <why this "
+                    "instance is safe>'";
+        r.findings.push_back(std::move(f));
+      }
+    }
+  }
+
+  // ---- suppression pass 1: inline annotations.
+  std::map<std::string, Unit*> by_rel;
+  for (Unit& u : units) by_rel.emplace(u.rel, &u);
+  for (Finding& f : r.findings) {
+    if (f.rule == "LINT-ANNOT") continue;  // annotations cannot self-allow
+    auto uit = by_rel.find(f.file);
+    if (uit == by_rel.end()) continue;
+    for (Allow& a : uit->second->allows) {
+      if (a.malformed || a.reason.empty()) continue;
+      if (a.target_line != f.line) continue;
+      if (std::find(a.rules.begin(), a.rules.end(), f.rule) == a.rules.end())
+        continue;
+      f.suppressed = true;
+      f.reason = a.reason;
+      a.used = true;
+      break;
+    }
+  }
+
+  // ---- suppression pass 2: the baseline.
+  if (!cfg.baseline.empty()) {
+    std::string err;
+    std::vector<BaselineEntry> base = load_baseline(cfg.baseline, err);
+    if (!err.empty()) {
+      Finding f;
+      f.rule = "LINT-ANNOT";
+      f.file = cfg.baseline;
+      f.line = 0;
+      f.message = err;
+      r.findings.push_back(std::move(f));
+    }
+    for (Finding& f : r.findings) {
+      if (f.suppressed || f.rule == "LINT-ANNOT") continue;
+      auto uit = by_rel.find(f.file);
+      for (BaselineEntry& e : base) {
+        if (e.rule != f.rule || e.file != f.file) continue;
+        std::string text;
+        if (uit != by_rel.end() && f.line >= 1 &&
+            f.line <= static_cast<int>(uit->second->lines.size())) {
+          text = normalize_ws(uit->second->lines[f.line - 1]);
+        }
+        if (text != e.line_text) continue;
+        f.suppressed = true;
+        f.reason = e.reason;
+        e.used = true;
+        break;
+      }
+    }
+    for (const BaselineEntry& e : base) {
+      if (!e.used) {
+        r.notes.push_back("stale baseline entry (no matching finding): " +
+                          e.rule + "|" + e.file + "|" + e.line_text);
+      }
+    }
+  }
+  for (const Unit& u : units) {
+    for (const Allow& a : u.allows) {
+      if (!a.malformed && !a.reason.empty() && !a.used) {
+        r.notes.push_back("stale annotation (suppresses nothing): " + u.rel +
+                          ":" + std::to_string(a.line));
+      }
+    }
+  }
+
+  std::sort(r.findings.begin(), r.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return r;
+}
+
+std::string render_text(const Report& r) {
+  std::ostringstream out;
+  for (const Finding& f : r.findings) {
+    if (f.suppressed) continue;
+    out << f.file << ":" << f.line << ": error: [" << f.rule << "] "
+        << f.message << "\n";
+  }
+  std::size_t suppressed = r.findings.size() - r.unsuppressed();
+  for (const std::string& n : r.notes) out << "note: " << n << "\n";
+  out << "xunet_lint: " << r.files_scanned << " files, " << r.unsuppressed()
+      << " findings (" << suppressed << " suppressed)\n";
+  return out.str();
+}
+
+std::string render_json(const Report& r) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"xunet.lint.v1\",\n";
+  out += "  \"tool\": \"xunet_lint\",\n";
+  out += "  \"files_scanned\": " + std::to_string(r.files_scanned) + ",\n";
+  out += "  \"total\": " + std::to_string(r.findings.size()) + ",\n";
+  out += "  \"unsuppressed\": " + std::to_string(r.unsuppressed()) + ",\n";
+  out += "  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : r.findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"rule\": \"";
+    json_escape(out, f.rule);
+    out += "\", \"file\": \"";
+    json_escape(out, f.file);
+    out += "\", \"line\": " + std::to_string(f.line);
+    out += ", \"suppressed\": ";
+    out += f.suppressed ? "true" : "false";
+    out += ", \"reason\": \"";
+    json_escape(out, f.reason);
+    out += "\", \"message\": \"";
+    json_escape(out, f.message);
+    out += "\"}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace xunet::lint

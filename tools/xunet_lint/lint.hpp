@@ -1,0 +1,116 @@
+// lint.hpp — xunet_lint: project-specific static analysis for the xunet tree.
+//
+// The reproduction rests on deterministic replay (byte-identical JSONL
+// traces, same-seed fault-recovery runs), on pooled-engine event lifetimes
+// (a dangling by-reference capture in a scheduled callback fails silently),
+// and on the sighost's five internal lists behaving as the declared state
+// machine of PAPER.md §5.  Nothing in the compiler checks any of that, so
+// this tool does: a lightweight lexer plus per-rule matchers over the
+// repo's own sources.
+//
+// Rule families (ids are stable; they appear in baselines and annotations):
+//
+//   DET  — determinism.
+//     DET-BANNED      wall clocks / libc randomness outside src/util/rng
+//     DET-UNORD-ITER  range-for over an unordered container whose body
+//                     schedules events or sends wire messages
+//     DET-PTR-KEY     pointer-keyed std::map/std::set (address-dependent order)
+//   LIFE — event lifetimes.
+//     LIFE-REF-CAPTURE  by-reference lambda capture passed to
+//                       Simulator::schedule/schedule_at or Timer::arm
+//   STATE — sighost state machine.
+//     STATE-UNDECLARED  a five-list mutation in sighost.cpp with no entry in
+//                       the declared transition table
+//     STATE-MISSING     a declared transition with no code site (stale table)
+//   HYG  — hygiene.
+//     HYG-PRAGMA-ONCE    header without #pragma once
+//     HYG-BANNED-INCLUDE <chrono>/<thread>/<random>/... in simulation code
+//     HYG-REL-INCLUDE    #include "..." path escaping the source root
+//   LINT — the tool's own annotations.
+//     LINT-ANNOT        malformed allow(...) annotation or one without a reason
+//
+// Suppression: inline `// xunet-lint: allow(<rule>[,<rule>...]) -- <reason>`
+// (trailing: covers its own line; standalone: covers the next line), or an
+// entry in the checked-in baseline file (see load_baseline).  Both REQUIRE a
+// written reason.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xunet::lint {
+
+/// One diagnostic.  `file` is root-relative so baselines are stable across
+/// checkouts.
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+  std::string reason;  ///< why it is allowed (annotation or baseline)
+};
+
+/// One extracted sighost state-machine transition: member function `fn`
+/// performs `op` (insert/erase/clear) on paper-list `list`.
+struct Transition {
+  std::string fn;
+  std::string list;
+  std::string op;
+  int line = 0;
+};
+
+/// A baseline entry grandfathers one pre-existing finding.  Matching is by
+/// (rule, file, whitespace-normalized source-line text), not line number, so
+/// unrelated edits above the site do not invalidate the entry.
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string line_text;
+  std::string reason;
+  bool used = false;
+};
+
+struct Config {
+  /// Paths in findings are reported relative to this directory.
+  std::string root = ".";
+  /// The file the STATE rule analyzes (root-relative suffix match).
+  std::string state_file = "src/signaling/sighost.cpp";
+  /// Declared transition table; empty disables the STATE rule.
+  std::string state_table;
+  /// Baseline file; empty means no baseline.
+  std::string baseline;
+};
+
+struct Report {
+  std::vector<Finding> findings;      ///< sorted by (file, line, rule)
+  std::vector<Transition> transitions;///< extracted from the state file
+  std::size_t files_scanned = 0;
+  std::vector<std::string> notes;     ///< non-fatal: stale baseline entries etc.
+
+  [[nodiscard]] std::size_t unsuppressed() const {
+    std::size_t n = 0;
+    for (const Finding& f : findings) n += f.suppressed ? 0 : 1;
+    return n;
+  }
+};
+
+/// Run every rule over `paths` (files, or directories scanned recursively
+/// for .hpp/.cpp/.h/.cc via util::list_source_files).
+[[nodiscard]] Report run_lint(const std::vector<std::string>& paths,
+                              const Config& cfg);
+
+/// Parse a baseline file (`rule|file|line text|reason` per line, `#`
+/// comments).  On malformed input `err` is set and the result is empty.
+[[nodiscard]] std::vector<BaselineEntry> load_baseline(const std::string& path,
+                                                       std::string& err);
+
+/// Human-readable diagnostics (one `file:line: [RULE] message` per finding).
+[[nodiscard]] std::string render_text(const Report& r);
+
+/// Machine-readable findings, schema "xunet.lint.v1" (validated by
+/// tools/bench_json_check alongside the bench reports).
+[[nodiscard]] std::string render_json(const Report& r);
+
+}  // namespace xunet::lint

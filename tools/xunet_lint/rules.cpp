@@ -1,0 +1,380 @@
+// rules.cpp — the DET / LIFE / STATE / HYG matchers.
+//
+// Matchers are token-level heuristics, deliberately simple: each one is
+// calibrated against the fixture corpus in tests/lint_fixtures/, and every
+// justified real-world exception goes through an allow(...) annotation or
+// the baseline — never through loosening a matcher.
+#include "xunet_lint/rules.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace xunet::lint {
+namespace {
+
+bool path_has(const std::string& rel, const char* needle) {
+  return rel.find(needle) != std::string::npos;
+}
+
+void add(std::vector<Finding>& out, const Unit& u, const std::string& rule,
+         int line, std::string msg) {
+  Finding f;
+  f.rule = rule;
+  f.file = u.rel;
+  f.line = line;
+  f.message = std::move(msg);
+  out.push_back(std::move(f));
+}
+
+/// Idents whose presence in a loop body means the iteration order reaches
+/// the event queue or the wire.
+bool effectful_ident(const std::string& s) {
+  static const std::set<std::string> kExact = {
+      "schedule", "schedule_at", "arm",       "transmit_peer",
+      "wire_send", "serialize",  "emit",      "complete",
+  };
+  if (kExact.count(s) != 0) return true;
+  return s.find("send") != std::string::npos;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- DET
+
+void rule_det_banned(const Unit& u, std::vector<Finding>& out) {
+  // The deterministic RNG wrapper is the one place allowed to name the
+  // primitives it replaces.
+  if (path_has(u.rel, "util/rng")) return;
+  static const std::map<std::string, const char*> kBanned = {
+      {"rand", "libc rand() is seeded per-process; use util::Rng"},
+      {"srand", "libc srand() is process-global; use util::Rng(seed)"},
+      {"random_device", "std::random_device is nondeterministic by design; "
+                        "use util::Rng"},
+      {"mt19937", "std::mt19937 duplicates util::Rng without its seeding "
+                  "discipline; use util::Rng"},
+      {"mt19937_64", "std::mt19937_64 duplicates util::Rng; use util::Rng"},
+      {"system_clock", "wall clocks diverge across runs; use sim::SimTime"},
+      {"steady_clock", "wall clocks diverge across runs; use sim::SimTime"},
+      {"high_resolution_clock",
+       "wall clocks diverge across runs; use sim::SimTime"},
+      {"gettimeofday", "wall clocks diverge across runs; use sim::SimTime"},
+      {"clock_gettime", "wall clocks diverge across runs; use sim::SimTime"},
+  };
+  const std::vector<Token>& t = u.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::ident) continue;
+    auto it = kBanned.find(t[i].text);
+    if (it != kBanned.end()) {
+      // Member accesses like `foo.rand` are not the libc symbol.
+      if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) continue;
+      add(out, u, "DET-BANNED", t[i].line,
+          "'" + t[i].text + "': " + it->second);
+      continue;
+    }
+    // `time(nullptr)` / `time(NULL)` / `time(0)` — the bare name is too
+    // common to ban outright, so require the wall-clock call shape.
+    if (t[i].text == "time" && i + 2 < t.size() && t[i + 1].text == "(" &&
+        (t[i + 2].text == "nullptr" || t[i + 2].text == "NULL" ||
+         t[i + 2].text == "0") &&
+        i + 3 < t.size() && t[i + 3].text == ")") {
+      if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) continue;
+      add(out, u, "DET-BANNED", t[i].line,
+          "time(...) reads the wall clock; use sim::SimTime");
+    }
+  }
+}
+
+void rule_det_unord_iter(const Unit& u, const std::set<std::string>& unordered,
+                         std::vector<Finding>& out) {
+  const std::vector<Token>& t = u.toks;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "for" || t[i + 1].text != "(") continue;
+    std::size_t close = match_forward(t, i + 1);
+    if (close >= t.size()) continue;
+    // Find the range-for ':' at parenthesis depth 1 ("::" is one token, so
+    // it cannot be confused with it).
+    std::size_t colon = close;
+    int depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      const std::string& s = t[j].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      else if (s == ")" || s == "]" || s == "}") --depth;
+      else if (s == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == close) continue;  // classic for, not range-for
+    // Only a bare identifier range: `for (... : name_)`.  Expressions like
+    // `m.keys()` or `ports_[i]->queues` already pick their own order.
+    if (close - colon != 2 || t[colon + 1].kind != Token::Kind::ident) continue;
+    const std::string& name = t[colon + 1].text;
+    if (unordered.count(name) == 0) continue;
+    // Body extent: balanced block or single statement.
+    std::size_t body_begin = close + 1;
+    std::size_t body_end;
+    if (body_begin < t.size() && t[body_begin].text == "{") {
+      body_end = match_forward(t, body_begin);
+    } else {
+      body_end = body_begin;
+      while (body_end < t.size() && t[body_end].text != ";") ++body_end;
+    }
+    for (std::size_t j = body_begin; j < body_end && j < t.size(); ++j) {
+      if (t[j].kind == Token::Kind::ident && effectful_ident(t[j].text)) {
+        add(out, u, "DET-UNORD-ITER", t[i].line,
+            "iteration over unordered container '" + name +
+                "' reaches the event queue or the wire (via '" + t[j].text +
+                "'); hash order is not part of the replayed state — iterate "
+                "a sorted snapshot");
+        break;
+      }
+    }
+  }
+}
+
+void rule_det_ptr_key(const Unit& u, std::vector<Finding>& out) {
+  const std::vector<Token>& t = u.toks;
+  for (std::size_t i = 0; i + 4 < t.size(); ++i) {
+    if (t[i].text != "std" || t[i + 1].text != "::") continue;
+    const std::string& k = t[i + 2].text;
+    if (k != "map" && k != "set" && k != "multimap" && k != "multiset")
+      continue;
+    if (t[i + 3].text != "<") continue;
+    std::size_t close = match_forward(t, i + 3);
+    if (close >= t.size()) continue;
+    // First template argument: up to the ',' at angle depth 1 (or the close
+    // for std::set).
+    std::size_t last = i + 3;
+    int depth = 0;
+    for (std::size_t j = i + 3; j <= close; ++j) {
+      const std::string& s = t[j].text;
+      if (s == "<" || s == "(" || s == "[") ++depth;
+      else if (s == ">" || s == ")" || s == "]") --depth;
+      else if (s == ">>") depth -= 2;
+      if ((s == "," && depth == 1) || j == close) {
+        last = j - 1;
+        break;
+      }
+    }
+    if (t[last].text == "*") {
+      add(out, u, "DET-PTR-KEY", t[i].line,
+          "std::" + k + " keyed by a pointer orders by address, which varies "
+          "run to run; key by a stable id instead");
+    }
+  }
+}
+
+// ---------------------------------------------------------------- LIFE
+
+void rule_life_ref_capture(const Unit& u, std::vector<Finding>& out) {
+  static const std::set<std::string> kSinks = {"schedule", "schedule_at",
+                                               "arm"};
+  const std::vector<Token>& t = u.toks;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::ident || kSinks.count(t[i].text) == 0)
+      continue;
+    if (t[i + 1].text != "(") continue;
+    std::size_t close = match_forward(t, i + 1);
+    if (close >= t.size()) continue;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (t[j].text != "[") continue;
+      std::size_t cb = match_forward(t, j);
+      if (cb >= close) continue;
+      // A lambda introducer is a '[...]' followed by '(' , '{' or 'mutable'.
+      if (cb + 1 >= t.size()) continue;
+      const std::string& nxt = t[cb + 1].text;
+      if (nxt != "(" && nxt != "{" && nxt != "mutable") continue;
+      for (std::size_t c = j + 1; c < cb; ++c) {
+        bool capture_pos = c == j + 1 || t[c - 1].text == ",";
+        if (capture_pos && (t[c].text == "&" || t[c].text == "&&")) {
+          // Anchor at the sink call, not the capture: that is the statement
+          // line an annotation naturally sits above.
+          add(out, u, "LIFE-REF-CAPTURE", t[i].line,
+              "by-reference lambda capture passed to '" + t[i].text +
+                  "': the pooled engine runs this after the enclosing frame "
+                  "is gone — capture by value (or a weak liveness token)");
+          break;
+        }
+      }
+      j = cb;  // skip past this lambda's capture list
+    }
+  }
+}
+
+// ----------------------------------------------------------------- HYG
+
+void rule_hyg(const Unit& u, std::vector<Finding>& out) {
+  if (u.is_header) {
+    bool has_pragma = false;
+    for (const Directive& d : u.directives) {
+      if (d.text.find("#pragma") == 0 &&
+          d.text.find("once") != std::string::npos) {
+        has_pragma = true;
+        break;
+      }
+    }
+    if (!has_pragma) {
+      add(out, u, "HYG-PRAGMA-ONCE", 1,
+          "header lacks '#pragma once' (every xunet header uses it)");
+    }
+  }
+  static const std::map<std::string, const char*> kBannedIncl = {
+      {"chrono", "wall-clock time; simulation time is sim::SimTime"},
+      {"ctime", "wall-clock time; simulation time is sim::SimTime"},
+      {"thread", "the simulator is single-threaded by design"},
+      {"mutex", "the simulator is single-threaded by design"},
+      {"shared_mutex", "the simulator is single-threaded by design"},
+      {"condition_variable", "the simulator is single-threaded by design"},
+      {"future", "the simulator is single-threaded by design"},
+      {"random", "randomness flows through util::Rng so runs replay"},
+      {"iostream", "components report through util::Logger / obs, not stdio "
+                   "streams"},
+  };
+  for (const Directive& d : u.directives) {
+    if (d.text.find("#include") != 0) continue;
+    std::size_t lt = d.text.find('<');
+    std::size_t gt = d.text.find('>', lt == std::string::npos ? 0 : lt);
+    if (lt != std::string::npos && gt != std::string::npos) {
+      std::string hdr = d.text.substr(lt + 1, gt - lt - 1);
+      auto it = kBannedIncl.find(hdr);
+      if (it != kBannedIncl.end() &&
+          !(hdr == "random" && path_has(u.rel, "util/rng"))) {
+        add(out, u, "HYG-BANNED-INCLUDE", d.line,
+            "<" + hdr + ">: " + it->second);
+      }
+      continue;
+    }
+    std::size_t q1 = d.text.find('"');
+    std::size_t q2 = d.text.find('"', q1 == std::string::npos ? 0 : q1 + 1);
+    if (q1 != std::string::npos && q2 != std::string::npos) {
+      std::string hdr = d.text.substr(q1 + 1, q2 - q1 - 1);
+      if (hdr.find("../") != std::string::npos) {
+        add(out, u, "HYG-REL-INCLUDE", d.line,
+            "\"" + hdr + "\" escapes the include root; include "
+            "root-relative (\"kern/kernel.hpp\") instead");
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- STATE
+
+std::vector<Transition> extract_transitions(const Unit& u) {
+  // Member-list name -> the paper's list name (PAPER.md §5).
+  static const std::map<std::string, const char*> kLists = {
+      {"services_", "service_list"},
+      {"outgoing_", "outgoing_requests"},
+      {"incoming_", "incoming_requests"},
+      {"wait_bind_", "wait_for_bind"},
+      {"vci_map_", "vci_mapping"},
+  };
+  static const std::map<std::string, const char*> kOps = {
+      {"emplace", "insert"}, {"try_emplace", "insert"}, {"insert", "insert"},
+      {"erase", "erase"},    {"clear", "clear"},
+  };
+  std::vector<Transition> out;
+  std::set<std::string> seen;
+  std::string fn = "<file-scope>";
+  const std::vector<Token>& t = u.toks;
+  auto record = [&](const std::string& list, const std::string& op, int line) {
+    std::string key = fn + "|" + list + "|" + op;
+    if (!seen.insert(key).second) return;
+    Transition tr;
+    tr.fn = fn;
+    tr.list = list;
+    tr.op = op;
+    tr.line = line;
+    out.push_back(std::move(tr));
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Track the enclosing member definition: `Sighost :: name (`.
+    if (t[i].text == "Sighost" && i + 3 < t.size() && t[i + 1].text == "::" &&
+        t[i + 2].kind == Token::Kind::ident && t[i + 3].text == "(") {
+      fn = t[i + 2].text;
+      continue;
+    }
+    if (t[i].kind != Token::Kind::ident) continue;
+    auto lit = kLists.find(t[i].text);
+    if (lit == kLists.end() || i + 2 >= t.size()) continue;
+    if (t[i + 1].text == "." && t[i + 2].kind == Token::Kind::ident) {
+      auto oit = kOps.find(t[i + 2].text);
+      if (oit != kOps.end()) record(lit->second, oit->second, t[i].line);
+      continue;
+    }
+    // `list_[key] = value;` inserts through operator[].
+    if (t[i + 1].text == "[") {
+      std::size_t cb = match_forward(t, i + 1);
+      if (cb + 1 < t.size() && t[cb + 1].text == "=") {
+        record(lit->second, "insert", t[i].line);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Transition> load_state_table(const std::string& path,
+                                         std::string& err) {
+  std::vector<Transition> out;
+  std::ifstream in(path);
+  if (!in) {
+    err = "cannot read state table: " + path;
+    return out;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ss(line);
+    Transition tr;
+    tr.line = lineno;
+    if (!(ss >> tr.fn >> tr.list >> tr.op)) {
+      std::string rest;
+      if (!tr.fn.empty()) {
+        err = "state table line " + std::to_string(lineno) +
+              ": expected '<fn> <list> <op>'";
+        return {};
+      }
+      continue;  // blank / comment-only line
+    }
+    std::string extra;
+    if (ss >> extra) {
+      err = "state table line " + std::to_string(lineno) +
+            ": trailing tokens after '<fn> <list> <op>'";
+      return {};
+    }
+    out.push_back(std::move(tr));
+  }
+  return out;
+}
+
+void rule_state(const Unit& u, const std::vector<Transition>& extracted,
+                const std::vector<Transition>& declared,
+                std::vector<Finding>& out) {
+  auto key = [](const Transition& t) { return t.fn + "|" + t.list + "|" + t.op; };
+  std::set<std::string> decl;
+  for (const Transition& t : declared) decl.insert(key(t));
+  std::set<std::string> got;
+  for (const Transition& t : extracted) got.insert(key(t));
+  for (const Transition& t : extracted) {
+    if (decl.count(key(t)) == 0) {
+      add(out, u, "STATE-UNDECLARED", t.line,
+          "undeclared sighost transition: " + t.fn + " does '" + t.op +
+              "' on " + t.list + " — declare it in the transition table "
+              "(tools/xunet_lint/sighost_state.tbl) or remove the mutation");
+    }
+  }
+  for (const Transition& t : declared) {
+    if (got.count(key(t)) == 0) {
+      add(out, u, "STATE-MISSING", 1,
+          "declared transition has no code site: " + t.fn + " '" + t.op +
+              "' on " + t.list + " (stale table entry, line " +
+              std::to_string(t.line) + ")");
+    }
+  }
+}
+
+}  // namespace xunet::lint

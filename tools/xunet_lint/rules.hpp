@@ -1,0 +1,46 @@
+// rules.hpp — internal: per-family rule matchers over lexed units.  The
+// driver (lint.cpp) composes them; tests drive them directly on fixtures.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "xunet_lint/lint.hpp"
+#include "xunet_lint/scan.hpp"
+
+namespace xunet::lint {
+
+/// DET-BANNED: wall clocks and libc/std randomness outside src/util/rng.
+void rule_det_banned(const Unit& u, std::vector<Finding>& out);
+
+/// DET-UNORD-ITER: range-for over a name in `unordered` whose body schedules
+/// events or sends wire messages.  `unordered` is the union of the unit's
+/// own declarations and its sibling header's (foo.cpp pairs with foo.hpp).
+void rule_det_unord_iter(const Unit& u, const std::set<std::string>& unordered,
+                         std::vector<Finding>& out);
+
+/// DET-PTR-KEY: std::map/std::set keyed by a pointer type.
+void rule_det_ptr_key(const Unit& u, std::vector<Finding>& out);
+
+/// LIFE-REF-CAPTURE: by-reference lambda capture in an argument to
+/// schedule/schedule_at/arm.
+void rule_life_ref_capture(const Unit& u, std::vector<Finding>& out);
+
+/// HYG-PRAGMA-ONCE, HYG-BANNED-INCLUDE, HYG-REL-INCLUDE.
+void rule_hyg(const Unit& u, std::vector<Finding>& out);
+
+/// Extract the sighost five-list transitions (fn, list, op) from a unit.
+[[nodiscard]] std::vector<Transition> extract_transitions(const Unit& u);
+
+/// Parse a transition table file: `fn list op` per line, `#` comments.
+/// On malformed input `err` is set.
+[[nodiscard]] std::vector<Transition> load_state_table(const std::string& path,
+                                                       std::string& err);
+
+/// STATE-UNDECLARED / STATE-MISSING: extracted vs declared, both directions.
+void rule_state(const Unit& u, const std::vector<Transition>& extracted,
+                const std::vector<Transition>& declared,
+                std::vector<Finding>& out);
+
+}  // namespace xunet::lint
