@@ -4,10 +4,33 @@
 //   * clients and servers killed "during various stages of the call setup
 //     process", with "network and signaling state ... always correctly
 //     restored".
+//
+// The recovery_post_mortem scenario additionally runs the fault sweep with
+// the second-generation observability attached — a HealthMonitor watching
+// both sighosts and the always-on flight recorder — and writes the two
+// JSONL artifacts CI validates and uploads: FLIGHT_recovery.jsonl (the
+// xunet.trace.v1 post-mortem dump the crash triggered) and
+// HEALTH_recovery.jsonl (the xunet.health.v1 alert stream).
+#include <cstdio>
+
 #include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "fault/fault.hpp"
+#include "obs/health.hpp"
 
 namespace xunet::bench {
 namespace {
+
+void write_artifact(const char* path, const std::string& body) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_sec10_robustness: cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
 
 core::TestbedConfig fixed_config() {
   core::TestbedConfig cfg;
@@ -143,6 +166,64 @@ void kill_sweep() {
           std::to_string(clean_count) + "/7 stages clean");
 }
 
+// A seeded mid-call sighost crash/restart with the health monitor and
+// flight recorder attached: the run's post-mortem artifacts are the bench
+// products, validated by bench_json_check in CI.
+void recovery_post_mortem() {
+  core::TestbedConfig cfg;
+  cfg.kernel.fd_table_size = 512;
+  cfg.sighost.request_timeout = sim::seconds(20);
+  // pvc_mesh() sets auto_bring_up: build() returns a running deployment.
+  auto tb = cfg.routers(2).pvc_mesh().build();
+  auto& r1 = tb->router(1);
+  core::CallServer server(*r1.kernel, r1.kernel->ip_node().address(),
+                          "postmortem", 5303);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+  core::CallClient client(*tb->router(0).kernel,
+                          tb->router(0).kernel->ip_node().address());
+
+  obs::HealthMonitor health(
+      tb->sim().obs(),
+      [&tb](sim::SimDuration d, std::function<void()> fn) {
+        tb->sim().schedule(d, std::move(fn));
+      });
+  health.watch_sighost("mh.rt");
+  health.watch_sighost("berkeley.rt");
+  health.start(sim::milliseconds(100));
+
+  fault::FaultPlan plan(*tb, 1994);
+  plan.drop_signaling(0.15);
+  plan.crash_sighost_at(sim::seconds(2), 1);
+  plan.restart_sighost_at(sim::milliseconds(2600), 1);
+  plan.arm();
+
+  const int calls = bench_short() ? 12 : 40;
+  int ok = 0, failed = 0;
+  for (int i = 0; i < calls; ++i) {
+    tb->sim().schedule(sim::milliseconds(150) * i, [&] {
+      client.open("berkeley.rt", "postmortem", "",
+                  [&](util::Result<core::CallClient::Call> r) {
+                    r.ok() ? ++ok : ++failed;
+                  });
+    });
+  }
+  tb->sim().run_for(sim::seconds(40));
+  health.stop();
+
+  const obs::FlightRecorder& flight = tb->sim().obs().flight();
+  compare("crash-triggered flight dump", "non-empty post-mortem",
+          std::to_string(flight.triggers()) + " trigger(s), " +
+              std::to_string(flight.total()) + " records noted");
+  compare("health alerts over the fault window", "(new instrumentation)",
+          std::to_string(health.alerts().size()) + " transitions over " +
+              std::to_string(health.ticks()) + " ticks");
+  compare("calls through the crash window", "recovered after restart",
+          std::to_string(ok) + " ok, " + std::to_string(failed) + " failed");
+  write_artifact("FLIGHT_recovery.jsonl", flight.last_dump());
+  write_artifact("HEALTH_recovery.jsonl", health.to_health_jsonl());
+}
+
 }  // namespace
 }  // namespace xunet::bench
 
@@ -152,5 +233,6 @@ int main() {
   xunet::bench::hundred_call_workload();
   xunet::bench::thousands_of_calls();
   xunet::bench::kill_sweep();
+  xunet::bench::recovery_post_mortem();
   return 0;
 }

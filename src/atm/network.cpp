@@ -223,7 +223,8 @@ void AtmNetwork::uninstall(ActiveVc& vc) {
 
 void AtmNetwork::setup_vc(const AtmAddress& src, const AtmAddress& dst,
                           const Qos& qos, SetupHandler done,
-                          const std::string& call) {
+                          const std::string& call, std::uint64_t trace_id,
+                          std::uint64_t parent_span) {
   ++setups_attempted_;
   obs::Observability& o = sim_.obs();
   o.metrics().counter("atm.net.setups_attempted").inc();
@@ -234,8 +235,12 @@ void AtmNetwork::setup_vc(const AtmAddress& src, const AtmAddress& dst,
     if (!XOBS_TRACING(&o)) return;
     obs::TraceIds ids;
     ids.call_id = call;
-    o.complete(latency, "atm", ok ? "vc.setup" : "vc.setup_denied", "net",
-               std::move(ids));
+    // The deepest hop of the causal call tree: a child of the callee
+    // sighost's call.serve span (carried here via PEER_ACCEPT).
+    ids.trace_id = trace_id;
+    ids.parent_span = parent_span;
+    (void)o.complete(latency, "atm", ok ? "vc.setup" : "vc.setup_denied",
+                     "net", std::move(ids));
   };
   auto finish = [this, done = std::move(done)](
                     util::Result<VcHandle> r, sim::SimDuration latency) {

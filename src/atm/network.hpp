@@ -91,9 +91,12 @@ class AtmNetwork {
   /// (so state is consistent), but the completion callback fires after the
   /// modeled signaling latency: per-switch processing plus two propagation
   /// passes (request out, confirm back).  `call` optionally tags the trace
-  /// span with the end-to-end call key ("origin#req_id").
+  /// span with the end-to-end call key ("origin#req_id");
+  /// `trace_id`/`parent_span` link the vc.setup span into the call's causal
+  /// cross-host trace tree (0/0 = untraced).
   void setup_vc(const AtmAddress& src, const AtmAddress& dst, const Qos& qos,
-                SetupHandler done, const std::string& call = {});
+                SetupHandler done, const std::string& call = {},
+                std::uint64_t trace_id = 0, std::uint64_t parent_span = 0);
 
   /// Synchronous variant used for PVC provisioning at simulation start; the
   /// requested VCI is used verbatim on every hop (PVCs use well-known

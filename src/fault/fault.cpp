@@ -85,13 +85,14 @@ sig::WireVerdict FaultPlan::on_wire(const std::string& self,
 // --------------------------------------------------------- scripted events
 
 void FaultPlan::at(sim::SimDuration when, std::string label,
-                   std::function<void()> fn) {
-  events_.push_back({when, std::move(label), std::move(fn)});
+                   std::function<void()> fn, bool post_mortem) {
+  events_.push_back({when, std::move(label), std::move(fn), post_mortem});
 }
 
 void FaultPlan::crash_sighost_at(sim::SimDuration when, std::size_t router) {
   at(when, "crash sighost " + std::to_string(router),
-     [this, router] { tb_.crash_sighost(router); });
+     [this, router] { tb_.crash_sighost(router); },
+     /*post_mortem=*/true);
 }
 
 void FaultPlan::restart_sighost_at(sim::SimDuration when, std::size_t router) {
@@ -111,7 +112,8 @@ void FaultPlan::cut_trunk(sim::SimDuration when, sim::SimDuration duration,
     }
   };
   at(when, "cut trunk " + switch_a + "--" + switch_b,
-     [set_trunk] { set_trunk(true); });
+     [set_trunk] { set_trunk(true); },
+     /*post_mortem=*/true);
   at(when + duration, "heal trunk " + switch_a + "--" + switch_b,
      [set_trunk] { set_trunk(false); });
 }
@@ -150,10 +152,17 @@ void FaultPlan::arm() {
     }
   }
   for (const Event& e : events_) {
-    tb_.sim().schedule(e.when, [this, label = e.label, fn = e.fn] {
+    tb_.sim().schedule(e.when, [this, label = e.label, fn = e.fn,
+                                pm = e.post_mortem] {
       ++stats_.events_fired;
       tb_.sim().logger().info("fault", label);
+      // The fault itself is the last record before the post-mortem cut.
+      obs::Observability& o = tb_.sim().obs();
+      o.flight_note("fault", "event", "plan", label);
       fn();
+      // Destructive events snapshot the ring *after* running, so whatever
+      // the crash/cut handling itself noted is part of the dump.
+      if (pm) o.flight().trigger("fault:" + label);
     });
   }
 }

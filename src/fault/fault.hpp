@@ -71,8 +71,12 @@ class FaultPlan {
                          sim::SimDuration jitter);
 
   // -- scripted events (delays are measured from arm()) --------------------
-  /// Run an arbitrary action at `when`.
-  void at(sim::SimDuration when, std::string label, std::function<void()> fn);
+  /// Run an arbitrary action at `when`.  Every scripted event is noted in
+  /// the flight recorder; `post_mortem` additionally snapshots the
+  /// recorder's ring as a `xunet.trace.v1` dump right after the event runs
+  /// (crash/trunk-cut events do this by default).
+  void at(sim::SimDuration when, std::string label, std::function<void()> fn,
+          bool post_mortem = false);
   /// Kill router i's sighost process at `when`.
   void crash_sighost_at(sim::SimDuration when, std::size_t router);
   /// Bring up a replacement sighost on router i (with recovery) at `when`.
@@ -103,6 +107,7 @@ class FaultPlan {
     sim::SimDuration when{};
     std::string label;
     std::function<void()> fn;
+    bool post_mortem = false;  ///< dump the flight recorder after firing
   };
   struct CellImpairment {
     std::size_t router = 0;

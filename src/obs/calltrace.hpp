@@ -1,0 +1,83 @@
+// calltrace.hpp — assembling causally-linked cross-host call trees.
+//
+// TraceIds.trace_id/parent_span turn per-host span fragments into one tree
+// per call: the stub mints a trace id when it opens a call, every
+// sighost<->sighost signaling message carries (trace_id, parent_span), and
+// each hop records its span with the upstream span as parent.  The
+// CallTraceIndex gathers those events out of a TraceBuffer and rebuilds the
+// tree, so the §9 latency decomposition can be read as a true per-hop
+// waterfall:
+//
+//   stub call.open  ->  sighost call.setup  ->  sighost call.serve  ->
+//   atm vc.setup (the kernel VC-install hop)
+//
+// All ordering keys are deterministic (span ids, simulated time), so the
+// rendered waterfall is byte-identical across same-seed runs — the
+// waterfall itself is a regression artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace xunet::obs {
+
+/// One hop in a call tree.
+struct CallTraceNode {
+  SpanId span = kInvalidSpan;
+  SpanId parent = kInvalidSpan;  ///< kInvalidSpan for the trace root
+  std::uint64_t trace = 0;
+  std::string component;  ///< "stub", "sighost", "atm", ...
+  std::string name;       ///< "call.open", "call.serve", ...
+  std::string track;      ///< machine/entity the hop ran on
+  std::string call_id;
+  sim::SimTime ts{};        ///< hop start
+  sim::SimDuration dur{};   ///< hop duration (0 if the span never closed)
+  std::vector<SpanId> children;  ///< sorted ascending (mint order)
+};
+
+/// The per-buffer index.  Build once after a run; read-only afterwards.
+class CallTraceIndex {
+ public:
+  /// Collect every trace-tagged span (complete events and begin/end pairs)
+  /// and link parents to children.  Events without a trace_id are ignored.
+  explicit CallTraceIndex(const TraceBuffer& buf);
+
+  /// Distinct trace ids seen, ascending.
+  [[nodiscard]] const std::vector<std::uint64_t>& traces() const noexcept {
+    return traces_;
+  }
+  [[nodiscard]] std::size_t span_count(std::uint64_t trace) const;
+
+  [[nodiscard]] const CallTraceNode* node(SpanId span) const;
+  /// The root hop of `trace` (no parent, or parent outside the buffer);
+  /// nullptr for unknown traces.  When fragments make several parentless
+  /// nodes, the one with the lowest span id wins.
+  [[nodiscard]] const CallTraceNode* root(std::uint64_t trace) const;
+  /// First hop of `trace` matching (component, name); nullptr if absent.
+  [[nodiscard]] const CallTraceNode* find(std::uint64_t trace,
+                                          std::string_view component,
+                                          std::string_view name) const;
+
+  /// Per-hop latency waterfall for one trace: depth-indented hops with
+  /// start offsets relative to the root and per-hop durations, all in
+  /// integer-exact microseconds.
+  [[nodiscard]] std::string waterfall(std::uint64_t trace) const;
+  /// Every trace's waterfall, ascending by trace id.
+  [[nodiscard]] std::string waterfall() const;
+
+ private:
+  void render(std::string& out, const CallTraceNode& n, sim::SimTime origin,
+              int depth) const;
+
+  std::unordered_map<SpanId, CallTraceNode> nodes_;
+  std::vector<std::uint64_t> traces_;
+  /// trace id -> root span (lowest parentless span of that trace).
+  std::unordered_map<std::uint64_t, SpanId> roots_;
+  std::unordered_map<std::uint64_t, std::size_t> counts_;
+};
+
+}  // namespace xunet::obs

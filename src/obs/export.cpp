@@ -17,6 +17,8 @@ std::string json_escape(std::string_view s) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
@@ -49,24 +51,27 @@ std::string us_fixed(std::int64_t ns) {
   return std::to_string(us) + "." + std::string(3 - f.size(), '0') + f;
 }
 
-/// Counter values are doubles in the event record but every producer stores
-/// integral levels; render without a fractional part when exact.
-std::string value_str(double v) {
+void append_ids(std::string& out, const TraceIds& ids) {
+  if (!ids.call_id.empty()) out += ",\"call\":\"" + json_escape(ids.call_id) + "\"";
+  if (ids.vci >= 0) out += ",\"vci\":" + std::to_string(ids.vci);
+  if (ids.fd >= 0) out += ",\"fd\":" + std::to_string(ids.fd);
+  if (ids.pid >= 0) out += ",\"proc\":" + std::to_string(ids.pid);
+  if (ids.trace_id != 0) out += ",\"trace\":" + std::to_string(ids.trace_id);
+  if (ids.parent_span != kInvalidSpan)
+    out += ",\"parent\":" + std::to_string(ids.parent_span);
+}
+
+}  // namespace
+
+// Counter values are doubles in the event record but every producer stores
+// integral levels; render without a fractional part when exact.
+std::string json_number(double v) {
   auto i = static_cast<std::int64_t>(v);
   if (static_cast<double>(i) == v) return std::to_string(i);
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.6f", v);
   return buf;
 }
-
-void append_ids(std::string& out, const TraceIds& ids) {
-  if (!ids.call_id.empty()) out += ",\"call\":\"" + json_escape(ids.call_id) + "\"";
-  if (ids.vci >= 0) out += ",\"vci\":" + std::to_string(ids.vci);
-  if (ids.fd >= 0) out += ",\"fd\":" + std::to_string(ids.fd);
-  if (ids.pid >= 0) out += ",\"proc\":" + std::to_string(ids.pid);
-}
-
-}  // namespace
 
 std::string to_chrome_trace(const TraceBuffer& buf) {
   // Tracks become Chrome processes, components become threads.  Ids are
@@ -113,7 +118,7 @@ std::string to_chrome_trace(const TraceBuffer& buf) {
     if (e.phase == Phase::instant) line += ",\"s\":\"t\"";
     line += ",\"args\":{";
     if (e.phase == Phase::counter) {
-      line += "\"value\":" + value_str(e.value);
+      line += "\"value\":" + json_number(e.value);
     } else {
       std::string ids;
       append_ids(ids, e.ids);
@@ -150,7 +155,7 @@ std::string to_jsonl(const TraceBuffer& buf, const MetricsRegistry& metrics) {
     if (e.span != kInvalidSpan) out += ",\"span\":" + std::to_string(e.span);
     if (e.phase == Phase::complete)
       out += ",\"dur_ns\":" + std::to_string(e.dur.ns());
-    if (e.phase == Phase::counter) out += ",\"value\":" + value_str(e.value);
+    if (e.phase == Phase::counter) out += ",\"value\":" + json_number(e.value);
     append_ids(out, e.ids);
     out += "}\n";
   }
@@ -165,13 +170,12 @@ std::string to_jsonl(const TraceBuffer& buf, const MetricsRegistry& metrics) {
            "}\n";
   }
   for (const auto& [name, h] : metrics.histograms()) {
-    const util::Summary& s = h.summary();
     out += "{\"metric\":\"" + json_escape(name) +
-           "\",\"type\":\"histogram\",\"count\":" + std::to_string(s.count());
-    if (s.count() > 0) {
+           "\",\"type\":\"histogram\",\"count\":" + std::to_string(h.count());
+    if (h.count() > 0) {
       // Samples are simulated-time derived, so fixed-point µs keeps this
       // deterministic: store as integer nanoseconds when callers observe ns.
-      out += ",\"mean\":" + value_str(s.mean()) + ",\"max\":" + value_str(s.max());
+      out += ",\"mean\":" + json_number(h.mean()) + ",\"max\":" + json_number(h.max());
     }
     out += "}\n";
   }

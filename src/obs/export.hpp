@@ -35,6 +35,10 @@ inline constexpr std::string_view kJsonlSchema = "xunet.obs.v1";
 /// Escape a string for embedding in JSON (quotes not included).
 [[nodiscard]] std::string json_escape(std::string_view s);
 
+/// Deterministic JSON number rendering: exact integers without a fractional
+/// part, everything else as fixed "%.6f" (no locale, no exponent).
+[[nodiscard]] std::string json_number(double v);
+
 /// Strict structural check of a JSON document (objects, arrays, strings,
 /// numbers, true/false/null).  protocol_error on malformed input.
 [[nodiscard]] util::Result<void> validate_json(std::string_view text);

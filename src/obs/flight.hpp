@@ -1,0 +1,96 @@
+// flight.hpp — the always-on bounded flight recorder.
+//
+// The TraceBuffer answers "what happened?" when tracing was deliberately
+// switched on; the flight recorder answers "what *just* happened?" after a
+// failure nobody expected to be watching for.  It is a fixed-capacity ring
+// of fixed-size records (no per-record allocation once the ring exists)
+// that control-plane paths feed unconditionally — cheap enough to leave on
+// even in perf runs, since the datapath never touches it.  When a FaultPlan
+// crash/trunk-cut fires or a HealthMonitor rule trips, trigger() snapshots
+// the last N records as a `xunet.trace.v1` JSONL dump: the post-mortem.
+//
+// All timestamps are simulated time, so two identically-seeded runs produce
+// byte-identical dumps — the post-mortem is itself a regression artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace xunet::obs {
+
+/// Schema marker carried in the dump header.
+inline constexpr std::string_view kFlightSchema = "xunet.trace.v1";
+
+/// One fixed-size flight record.  Strings are truncated into inline char
+/// arrays so a note never allocates.
+struct FlightRecord {
+  sim::SimTime ts{};
+  std::uint64_t seq = 0;      ///< monotonic; exposes overwrites in the dump
+  std::int64_t vci = -1;
+  char component[12] = {};    ///< "sighost", "fault", "health", ...
+  char name[28] = {};         ///< event name, e.g. "fsm.connect_req"
+  char track[16] = {};        ///< machine/entity, e.g. "mh.rt"
+  char detail[48] = {};       ///< free-form context (call key, fault label)
+};
+
+/// The bounded ring.  Enabled by default; set_enabled(false) reduces note()
+/// to one branch.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Resize the ring (drops recorded history).  The storage is allocated
+  /// here — or lazily on the first note() — never per record.
+  void set_capacity(std::size_t records);
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Record one event.  Fields longer than the inline arrays are truncated;
+  /// the ring overwrites its oldest record when full.
+  void note(sim::SimTime ts, std::string_view component, std::string_view name,
+            std::string_view track, std::string_view detail = {},
+            std::int64_t vci = -1) noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return total_ < capacity_ ? static_cast<std::size_t>(total_) : capacity_;
+  }
+  /// Records ever noted; total() - size() were overwritten.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// The retained records, oldest first.
+  [[nodiscard]] std::vector<const FlightRecord*> chronological() const;
+
+  /// Render the ring as a `xunet.trace.v1` JSONL dump: one header object
+  /// (schema, reason, record/overwrite counts) then one object per record,
+  /// oldest first.
+  [[nodiscard]] std::string dump_jsonl(std::string_view reason) const;
+
+  /// Snapshot a dump (kept in last_dump()) — called when a fault event
+  /// fires or a health rule trips.
+  void trigger(std::string_view reason);
+  [[nodiscard]] const std::string& last_dump() const noexcept {
+    return last_dump_;
+  }
+  [[nodiscard]] std::uint64_t triggers() const noexcept { return triggers_; }
+
+  /// Forget all records and the last dump (capacity/enabled stay).
+  void clear() noexcept;
+
+ private:
+  void ensure_ring();
+
+  bool enabled_ = true;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::vector<FlightRecord> ring_;  ///< sized capacity_ once first used
+  std::uint64_t total_ = 0;
+  std::uint64_t triggers_ = 0;
+  std::string last_dump_;
+};
+
+}  // namespace xunet::obs

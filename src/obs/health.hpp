@@ -1,0 +1,120 @@
+// health.hpp — declarative health rules evaluated on a sim-time period.
+//
+// The paper's robustness story (sighost crash recovery, §8) needs an answer
+// to "was the control plane healthy while that ran?".  A HealthMonitor
+// watches MetricsRegistry metrics against declarative rules — setup backlog
+// beyond a threshold, a retransmit storm, a shed-rate spike, queue
+// saturation — and emits `xunet.health.v1` alerts with raise/clear
+// hysteresis.  A raised rule also triggers the flight recorder, so the
+// alert arrives with its own post-mortem attached.
+//
+// The monitor lives in obs and may not depend on sim::Simulator (the
+// simulator's header includes obs).  Scheduling is injected instead: the
+// owner passes a ScheduleFn that maps onto Simulator::schedule, and the
+// monitor re-arms itself through it every period.  All evaluation happens
+// in simulated time, so alert streams are byte-identical across same-seed
+// runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "sim/time.hpp"
+
+namespace xunet::obs {
+
+/// Schema marker carried in the alert-stream header.
+inline constexpr std::string_view kHealthSchema = "xunet.health.v1";
+
+/// How a rule reads its metric each tick.
+enum class RuleKind : std::uint8_t {
+  gauge_level,   ///< current gauge value (list length, queue depth)
+  counter_rate,  ///< counter delta since the previous tick
+};
+
+/// One declarative rule with raise/clear hysteresis: the alert raises when
+/// the observed value reaches `raise_at` and clears only once it falls
+/// below `clear_below` (choose clear_below < raise_at to avoid flapping).
+struct HealthRule {
+  std::string name;    ///< stable alert name, e.g. "mh.rt.retx_storm"
+  std::string metric;  ///< MetricsRegistry path the rule watches
+  RuleKind kind = RuleKind::gauge_level;
+  double raise_at = 1.0;
+  double clear_below = 1.0;
+};
+
+/// One raise or clear transition.
+struct HealthAlert {
+  sim::SimTime ts{};
+  std::string rule;
+  std::string metric;
+  double value = 0.0;
+  bool raised = false;  ///< true = raised, false = cleared
+};
+
+class HealthMonitor {
+ public:
+  /// Maps onto sim::Simulator::schedule without obs depending on sim.
+  using ScheduleFn =
+      std::function<void(sim::SimDuration, std::function<void()>)>;
+
+  HealthMonitor(Observability& obs, ScheduleFn schedule)
+      : obs_(obs), schedule_(std::move(schedule)),
+        alive_(std::make_shared<bool>(true)) {}
+  ~HealthMonitor() { *alive_ = false; }
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  void add_rule(HealthRule rule);
+
+  /// The four standard control-plane rules for one sighost track: setup
+  /// backlog, retransmit storm, shed spike, incoming-queue saturation.
+  void watch_sighost(const std::string& track);
+
+  /// Start periodic evaluation.  Counter-rate baselines are sampled here,
+  /// so deltas measure from start(), not from zero.
+  void start(sim::SimDuration period);
+  void stop() noexcept { running_ = false; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+
+  /// Evaluate every rule once, immediately (start() does this per period).
+  void evaluate();
+
+  [[nodiscard]] const std::vector<HealthAlert>& alerts() const noexcept {
+    return alerts_;
+  }
+  /// Is `rule` currently raised?
+  [[nodiscard]] bool active(const std::string& rule) const;
+  [[nodiscard]] std::size_t active_count() const;
+
+  /// Render the alert stream as `xunet.health.v1` JSONL: one header object
+  /// then one object per raise/clear transition, in emission order.
+  [[nodiscard]] std::string to_health_jsonl() const;
+
+ private:
+  struct State {
+    HealthRule rule;
+    bool raised = false;
+    double prev = 0.0;  ///< counter_rate: last tick's absolute value
+  };
+
+  [[nodiscard]] double read(State& s);
+  void tick();
+  void arm(sim::SimDuration period);
+
+  Observability& obs_;
+  ScheduleFn schedule_;
+  std::shared_ptr<bool> alive_;  ///< guards ticks scheduled past destruction
+  std::vector<State> rules_;
+  std::vector<HealthAlert> alerts_;
+  sim::SimDuration period_{};
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace xunet::obs

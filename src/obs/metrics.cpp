@@ -25,7 +25,13 @@ std::int64_t MetricsRegistry::gauge_value(const std::string& name) const {
 const util::Summary* MetricsRegistry::histogram_summary(
     const std::string& name) const {
   auto it = histograms_.find(name);
-  return it == histograms_.end() ? nullptr : &it->second.summary();
+  return it == histograms_.end() ? nullptr : it->second.exact_summary();
+}
+
+const Histogram* MetricsRegistry::histogram_stats(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
 }
 
 std::string MetricsRegistry::render_text() const {
@@ -37,12 +43,11 @@ std::string MetricsRegistry::render_text() const {
     out += name + " " + std::to_string(g.value()) + "\n";
   }
   for (const auto& [name, h] : histograms_) {
-    const util::Summary& s = h.summary();
-    out += name + " count=" + std::to_string(s.count());
-    if (s.count() > 0) {
-      out += " mean=" + fmt_double(s.mean()) + " p50=" +
-             fmt_double(s.percentile(50)) + " p99=" +
-             fmt_double(s.percentile(99)) + " max=" + fmt_double(s.max());
+    out += name + " count=" + std::to_string(h.count());
+    if (h.count() > 0) {
+      out += " mean=" + fmt_double(h.mean()) + " p50=" +
+             fmt_double(h.percentile(50)) + " p99=" +
+             fmt_double(h.percentile(99)) + " max=" + fmt_double(h.max());
     }
     out += "\n";
   }

@@ -12,6 +12,7 @@
 // time removes even that branch.
 #pragma once
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -30,6 +31,8 @@ class Observability {
   [[nodiscard]] const TraceBuffer& trace() const noexcept { return trace_; }
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] FlightRecorder& flight() noexcept { return flight_; }
+  [[nodiscard]] const FlightRecorder& flight() const noexcept { return flight_; }
 
   /// The one branch hot paths pay when tracing is off.
   [[nodiscard]] bool tracing() const noexcept { return trace_.enabled(); }
@@ -45,10 +48,10 @@ class Observability {
   /// End a span at a known future/past instant (e.g. queued work that will
   /// finish at `at` — the sighost's serialized maintenance logging).
   void end_at(sim::SimTime at, SpanId span) { trace_.end(at, span); }
-  void complete(sim::SimDuration dur, const char* component, std::string name,
-                std::string track, TraceIds ids = {}) {
-    trace_.complete(now(), dur, component, std::move(name), std::move(track),
-                    std::move(ids));
+  SpanId complete(sim::SimDuration dur, const char* component,
+                  std::string name, std::string track, TraceIds ids = {}) {
+    return trace_.complete(now(), dur, component, std::move(name),
+                           std::move(track), std::move(ids));
   }
   void instant(const char* component, std::string name, std::string track,
                TraceIds ids = {}) {
@@ -59,11 +62,20 @@ class Observability {
                double value) {
     trace_.counter(now(), component, std::move(name), std::move(track), value);
   }
+  /// Clock-stamped flight-recorder note.  Unlike tracing this is always on
+  /// (the ring is bounded and records are fixed-size, so it stays cheap);
+  /// control-plane paths feed it unconditionally for post-mortem dumps.
+  void flight_note(std::string_view component, std::string_view name,
+                   std::string_view track, std::string_view detail = {},
+                   std::int64_t vci = -1) noexcept {
+    flight_.note(now(), component, name, track, detail, vci);
+  }
 
  private:
   const sim::SimTime* now_ = nullptr;
   TraceBuffer trace_;
   MetricsRegistry metrics_;
+  FlightRecorder flight_;
 };
 
 }  // namespace xunet::obs
@@ -93,6 +105,12 @@ class Observability {
   do {                                  \
     if (XOBS_TRACING(o)) (o)->end(span); \
   } while (0)
+// Flight-recorder note: NOT gated on tracing (the ring is always on), only
+// on the context existing and the recorder being enabled.
+#define XOBS_FLIGHT(o, ...)                                              \
+  do {                                                                   \
+    if ((o) != nullptr && (o)->flight().enabled()) (o)->flight_note(__VA_ARGS__); \
+  } while (0)
 #else
 #define XOBS_TRACING(o) (false)
 #define XOBS_INSTANT(o, component, ...) do { } while (0)
@@ -100,4 +118,5 @@ class Observability {
 #define XOBS_COUNTER(o, component, ...) do { } while (0)
 #define XOBS_BEGIN(o, component, ...) (xunet::obs::kInvalidSpan)
 #define XOBS_END(o, span) do { } while (0)
+#define XOBS_FLIGHT(o, ...) do { } while (0)
 #endif

@@ -68,19 +68,22 @@ void TraceBuffer::annotate_call(SpanId span, const std::string& call_id) {
   events_[it->second].ids.call_id = call_id;
 }
 
-void TraceBuffer::complete(sim::SimTime ts, sim::SimDuration dur,
-                           const char* component, std::string name,
-                           std::string track, TraceIds ids) {
-  if (!enabled_) return;
+SpanId TraceBuffer::complete(sim::SimTime ts, sim::SimDuration dur,
+                             const char* component, std::string name,
+                             std::string track, TraceIds ids) {
+  if (!enabled_) return kInvalidSpan;
+  SpanId id = next_span_++;
   TraceEvent e;
   e.phase = Phase::complete;
   e.ts = ts;
   e.dur = dur;
+  e.span = id;
   e.component = component;
   e.name = std::move(name);
   e.track = std::move(track);
   e.ids = std::move(ids);
-  (void)push(std::move(e));
+  if (!push(std::move(e))) return kInvalidSpan;
+  return id;
 }
 
 void TraceBuffer::instant(sim::SimTime ts, const char* component,
@@ -125,6 +128,7 @@ void TraceBuffer::clear() {
   depth_.clear();
   dropped_ = 0;
   next_span_ = 1;
+  next_trace_ = 1;
 }
 
 }  // namespace xunet::obs

@@ -37,12 +37,18 @@ enum class Phase : std::uint8_t {
 [[nodiscard]] std::string_view to_string(Phase p) noexcept;
 
 /// The stable identifiers a component can attach to an event.  All fields
-/// are optional; -1 / empty mean "not applicable".
+/// are optional; -1 / empty / 0 mean "not applicable".
 struct TraceIds {
   std::string call_id;    ///< end-to-end call key, "origin#req_id"
   std::int64_t vci = -1;  ///< ATM virtual circuit identifier
   std::int64_t fd = -1;   ///< descriptor within the owning process
   std::int64_t pid = -1;  ///< process id within the machine's kernel
+  /// Causal propagation: the end-to-end trace this event belongs to and the
+  /// span that caused it.  Minted at the client stub (TraceBuffer::
+  /// new_trace()) and carried in every sighost<->sighost signaling message,
+  /// so one call setup assembles into a single cross-host span tree.
+  std::uint64_t trace_id = 0;
+  SpanId parent_span = kInvalidSpan;
 };
 
 /// One recorded event.
@@ -81,9 +87,11 @@ class TraceBuffer {
   /// only learned mid-span, e.g. when REQ_ID arrives).
   void annotate_call(SpanId span, const std::string& call_id);
 
-  /// A span whose duration is known at record time.
-  void complete(sim::SimTime ts, sim::SimDuration dur, const char* component,
-                std::string name, std::string track, TraceIds ids = {});
+  /// A span whose duration is known at record time.  The event is assigned
+  /// a SpanId (returned) so it can be a node — and a parent — in the causal
+  /// call tree; kInvalidSpan when tracing is off or the event was dropped.
+  SpanId complete(sim::SimTime ts, sim::SimDuration dur, const char* component,
+                  std::string name, std::string track, TraceIds ids = {});
   /// A point event.
   void instant(sim::SimTime ts, const char* component, std::string name,
                std::string track, TraceIds ids = {});
@@ -102,6 +110,17 @@ class TraceBuffer {
   /// Spans currently open on `track`.
   [[nodiscard]] std::size_t open_spans(const std::string& track) const;
 
+  /// Mint a trace id for a new end-to-end causal trace (the client stub
+  /// calls this when it opens a call).  0 while tracing is off, so disabled
+  /// runs stay free and replay stays deterministic.
+  [[nodiscard]] std::uint64_t new_trace() noexcept {
+    return enabled_ ? next_trace_++ : 0;
+  }
+
+  /// Reset to a freshly constructed (but still enabled/capacity-configured)
+  /// buffer: events, the open-span index, depth high-water marks, the drop
+  /// count, and the span/trace id counters all return to their initial
+  /// state, so a reused buffer replays byte-identically.
   void clear();
 
  private:
@@ -112,6 +131,7 @@ class TraceBuffer {
   std::vector<TraceEvent> events_;
   std::uint64_t dropped_ = 0;
   SpanId next_span_ = 1;
+  std::uint64_t next_trace_ = 1;
   /// Open-span index: span id -> position of its begin event.
   std::unordered_map<SpanId, std::size_t> open_;
   struct Depth {

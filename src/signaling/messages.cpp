@@ -62,6 +62,8 @@ util::Buffer serialize(const Msg& m) {
   w.u16(m.vci2);
   w.u16(m.port);
   w.u8(m.error);
+  w.u64(m.trace_id);
+  w.u64(m.parent_span);
   w.lp_string(m.service);
   w.lp_string(m.qos);
   w.lp_string(m.dst);
@@ -87,7 +89,10 @@ util::Result<Msg> parse_msg(util::BytesView wire) {
   auto vci2 = r.u16();
   auto port = r.u16();
   auto error = r.u8();
-  if (!type || !req_id || !seq || !cookie || !vci || !vci2 || !port || !error) {
+  auto trace_id = r.u64();
+  auto parent_span = r.u64();
+  if (!type || !req_id || !seq || !cookie || !vci || !vci2 || !port || !error ||
+      !trace_id || !parent_span) {
     return Errc::protocol_error;
   }
   if (*type < static_cast<std::uint8_t>(MsgType::export_srv) ||
@@ -102,6 +107,8 @@ util::Result<Msg> parse_msg(util::BytesView wire) {
   m.vci2 = *vci2;
   m.port = *port;
   m.error = *error;
+  m.trace_id = *trace_id;
+  m.parent_span = *parent_span;
   auto service = r.lp_string();
   auto qos = r.lp_string();
   auto dst = r.lp_string();

@@ -77,6 +77,12 @@ struct Msg {
   std::string dst;               ///< destination ATM address (connect_req, peer_setup src)
   std::string comment;           ///< free-form comment passed client->server
   std::uint8_t error = 0;        ///< reason code on reject/failure (util::Errc)
+  /// Causal-trace propagation (obs::TraceIds): the end-to-end trace this
+  /// message belongs to and the sender-side span that caused it.  0/0 when
+  /// tracing is off, so traced and untraced runs stay wire-compatible in
+  /// content (the fields are always serialized).
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 /// Serialize to wire bytes (no length prefix).

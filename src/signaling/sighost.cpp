@@ -20,7 +20,11 @@ Sighost::Sighost(kern::Kernel& router, atm::AtmNetwork& net,
   m_dup_suppressed_ = &mx.counter("sighost." + track_ + ".peer.dup_suppressed");
   m_sheds_ = &mx.counter("sighost." + track_ + ".overload.sheds");
   m_recovered_ = &mx.counter("sighost." + track_ + ".recovery.calls");
-  m_setup_us_ = &mx.histogram("sighost." + track_ + ".setup.latency_us");
+  // Sketch-backed: this histogram is always on and grows with call count,
+  // so it must not hoard samples at the roadmap's 10⁶-call scale.  Benches
+  // that need exact percentiles keep their own exact-kind histograms.
+  m_setup_us_ = &mx.histogram("sighost." + track_ + ".setup.latency_us",
+                              obs::Histogram::Kind::sketch);
   static constexpr const char* kLists[5] = {
       "service_list", "outgoing_requests", "incoming_requests",
       "wait_for_bind", "vci_mapping"};
@@ -171,6 +175,8 @@ void Sighost::retransmit(const std::string& peer, std::uint32_t seq) {
   }
   ++stats_.retransmits;
   m_retransmits_->inc();
+  XOBS_FLIGHT(obs_, "sighost", "peer.retx", track_,
+              peer + " seq=" + std::to_string(seq));
   transmit_peer(pit->second, tx.msg);
   tx.timer->arm(backoff(tx.attempts),
                 [this, peer, seq] { retransmit(peer, seq); });
@@ -196,7 +202,8 @@ void Sighost::reset_channel(Peer& p) {
 // ---------------------------------------------------------------- plumbing
 
 void Sighost::maintenance_log(const std::string& what, const std::string& call,
-                              std::function<void()> then) {
+                              std::function<void()> then,
+                              std::uint64_t trace_id, obs::SpanId parent) {
   auto guarded = [guard = std::weak_ptr<char>(alive_),
                   then = std::move(then)] {
     if (!guard.expired()) then();
@@ -220,6 +227,8 @@ void Sighost::maintenance_log(const std::string& what, const std::string& call,
     // sighost process, which may start after queued predecessors finish.
     obs::TraceIds ids;
     ids.call_id = call;
+    ids.trace_id = trace_id;
+    ids.parent_span = parent;
     obs_->trace().complete(busy_until_, cfg_.per_call_log_cost, "sighost",
                            "maint.log", track_, std::move(ids));
   }
@@ -229,6 +238,9 @@ void Sighost::maintenance_log(const std::string& what, const std::string& call,
 
 void Sighost::fsm(const char* what, const std::string& call, std::int64_t vci,
                   std::int64_t fd) {
+  // FSM transitions feed the flight recorder unconditionally — that ring is
+  // the post-mortem when a fault fires with tracing off.
+  XOBS_FLIGHT(obs_, "sighost", what, track_, call, vci);
   if (!XOBS_TRACING(obs_)) return;
   obs::TraceIds ids;
   ids.call_id = call;
@@ -257,6 +269,13 @@ void Sighost::end_setup_trace(ReqId id) {
   m_setup_us_->observe((k_.simulator().now() - it->second.begin).us());
   XOBS_END(obs_, it->second.span);
   setup_trace_.erase(it);
+}
+
+void Sighost::end_serve_trace(const std::string& key) {
+  auto it = serve_trace_.find(key);
+  if (it == serve_trace_.end()) return;
+  XOBS_END(obs_, it->second.span);
+  serve_trace_.erase(it);
 }
 
 void Sighost::send_app(int fd, const Msg& m) {
@@ -427,6 +446,8 @@ void Sighost::handle_connect_req(int fd, const Msg& m) {
   if (outgoing_.size() >= cfg_.max_outgoing_requests) {
     ++stats_.sheds;
     m_sheds_->inc();
+    XOBS_FLIGHT(obs_, "sighost", "overload.shed", track_,
+                "outgoing_requests at cap", -1);
     ReqId id = next_req_++;
     Msg reply;
     reply.type = MsgType::req_id;
@@ -446,10 +467,15 @@ void Sighost::handle_connect_req(int fd, const Msg& m) {
   // Originator-side end-to-end setup: CONNECT_REQ in → VCI_FOR_CONN out.
   SetupTrace st;
   st.begin = k_.simulator().now();
+  st.trace_id = m.trace_id;  // minted by the client stub; 0 when untraced
   if (XOBS_TRACING(obs_)) {
     obs::TraceIds ids;
     ids.call_id = key;
     ids.fd = fd;
+    // Causal link: the CONNECT_REQ carries the stub's trace id and its
+    // "call.open" span, making this hop a child of the client's.
+    ids.trace_id = m.trace_id;
+    ids.parent_span = m.parent_span;
     st.span = obs_->begin("sighost", "call.setup", track_, std::move(ids));
   }
   setup_trace_.emplace(id, st);
@@ -507,8 +533,16 @@ void Sighost::handle_connect_req(int fd, const Msg& m) {
                     setup.service = service;
                     setup.qos = qos;
                     setup.comment = comment;
+                    // Propagate the causal context: the remote sighost's
+                    // serve span becomes a child of our call.setup span.
+                    if (auto st2 = setup_trace_.find(id);
+                        st2 != setup_trace_.end()) {
+                      setup.trace_id = st2->second.trace_id;
+                      setup.parent_span = st2->second.span;
+                    }
                     send_peer(dst, setup);
-                  });
+                  },
+                  st.trace_id, st.span);
 }
 
 void Sighost::handle_cancel_req(int fd, const Msg& m) {
@@ -538,6 +572,12 @@ void Sighost::handle_accept_conn(int fd, const Msg& m) {
     acc.type = MsgType::peer_accept;
     acc.req_id = inc.id;
     acc.qos = m.qos;
+    // Carry the causal context back to the originator: the VC install it
+    // will now perform becomes a child of our call.serve span.
+    if (auto sv = serve_trace_.find(key); sv != serve_trace_.end()) {
+      acc.trace_id = sv->second.trace_id;
+      acc.parent_span = sv->second.span;
+    }
     send_peer(inc.origin, acc);
     return;
   }
@@ -556,6 +596,7 @@ void Sighost::handle_reject_conn(int fd, const Msg& m) {
     rej.error = static_cast<std::uint8_t>(Errc::rejected);
     send_peer(inc.origin, rej);
     (void)k_.close(pid_, fd);
+    end_serve_trace(it->first);
     incoming_.erase(it);
     return;
   }
@@ -573,6 +614,8 @@ void Sighost::handle_peer_setup(const std::string& origin, const Msg& m) {
   if (incoming_.size() >= cfg_.max_incoming_requests) {
     ++stats_.sheds;
     m_sheds_->inc();
+    XOBS_FLIGHT(obs_, "sighost", "overload.shed", track_,
+                "incoming_requests at cap", -1);
     Msg rej;
     rej.type = MsgType::peer_reject;
     rej.req_id = m.req_id;
@@ -581,9 +624,24 @@ void Sighost::handle_peer_setup(const std::string& origin, const Msg& m) {
     return;
   }
   fsm("fsm.peer_setup", key);
+  // Callee-side serve span: a child of the originator's call.setup (the
+  // PEER_SETUP carried that span id), parent of the kernel VC install.
+  if (XOBS_TRACING(obs_) && !serve_trace_.contains(key)) {
+    obs::TraceIds ids;
+    ids.call_id = key;
+    ids.trace_id = m.trace_id;
+    ids.parent_span = m.parent_span;
+    ServeTrace sv;
+    sv.trace_id = m.trace_id;
+    sv.span = obs_->begin("sighost", "call.serve", track_, std::move(ids));
+    serve_trace_.emplace(key, sv);
+  }
+  const ServeTrace serve = serve_trace_.count(key) ? serve_trace_[key]
+                                                   : ServeTrace{};
   maintenance_log(
       "PEER_SETUP " + origin + "#" + std::to_string(m.req_id) + " " + m.service,
       call_key(origin, m.req_id), [this, origin, m] {
+        const std::string key = call_key(origin, m.req_id);
         auto sit = services_.find(m.service);
         if (sit == services_.end()) {
           ++stats_.rejects_sent;
@@ -592,12 +650,12 @@ void Sighost::handle_peer_setup(const std::string& origin, const Msg& m) {
           rej.req_id = m.req_id;
           rej.error = static_cast<std::uint8_t>(Errc::not_found);
           send_peer(origin, rej);
+          end_serve_trace(key);
           return;
         }
         // Forward the incoming call to the server over a fresh TCP
         // connection (§10: one descriptor per establishing call).
         Cookie cookie = cookies_.mint();
-        std::string key = call_key(origin, m.req_id);
         auto fd = k_.tcp_connect(
             pid_, sit->second.server_ip, sit->second.notify_port,
             [this, origin, key, m](util::Result<int> r) {
@@ -613,6 +671,7 @@ void Sighost::handle_peer_setup(const std::string& origin, const Msg& m) {
                 rej.req_id = m.req_id;
                 rej.error = static_cast<std::uint8_t>(Errc::connection_refused);
                 send_peer(origin, rej);
+                end_serve_trace(key);
                 return;
               }
               int fd = *r;
@@ -640,6 +699,7 @@ void Sighost::handle_peer_setup(const std::string& origin, const Msg& m) {
                   rej.error = static_cast<std::uint8_t>(Errc::connection_reset);
                   send_peer(it2->second.origin, rej);
                   incoming_.erase(it2);
+                  end_serve_trace(key);
                 }
                 (void)k_.close(pid_, fd);
               });
@@ -664,6 +724,7 @@ void Sighost::handle_peer_setup(const std::string& origin, const Msg& m) {
           rej.req_id = m.req_id;
           rej.error = static_cast<std::uint8_t>(Errc::no_resources);
           send_peer(origin, rej);
+          end_serve_trace(key);
           return;
         }
         Incoming inc;
@@ -693,10 +754,12 @@ void Sighost::handle_peer_setup(const std::string& origin, const Msg& m) {
           rej.error = static_cast<std::uint8_t>(Errc::timed_out);
           send_peer(iit->second.origin, rej);
           incoming_.erase(iit);
+          end_serve_trace(key);
         });
         incoming_.emplace(key, std::move(inc));
         record_lists();
-      });
+      },
+      serve.trace_id, serve.span);
 }
 
 void Sighost::handle_peer_accept(const std::string& origin, const Msg& m) {
@@ -715,10 +778,11 @@ void Sighost::handle_peer_accept(const std::string& origin, const Msg& m) {
     send_peer(origin, down);
     return;
   }
-  establish_vc(m.req_id, m.qos);
+  establish_vc(m.req_id, m.qos, m.trace_id, m.parent_span);
 }
 
-void Sighost::establish_vc(ReqId req_id, const std::string& qos_granted) {
+void Sighost::establish_vc(ReqId req_id, const std::string& qos_granted,
+                           std::uint64_t trace_id, std::uint64_t parent_span) {
   auto oit = outgoing_.find(req_id);
   assert(oit != outgoing_.end());
   const std::string dst = oit->second.dst_name;
@@ -789,7 +853,7 @@ void Sighost::establish_vc(ReqId req_id, const std::string& qos_granted) {
         est.qos = qos_granted;
         send_peer(dst, est);
       },
-      call_key(k_.atm_address().name, req_id));
+      call_key(k_.atm_address().name, req_id), trace_id, parent_span);
 }
 
 void Sighost::handle_peer_reject(const std::string& origin, const Msg& m) {
@@ -830,6 +894,8 @@ void Sighost::handle_peer_established(const std::string& origin, const Msg& m) {
   ++stats_.calls_established;
   m_established_->inc();
   fsm("fsm.established", key, vci);
+  // The callee's serve obligation is met: close the call.serve span.
+  end_serve_trace(key);
   record_lists();
 
   Msg vmsg;
@@ -876,6 +942,7 @@ void Sighost::handle_peer_setup_failed(const std::string& origin, const Msg& m) 
   send_app(iit->second.server_fd, fail);
   (void)k_.close(pid_, iit->second.server_fd);
   incoming_.erase(iit);
+  end_serve_trace(key);
 }
 
 void Sighost::handle_peer_teardown(const std::string& origin, const Msg& m) {
@@ -896,6 +963,7 @@ void Sighost::handle_peer_teardown(const std::string& origin, const Msg& m) {
       send_app(iit->second.server_fd, fail);
       (void)k_.close(pid_, iit->second.server_fd);
       incoming_.erase(iit);
+      end_serve_trace(key);
       return;
     }
   }
@@ -913,6 +981,7 @@ void Sighost::handle_peer_cancel(const std::string& origin, const Msg& m) {
     send_app(iit->second.server_fd, fail);
     (void)k_.close(pid_, iit->second.server_fd);
     incoming_.erase(iit);
+    end_serve_trace(key);
     return;
   }
   // Already established here: a cancel this late is a teardown.

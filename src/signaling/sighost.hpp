@@ -232,6 +232,7 @@ class Sighost {
     /// Rebuilt from a post-crash audit; awaiting a peer's PEER_RESYNC_INFO
     /// to restore call_key/req_id (torn down if none arrives in grace).
     bool recovered = false;
+    std::uint64_t trace_id = 0;  ///< causal trace the call belongs to
   };
   struct PendingTx {  ///< one unacked sequenced message awaiting retransmit
     Msg msg;
@@ -291,9 +292,13 @@ class Sighost {
   void expire_unclaimed_recoveries();
   /// Charge the §9 per-call maintenance-information write.  `call` is the
   /// end-to-end call key the record belongs to; it tags the trace span and
-  /// the MetricsRegistry counters the logging-cost bench reads.
+  /// the MetricsRegistry counters the logging-cost bench reads.  When the
+  /// caller knows the causal context, `trace_id`/`parent` link the record
+  /// into the call's cross-host span tree.
   void maintenance_log(const std::string& what, const std::string& call,
-                       std::function<void()> then);
+                       std::function<void()> then,
+                       std::uint64_t trace_id = 0,
+                       obs::SpanId parent = obs::kInvalidSpan);
 
   // ---- observability ----
   /// FSM-transition instant event (call key + optional VCI/fd identifiers).
@@ -327,7 +332,12 @@ class Sighost {
   void confirm_endpoint(atm::Vci vci, Cookie cookie, ip::IpAddress origin);
 
   // ---- call lifecycle ----
-  void establish_vc(ReqId req_id, const std::string& qos_granted);
+  /// `trace_id`/`parent_span` are the causal context carried by the
+  /// PEER_ACCEPT that triggered establishment (the callee's serve span), so
+  /// the kernel VC-install span becomes its child in the call tree.
+  void establish_vc(ReqId req_id, const std::string& qos_granted,
+                    std::uint64_t trace_id = 0,
+                    std::uint64_t parent_span = 0);
   void teardown_vci(atm::Vci vci, bool notify_peer);
   void load_wait_for_bind(atm::Vci vci, Cookie cookie);
   void fail_outgoing(ReqId id, util::Errc reason);
@@ -385,8 +395,19 @@ class Sighost {
   struct SetupTrace {
     obs::SpanId span = obs::kInvalidSpan;
     sim::SimTime begin{};
+    std::uint64_t trace_id = 0;  ///< minted by the client stub
   };
   std::map<ReqId, SetupTrace> setup_trace_;  ///< originator-side open calls
+  /// Callee-side "call.serve" spans: PEER_SETUP arrival until the call is
+  /// established, rejected, failed, cancelled or timed out.  Keyed by the
+  /// end-to-end call key; every incoming_-erase path must end the span
+  /// through end_serve_trace().
+  struct ServeTrace {
+    obs::SpanId span = obs::kInvalidSpan;
+    std::uint64_t trace_id = 0;
+  };
+  std::map<std::string, ServeTrace> serve_trace_;
+  void end_serve_trace(const std::string& key);
 };
 
 }  // namespace xunet::sig

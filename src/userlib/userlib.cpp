@@ -328,12 +328,16 @@ void UserLib::open_connection(const std::string& dst,
                               CookieFn on_req_id) {
   // The client-observed end-to-end open: open_connection called → VCI (or
   // failure) delivered.  The call key is unknown until REQ_ID arrives; the
-  // span is annotated with it then.
+  // span is annotated with it then.  The stub is the root of the causal
+  // call tree: it mints the trace id every downstream hop will carry.
+  const std::uint64_t trace_id =
+      obs_ != nullptr ? obs_->trace().new_trace() : 0;
   obs::TraceIds span_ids;
   span_ids.pid = pid_;
+  span_ids.trace_id = trace_id;
   obs::SpanId span =
       XOBS_BEGIN(obs_, "stub", "call.open", k_.name(), std::move(span_ids));
-  ensure_channel([this, dst, service, comment, qos, span,
+  ensure_channel([this, dst, service, comment, qos, span, trace_id,
                   on_done = std::move(on_done),
                   on_req_id = std::move(on_req_id)](util::Result<void> r) mutable {
     if (!r) {
@@ -358,6 +362,10 @@ void UserLib::open_connection(const std::string& dst,
     m.service = service;
     m.comment = comment;
     m.qos = qos;
+    // Causal propagation: the sighost's call.setup hop becomes a child of
+    // this stub's call.open span.
+    m.trace_id = trace_id;
+    m.parent_span = span;
     channel_send(m);
   });
 }

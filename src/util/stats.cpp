@@ -42,6 +42,59 @@ double Summary::percentile(double p) const {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+QuantileSketch::QuantileSketch() : counts_(kBuckets, 0) {}
+
+std::size_t QuantileSketch::bucket_of(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // zero, negatives, NaN → lowest bucket
+  int exp = 0;
+  double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  if (exp < kMinExp) return 0;
+  if (exp > kMaxExp) return kBuckets - 1;
+  // Map m in [0.5,1) onto [0,kSubBuckets); bit-exact given IEEE doubles.
+  auto sub = static_cast<std::size_t>((m - 0.5) * 2.0 * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return static_cast<std::size_t>(exp - kMinExp) * kSubBuckets + sub;
+}
+
+double QuantileSketch::bucket_midpoint(std::size_t b) noexcept {
+  int exp = static_cast<int>(b / kSubBuckets) + kMinExp;
+  auto sub = static_cast<double>(b % kSubBuckets);
+  double m = 0.5 + (sub + 0.5) / (2.0 * kSubBuckets);
+  return std::ldexp(m, exp);
+}
+
+void QuantileSketch::add(double v) noexcept {
+  ++counts_[bucket_of(v)];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+}
+
+double QuantileSketch::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  // Rank in [1, count_]; walk buckets until the cumulative count covers it.
+  auto rank = static_cast<std::uint64_t>(
+      (p / 100.0) * static_cast<double>(count_ - 1) + 1.0);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= rank) {
+      double est = bucket_midpoint(b);
+      if (est < min_) return min_;
+      if (est > max_) return max_;
+      return est;
+    }
+  }
+  return max_;
+}
+
 LinearFit fit_linear(const std::vector<double>& x,
                      const std::vector<double>& y) {
   assert(x.size() == y.size() && x.size() >= 2);

@@ -34,6 +34,52 @@ class Summary {
   std::vector<double> samples_;
 };
 
+/// Fixed-memory quantile estimator: deterministic log-bucketed counts.
+///
+/// Summary keeps every sample, which is unbounded at the roadmap's 10⁶-call
+/// scale; the sketch keeps 64×kSubBuckets uint64 counts allocated once at
+/// construction — add() touches exactly one bucket and never allocates.
+/// Buckets are (binary exponent via std::frexp, linear sub-bucket of the
+/// mantissa), so bucketing is bit-exact across platforms and percentile
+/// answers are deterministic.  Relative error is bounded by the sub-bucket
+/// width (~3% at 16 sub-buckets); count/sum/min/max stay exact.
+///
+/// Only finite, non-negative samples are expected (latencies, sizes);
+/// negatives are clamped into the zero bucket.
+class QuantileSketch {
+ public:
+  QuantileSketch();
+
+  void add(double v) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Bucket-midpoint percentile, clamped to [min,max]; p in [0,100].
+  [[nodiscard]] double percentile(double p) const noexcept;
+  [[nodiscard]] double median() const noexcept { return percentile(50.0); }
+
+ private:
+  // Exponents from frexp are clamped to [kMinExp, kMaxExp]; each exponent
+  // splits into kSubBuckets equal mantissa slices ([0.5,1) → kSubBuckets).
+  static constexpr int kMinExp = -32;
+  static constexpr int kMaxExp = 31;
+  static constexpr int kSubBuckets = 16;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp + 1) * kSubBuckets;
+
+  [[nodiscard]] static std::size_t bucket_of(double v) noexcept;
+  [[nodiscard]] static double bucket_midpoint(std::size_t b) noexcept;
+
+  std::vector<std::uint64_t> counts_;  ///< sized kBuckets at construction
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 /// Named monotonic counters, used for resource-leak audits and drop counts.
 class Counters {
  public:

@@ -1,14 +1,18 @@
 // bench_json_check — CI gate for machine-readable trajectory files
-// (BENCH_*.json benchmark reports and LINT_findings.json lint reports).
+// (BENCH_*.json benchmark reports, LINT_findings.json lint reports, and
+// the JSONL observability artifacts: flight-recorder dumps and health
+// alert streams).
 //
 // Usage: bench_json_check FILE...
 //
 // For each file: verify it is well-formed enough to trust (single JSON
-// object, balanced structure, no truncation), carries a known schema
-// marker ("xunet.bench.v1" or "xunet.lint.v1"), and contains every key
-// required for its profile.  Exit 0 only when every file passes; a
-// missing file is a failure (the tool silently not writing its report is
-// exactly the regression this gate exists to catch).
+// object — or, for JSONL schemas, one object per line — balanced
+// structure, no truncation), carries a known schema marker
+// ("xunet.bench.v1", "xunet.lint.v1", "xunet.trace.v1" or
+// "xunet.health.v1"), and contains every key required for its profile.
+// Exit 0 only when every file passes; a missing file is a failure (the
+// tool silently not writing its report is exactly the regression this
+// gate exists to catch).
 #include <cctype>
 #include <cstdio>
 #include <map>
@@ -117,12 +121,71 @@ const std::map<std::string, std::vector<std::string>>& required_keys() {
   return keys;
 }
 
+/// JSONL observability artifacts: a header object on line 1 carrying the
+/// schema marker, then one record object per line.  Every line must be a
+/// well-formed object; header and records each have a required-key profile.
+bool check_jsonl(const char* path, const std::string& s,
+                 const char* schema_name, const char* kind,
+                 const std::vector<std::string>& header_keys,
+                 const std::vector<std::string>& record_keys) {
+  bool ok = true;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t eol = s.find('\n', pos);
+    if (eol == std::string::npos) eol = s.size();
+    const std::string line = s.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ++line_no;
+    std::string why;
+    if (!well_formed(line, why)) {
+      std::fprintf(stderr, "FAIL %s: line %zu malformed: %s\n", path, line_no,
+                   why.c_str());
+      return false;
+    }
+    const std::vector<std::string>& keys =
+        line_no == 1 ? header_keys : record_keys;
+    for (const std::string& key : keys) {
+      if (!has_key(line, key)) {
+        std::fprintf(stderr, "FAIL %s: %s line %zu missing required key %s\n",
+                     path, kind, line_no, key.c_str());
+        ok = false;
+      }
+    }
+  }
+  if (line_no == 0) {
+    std::fprintf(stderr, "FAIL %s: empty %s document\n", path, kind);
+    return false;
+  }
+  if (ok) {
+    std::printf("OK   %s (%s, %zu lines, %s)\n", path, kind, line_no,
+                schema_name);
+  }
+  return ok;
+}
+
 bool check_file(const char* path) {
   bool read_ok = false;
   const std::string s = slurp(path, read_ok);
   if (!read_ok) {
     std::fprintf(stderr, "FAIL %s: cannot read\n", path);
     return false;
+  }
+  // JSONL schemas first: their marker must be on the header line, and the
+  // document is validated line-by-line rather than as one object.
+  const std::size_t first_eol = s.find('\n');
+  const std::string first_line =
+      first_eol == std::string::npos ? s : s.substr(0, first_eol);
+  if (first_line.find("\"xunet.trace.v1\"") != std::string::npos) {
+    return check_jsonl(path, s, "xunet.trace.v1", "flight-recorder dump",
+                      {"schema", "reason", "records", "overwritten"},
+                      {"seq", "ts_ns", "comp", "name", "track"});
+  }
+  if (first_line.find("\"xunet.health.v1\"") != std::string::npos) {
+    return check_jsonl(path, s, "xunet.health.v1", "health alert stream",
+                      {"schema", "rules", "alerts", "ticks"},
+                      {"ts_ns", "rule", "metric", "value", "state"});
   }
   std::string why;
   if (!well_formed(s, why)) {
@@ -145,8 +208,8 @@ bool check_file(const char* path) {
   }
   if (s.find("\"xunet.bench.v1\"") == std::string::npos) {
     std::fprintf(stderr,
-                 "FAIL %s: missing schema marker "
-                 "(xunet.bench.v1 or xunet.lint.v1)\n",
+                 "FAIL %s: missing schema marker (xunet.bench.v1, "
+                 "xunet.lint.v1, xunet.trace.v1 or xunet.health.v1)\n",
                  path);
     return false;
   }
