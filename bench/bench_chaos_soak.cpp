@@ -1,0 +1,119 @@
+// bench_chaos_soak — throughput and efficacy of the deterministic chaos
+// harness (src/chaos).
+//
+// Two sweeps over consecutive seeds on the 2-router chain:
+//   * honest: faults heal, recovery audits run — every seed must audit
+//     clean, and the sweep's wall-clock rate is the cost of adding chaos
+//     scheduling to a CI lane;
+//   * sabotage self-test: restarted sighosts skip their recovery audit
+//     (SighostConfig::recovery_skip_audit), so any seed whose schedule
+//     crashes a sighost mid-call must produce a cross-layer violation.
+//     We report the detection rate plus the shrinker's cost (oracle runs
+//     per repro) and final repro sizes.
+//
+// Writes BENCH_chaos_soak.json (xunet.bench.v1).  XUNET_BENCH_SHORT
+// shrinks the seed counts for CI.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_json.hpp"
+#include "chaos/runner.hpp"
+
+namespace xunet::bench {
+namespace {
+
+chaos::ChaosCase base_case(std::uint64_t seed, bool sabotage) {
+  chaos::ChaosCase c;
+  c.routers = 2;
+  c.calls = 6;
+  c.seed = seed;
+  c.profile.max_crash_restarts = 2;
+  c.sabotage_skip_audit = sabotage;
+  return c;
+}
+
+int run() {
+  const int honest_seeds = bench_short() ? 6 : 32;
+  const int sabotage_seeds = bench_short() ? 8 : 32;
+
+  std::printf("== chaos soak: honest sweep (%d seeds) ==\n", honest_seeds);
+  const auto t0 = std::chrono::steady_clock::now();
+  int honest_clean = 0;
+  std::size_t honest_events = 0;
+  for (int i = 0; i < honest_seeds; ++i) {
+    const chaos::RunOutcome out =
+        chaos::run_case(base_case(1 + static_cast<std::uint64_t>(i), false));
+    honest_events += out.schedule.events.size();
+    if (out.violations.empty()) {
+      ++honest_clean;
+    } else {
+      std::printf("  seed %d: UNEXPECTED %s\n", 1 + i,
+                  out.violations.front().rule.c_str());
+    }
+  }
+  const double honest_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("  %d/%d clean, %.2f s wall (%.1f seeds/s)\n", honest_clean,
+              honest_seeds, honest_wall, honest_seeds / honest_wall);
+
+  std::printf("== chaos soak: sabotage self-test (%d seeds) ==\n",
+              sabotage_seeds);
+  const auto t1 = std::chrono::steady_clock::now();
+  int caught = 0;
+  int shrink_runs = 0;
+  std::size_t pre_shrink_events = 0;
+  std::size_t post_shrink_events = 0;
+  for (int i = 0; i < sabotage_seeds; ++i) {
+    const chaos::ChaosCase c =
+        base_case(1 + static_cast<std::uint64_t>(i), true);
+    const chaos::RunOutcome out = chaos::run_case(c);
+    if (out.violations.empty()) continue;
+    ++caught;
+    const chaos::ShrinkResult shrunk = chaos::shrink(c, out);
+    shrink_runs += shrunk.iterations;
+    pre_shrink_events += out.schedule.events.size();
+    post_shrink_events += shrunk.minimal.size();
+  }
+  const double sabotage_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+          .count();
+  std::printf("  %d/%d seeds caught the planted audit skip, %.2f s wall\n",
+              caught, sabotage_seeds, sabotage_wall);
+  if (caught > 0) {
+    std::printf("  shrink: %.1f oracle runs/repro, %.1f -> %.1f events\n",
+                static_cast<double>(shrink_runs) / caught,
+                static_cast<double>(pre_shrink_events) / caught,
+                static_cast<double>(post_shrink_events) / caught);
+  }
+
+  JsonReport rep("chaos_soak");
+  rep.metric("honest_seeds", honest_seeds);
+  rep.metric("honest_clean", honest_clean);
+  rep.metric("honest_seeds_per_sec",
+             honest_wall > 0 ? honest_seeds / honest_wall : 0);
+  rep.metric("schedule_events_total", static_cast<double>(honest_events));
+  rep.metric("sabotage_seeds", sabotage_seeds);
+  rep.metric("sabotage_caught", caught);
+  rep.metric("shrink_oracle_runs_per_repro",
+             caught > 0 ? static_cast<double>(shrink_runs) / caught : 0);
+  rep.metric("repro_events_mean",
+             caught > 0 ? static_cast<double>(post_shrink_events) / caught : 0);
+  rep.info("topology", "2-router chain, pvc mesh");
+  rep.info("workload", "6 staggered calls, deadline-budgeted retry");
+  rep.info("mode", bench_short() ? "short" : "full");
+  rep.write();
+
+  // The harness gating CI must itself be sound: honest runs always clean,
+  // sabotage always caught at least once.
+  if (honest_clean != honest_seeds || caught == 0) {
+    std::fprintf(stderr, "bench_chaos_soak: harness self-test FAILED\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xunet::bench
+
+int main() { return xunet::bench::run(); }

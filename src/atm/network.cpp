@@ -383,6 +383,39 @@ std::vector<AtmNetwork::VcAudit> AtmNetwork::audit_vcs(
   return out;
 }
 
+std::vector<AtmNetwork::VcSummary> AtmNetwork::audit_all_vcs() const {
+  std::vector<VcSummary> out;
+  active_.for_each([&](const VcId& id, const ActiveVc& vc) {
+    if (vc.hops.empty()) return;
+    VcSummary s;
+    s.id = id;
+    s.src = vc.src;
+    s.dst = vc.dst;
+    s.src_vci = vc.hops.front().vci;
+    s.dst_vci = vc.hops.back().vci;
+    out.push_back(std::move(s));
+  });
+  std::sort(out.begin(), out.end(),
+            [](const VcSummary& a, const VcSummary& b) { return a.id < b.id; });
+  return out;
+}
+
+std::vector<AtmNetwork::RouteAudit> AtmNetwork::audit_routes() const {
+  std::vector<RouteAudit> out;
+  active_.for_each([&](const VcId& id, const ActiveVc& vc) {
+    for (const auto& [sw, key] : vc.routes) {
+      RouteAudit a;
+      a.sw = sw->name();
+      a.in_port = key.first;
+      a.in_vci = key.second;
+      a.vc = id;
+      out.push_back(std::move(a));
+    }
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 AtmSwitch* AtmNetwork::switch_by_name(const std::string& name) noexcept {
   for (auto& sw : switches_) {
     if (sw->name() == name) return sw.get();

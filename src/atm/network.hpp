@@ -138,6 +138,32 @@ class AtmNetwork {
   /// included — callers filter their own signaling VCIs).
   [[nodiscard]] std::vector<VcAudit> audit_vcs(const AtmAddress& endpoint) const;
 
+  /// One active VC with its endpoint-facing VCIs — the full controller view
+  /// for cross-layer audits (PVCs included; callers filter by VCI floor).
+  struct VcSummary {
+    VcId id = 0;
+    AtmAddress src;
+    AtmAddress dst;
+    Vci src_vci = kInvalidVci;
+    Vci dst_vci = kInvalidVci;
+  };
+  /// Every active VC, sorted by id.
+  [[nodiscard]] std::vector<VcSummary> audit_all_vcs() const;
+
+  /// One switch route owned by an active VC: what the controller believes
+  /// is installed at `sw`.
+  struct RouteAudit {
+    std::string sw;
+    int in_port = -1;
+    Vci in_vci = kInvalidVci;
+    VcId vc = 0;
+    [[nodiscard]] auto operator<=>(const RouteAudit&) const = default;
+  };
+  /// Every switch route owned by any active VC, sorted by
+  /// (switch, in_port, in_vci).  The chaos InvariantChecker diffs this
+  /// against each AtmSwitch::route_table() in both directions.
+  [[nodiscard]] std::vector<RouteAudit> audit_routes() const;
+
   /// Lookup a switch created by make_switch; nullptr when unknown.
   [[nodiscard]] AtmSwitch* switch_by_name(const std::string& name) noexcept;
 

@@ -76,6 +76,23 @@ std::uint64_t AtmSwitch::reserved_bps(int port) const {
   return ports_[static_cast<std::size_t>(port)]->reserved_bps;
 }
 
+std::vector<AtmSwitch::RouteInfo> AtmSwitch::route_table() const {
+  std::vector<RouteInfo> out;
+  out.reserve(table_.size());
+  table_.for_each([&out](const std::uint64_t& key, const Route& r) {
+    RouteInfo info;
+    info.in_port = static_cast<int>(key >> 16);
+    info.in_vci = static_cast<Vci>(key & 0xffff);
+    info.out_port = r.out_port;
+    info.out_vci = r.out_vci;
+    out.push_back(info);
+  });
+  // FlatMap bucket order depends on insert/erase history; audits need a
+  // stable order.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 void AtmSwitch::handle_cells(int in_port, const Cell* cells, std::size_t n) {
   const sim::SimTime ready = sim_.now() + per_cell_latency_;
   const bool tracing = XOBS_TRACING(obs_);

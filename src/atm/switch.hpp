@@ -69,6 +69,19 @@ class AtmSwitch {
   /// Number of installed VC routes (leak audits use this).
   [[nodiscard]] std::size_t route_count() const noexcept { return table_.size(); }
 
+  /// One installed route, as exposed to cross-layer audits.
+  struct RouteInfo {
+    int in_port = -1;
+    Vci in_vci = kInvalidVci;
+    int out_port = -1;
+    Vci out_vci = kInvalidVci;
+    [[nodiscard]] auto operator<=>(const RouteInfo&) const = default;
+  };
+  /// Every installed route, sorted by (in_port, in_vci).  The chaos
+  /// InvariantChecker diffs this against the network controller's active-VC
+  /// hop state to find dangling or missing routes.
+  [[nodiscard]] std::vector<RouteInfo> route_table() const;
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::uint64_t cells_switched() const noexcept { return cells_switched_; }
   [[nodiscard]] std::uint64_t cells_unroutable() const noexcept { return cells_unroutable_; }

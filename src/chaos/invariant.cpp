@@ -1,0 +1,266 @@
+#include "chaos/invariant.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace xunet::chaos {
+
+namespace {
+
+std::string vci_str(atm::Vci v) { return std::to_string(static_cast<int>(v)); }
+
+}  // namespace
+
+Snapshot capture(core::Testbed& tb) {
+  Snapshot snap;
+
+  // Endpoint resolution: IP address -> machine name, machine -> sighost.
+  std::unordered_map<std::uint32_t, std::string> machine_by_ip;
+  for (std::size_t i = 0; i < tb.router_count(); ++i) {
+    kern::Kernel& k = *tb.router(i).kernel;
+    machine_by_ip[k.ip_node().address().value] = k.name();
+  }
+  for (std::size_t i = 0; i < tb.host_count(); ++i) {
+    kern::Kernel& k = *tb.host(i).kernel;
+    machine_by_ip[k.ip_node().address().value] = k.name();
+  }
+
+  auto add_kernel = [&snap](kern::Kernel& k, const std::string& sighost) {
+    for (const kern::Kernel::XunetVciInfo& s : k.audit_xunet_vcis()) {
+      if (s.vci < atm::kFirstSwitchedVci) continue;  // signaling PVCs
+      KernelVciView kv;
+      kv.machine = k.name();
+      kv.sighost = sighost;
+      kv.vci = s.vci;
+      kv.bound = s.state == kern::SocketState::bound;
+      snap.kernel_vcis.push_back(std::move(kv));
+    }
+  };
+
+  for (std::size_t i = 0; i < tb.router_count(); ++i) {
+    core::Router& r = tb.router(i);
+    const std::string name = r.kernel->atm_address().name;
+    add_kernel(*r.kernel, name);
+
+    SighostView sv;
+    sv.name = name;
+    sv.alive = r.sighost != nullptr;
+    if (sv.alive) {
+      sig::Sighost::ListSnapshot lists = r.sighost->audit_snapshot();
+      sv.outgoing_calls = std::move(lists.outgoing_calls);
+      sv.incoming_calls = std::move(lists.incoming_calls);
+      sv.wait_for_bind = std::move(lists.wait_for_bind);
+      for (const sig::Sighost::VciAuditEntry& e : lists.vci_mapping) {
+        CallRecordView cr;
+        cr.sighost = name;
+        cr.vci = e.vci;
+        cr.call_key = e.call_key;
+        cr.confirmed = e.confirmed;
+        cr.recovered = e.recovered;
+        if (e.endpoint_ip.valid()) {
+          auto it = machine_by_ip.find(e.endpoint_ip.value);
+          cr.endpoint_machine =
+              it != machine_by_ip.end() ? it->second : r.kernel->name();
+        } else {
+          cr.endpoint_machine = r.kernel->name();
+        }
+        snap.call_records.push_back(std::move(cr));
+      }
+    }
+    snap.sighosts.push_back(std::move(sv));
+  }
+  for (std::size_t i = 0; i < tb.host_count(); ++i) {
+    core::Host& h = tb.host(i);
+    add_kernel(*h.kernel, h.home->kernel->atm_address().name);
+  }
+
+  for (const atm::AtmNetwork::VcSummary& v : tb.network().audit_all_vcs()) {
+    if (v.src_vci < atm::kFirstSwitchedVci) continue;  // signaling PVCs
+    VcView vv;
+    vv.id = v.id;
+    vv.src = v.src.name;
+    vv.dst = v.dst.name;
+    vv.src_vci = v.src_vci;
+    vv.dst_vci = v.dst_vci;
+    snap.vcs.push_back(std::move(vv));
+  }
+
+  for (std::size_t i = 0; i < tb.router_count(); ++i) {
+    atm::AtmSwitch* sw = tb.router(i).sw;
+    if (sw == nullptr) continue;
+    for (const atm::AtmSwitch::RouteInfo& r : sw->route_table()) {
+      snap.routes_installed.push_back({sw->name(), r.in_port, r.in_vci});
+    }
+  }
+  for (const atm::AtmNetwork::RouteAudit& r : tb.network().audit_routes()) {
+    snap.routes_expected.push_back({r.sw, r.in_port, r.in_vci});
+  }
+  std::sort(snap.routes_installed.begin(), snap.routes_installed.end());
+  std::sort(snap.routes_expected.begin(), snap.routes_expected.end());
+  return snap;
+}
+
+std::vector<Violation> check(const Snapshot& snap,
+                             const WorkloadCounts& workload) {
+  std::vector<Violation> out;
+  auto add = [&out](const char* rule, std::string detail) {
+    out.push_back({rule, std::move(detail)});
+  };
+
+  auto sighost_view = [&snap](const std::string& name) -> const SighostView* {
+    for (const SighostView& s : snap.sighosts) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  auto has_record = [&snap](const std::string& sighost, atm::Vci vci) {
+    for (const CallRecordView& cr : snap.call_records) {
+      if (cr.sighost == sighost && cr.vci == vci) return true;
+    }
+    return false;
+  };
+
+  // 1. Every live data socket must be backed by a sighost call record: a
+  //    socket without one can never be torn down by signaling.
+  for (const KernelVciView& kv : snap.kernel_vcis) {
+    const SighostView* sv = sighost_view(kv.sighost);
+    if (sv == nullptr || !sv->alive) continue;  // unknowable while crashed
+    if (!has_record(kv.sighost, kv.vci)) {
+      add(kOrphanKernelVci, "machine=" + kv.machine + " vci=" +
+                                vci_str(kv.vci) +
+                                (kv.bound ? " side=bound" : " side=connected") +
+                                " sighost=" + kv.sighost);
+    }
+  }
+
+  // 2. Every confirmed call record must have (a) the data socket it claims
+  //    was bound/connected and (b) a network VC carrying it.
+  for (const CallRecordView& cr : snap.call_records) {
+    if (!cr.confirmed) continue;
+    bool have_sock = false;
+    for (const KernelVciView& kv : snap.kernel_vcis) {
+      if (kv.machine == cr.endpoint_machine && kv.vci == cr.vci) {
+        have_sock = true;
+        break;
+      }
+    }
+    if (!have_sock) {
+      add(kMissingKernelSocket, "sighost=" + cr.sighost + " vci=" +
+                                    vci_str(cr.vci) + " call=" + cr.call_key +
+                                    " endpoint=" + cr.endpoint_machine);
+    }
+    bool have_vc = false;
+    for (const VcView& vc : snap.vcs) {
+      if ((vc.src == cr.sighost && vc.src_vci == cr.vci) ||
+          (vc.dst == cr.sighost && vc.dst_vci == cr.vci)) {
+        have_vc = true;
+        break;
+      }
+    }
+    if (!have_vc) {
+      add(kOrphanCallRecord, "sighost=" + cr.sighost + " vci=" +
+                                 vci_str(cr.vci) + " call=" + cr.call_key +
+                                 " has no network VC");
+    }
+  }
+
+  // 3. Every switched VC must be claimed by a call record at both live ends
+  //    (an unclaimed VC holds bandwidth reservations forever).
+  for (const VcView& vc : snap.vcs) {
+    const SighostView* src = sighost_view(vc.src);
+    if (src != nullptr && src->alive && !has_record(vc.src, vc.src_vci)) {
+      add(kOrphanNetworkVc, "vc=" + std::to_string(vc.id) + " side=src" +
+                                " sighost=" + vc.src +
+                                " vci=" + vci_str(vc.src_vci));
+    }
+    const SighostView* dst = sighost_view(vc.dst);
+    if (dst != nullptr && dst->alive && !has_record(vc.dst, vc.dst_vci)) {
+      add(kOrphanNetworkVc, "vc=" + std::to_string(vc.id) + " side=dst" +
+                                " sighost=" + vc.dst +
+                                " vci=" + vci_str(vc.dst_vci));
+    }
+  }
+
+  // 4. Switch tables and the controller's route ownership must agree
+  //    exactly, both directions.
+  std::vector<RouteView> diff;
+  std::set_difference(snap.routes_installed.begin(),
+                      snap.routes_installed.end(),
+                      snap.routes_expected.begin(), snap.routes_expected.end(),
+                      std::back_inserter(diff));
+  for (const RouteView& r : diff) {
+    add(kDanglingSwitchRoute, "sw=" + r.sw + " in_port=" +
+                                  std::to_string(r.in_port) +
+                                  " in_vci=" + vci_str(r.in_vci));
+  }
+  diff.clear();
+  std::set_difference(snap.routes_expected.begin(), snap.routes_expected.end(),
+                      snap.routes_installed.begin(),
+                      snap.routes_installed.end(), std::back_inserter(diff));
+  for (const RouteView& r : diff) {
+    add(kMissingSwitchRoute, "sw=" + r.sw + " in_port=" +
+                                 std::to_string(r.in_port) +
+                                 " in_vci=" + vci_str(r.in_vci));
+  }
+
+  // 5. Five-list exclusivity: one call key must never sit on both request
+  //    lists of one sighost.
+  for (const SighostView& sv : snap.sighosts) {
+    if (!sv.alive) continue;
+    for (const std::string& key : sv.outgoing_calls) {
+      if (std::find(sv.incoming_calls.begin(), sv.incoming_calls.end(), key) !=
+          sv.incoming_calls.end()) {
+        add(kDoubleListedCall, "sighost=" + sv.name + " call=" + key);
+      }
+    }
+  }
+
+  // 6. Call conservation: every open resolves exactly once.
+  if (workload.multi_fired > 0) {
+    add(kCallConservation,
+        "multi_fired=" + std::to_string(workload.multi_fired));
+  }
+  if (workload.delivered + workload.failed + workload.unresolved !=
+      workload.opened) {
+    add(kCallConservation,
+        "opened=" + std::to_string(workload.opened) +
+            " delivered=" + std::to_string(workload.delivered) +
+            " failed=" + std::to_string(workload.failed) +
+            " unresolved=" + std::to_string(workload.unresolved));
+  }
+
+  // 7. Liveness: once faults heal, nothing may still be pending.
+  if (workload.unresolved > 0) {
+    add(kLiveness, "opens unresolved at quiescence: " +
+                       std::to_string(workload.unresolved));
+  }
+  for (const SighostView& sv : snap.sighosts) {
+    if (!sv.alive) {
+      add(kLiveness, "sighost=" + sv.name + " down at quiescence");
+      continue;
+    }
+    if (!sv.outgoing_calls.empty()) {
+      add(kLiveness, "sighost=" + sv.name + " outgoing_requests=" +
+                         std::to_string(sv.outgoing_calls.size()));
+    }
+    if (!sv.incoming_calls.empty()) {
+      add(kLiveness, "sighost=" + sv.name + " incoming_requests=" +
+                         std::to_string(sv.incoming_calls.size()));
+    }
+    if (!sv.wait_for_bind.empty()) {
+      add(kLiveness, "sighost=" + sv.name + " wait_for_bind=" +
+                         std::to_string(sv.wait_for_bind.size()));
+    }
+  }
+  for (const CallRecordView& cr : snap.call_records) {
+    if (!cr.confirmed) {
+      add(kLiveness, "sighost=" + cr.sighost + " vci=" + vci_str(cr.vci) +
+                         " unconfirmed at quiescence");
+    }
+  }
+
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace xunet::chaos

@@ -88,8 +88,14 @@ CallClient::CallClient(kern::Kernel& k, ip::IpAddress sighost_ip) : k_(k) {
 
 void CallClient::open(const std::string& dst, const std::string& service,
                       const std::string& qos, CallFn on_done) {
+  open(dst, service, qos, app::OpenOptions{}, std::move(on_done));
+}
+
+void CallClient::open(const std::string& dst, const std::string& service,
+                      const std::string& qos, const app::OpenOptions& opts,
+                      CallFn on_done) {
   lib_->open_connection(
-      dst, service, "", qos,
+      dst, service, "", qos, opts,
       [this, on_done = std::move(on_done)](util::Result<app::OpenResult> r) {
         if (!r) {
           ++failed_;

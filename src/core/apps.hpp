@@ -85,6 +85,14 @@ class CallClient {
   void open(const std::string& dst, const std::string& service,
             const std::string& qos, CallFn on_done);
 
+  /// Deadline-budgeted variant: transient setup failures are retried under
+  /// backoff until `opts.deadline` (see app::OpenOptions).  The chaos
+  /// harness uses this so every call resolves — success or definitive
+  /// failure — once faults heal.
+  void open(const std::string& dst, const std::string& service,
+            const std::string& qos, const app::OpenOptions& opts,
+            CallFn on_done);
+
   /// Send one frame on an open call.
   util::Result<void> send(const Call& c, util::BytesView data) {
     return k_.xunet_send(pid_, c.fd, data);

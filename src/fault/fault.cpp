@@ -1,6 +1,19 @@
 #include "fault/fault.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace xunet::fault {
+
+namespace {
+// Plan misuse is a programming error in the test/experiment, not a runtime
+// condition: fail loudly at the call site rather than half-applying a
+// schedule (the old behaviour silently never fired post-arm() events).
+[[noreturn]] void plan_misuse(const char* what) {
+  std::fprintf(stderr, "FaultPlan misuse: %s\n", what);
+  std::abort();
+}
+}  // namespace
 
 FaultPlan::FaultPlan(core::Testbed& tb, std::uint64_t seed)
     : tb_(tb), rng_(seed) {}
@@ -86,6 +99,11 @@ sig::WireVerdict FaultPlan::on_wire(const std::string& self,
 
 void FaultPlan::at(sim::SimDuration when, std::string label,
                    std::function<void()> fn, bool post_mortem) {
+  if (armed_) {
+    plan_misuse("scripted event added after arm() would never fire; "
+                "register all events before arming (wire rules via "
+                "add_rule() may still be added live)");
+  }
   events_.push_back({when, std::move(label), std::move(fn), post_mortem});
 }
 
@@ -136,10 +154,28 @@ void FaultPlan::atm_cell_corruption(std::size_t router, double p) {
   impairments_.push_back({router, 0.0, p});
 }
 
+void FaultPlan::impair_cells(sim::SimDuration when, sim::SimDuration duration,
+                             std::size_t router, double loss, double corrupt) {
+  auto set_impair = [this, router, loss, corrupt](bool on) {
+    const atm::AtmAddress& addr = tb_.router(router).kernel->atm_address();
+    for (atm::CellLink* l : tb_.network().endpoint_links(addr)) {
+      l->set_loss(on ? loss : 0.0, &rng_);
+      l->set_corrupt(on ? corrupt : 0.0, &rng_);
+    }
+  };
+  at(when, "impair cells router " + std::to_string(router),
+     [set_impair] { set_impair(true); });
+  at(when + duration, "heal cells router " + std::to_string(router),
+     [set_impair] { set_impair(false); });
+}
+
 // ------------------------------------------------------------------- arm
 
 void FaultPlan::arm() {
-  if (armed_) return;
+  if (armed_) {
+    plan_misuse("arm() called twice; every scripted event would be "
+                "scheduled (and fire) twice");
+  }
   armed_ = true;
   tb_.set_wire_fault([this](const std::string& self, const std::string& peer,
                             const sig::Msg& m) { return on_wire(self, peer, m); });

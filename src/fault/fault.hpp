@@ -57,6 +57,10 @@ class FaultPlan {
   FaultPlan& operator=(const FaultPlan&) = delete;
 
   // -- wire faults on signaling messages -----------------------------------
+  /// Rules MAY be added after arm(): the wire hook consults `rules_` live on
+  /// every message, so a rule appended mid-run takes effect immediately (use
+  /// WireRule::from/until for precise activity windows).  This is unlike
+  /// scripted events, which are rejected after arm() — see at().
   void add_rule(WireRule r) { rules_.push_back(std::move(r)); }
   /// Lose fraction `p` of all signaling messages, both directions.
   void drop_signaling(double p);
@@ -75,6 +79,11 @@ class FaultPlan {
   /// the flight recorder; `post_mortem` additionally snapshots the
   /// recorder's ring as a `xunet.trace.v1` dump right after the event runs
   /// (crash/trunk-cut events do this by default).
+  ///
+  /// Contract: events must be registered BEFORE arm().  An event added
+  /// afterwards would silently never fire (arm() is what schedules them), so
+  /// that misuse aborts the process instead.  Wire rules are the opposite —
+  /// see add_rule().
   void at(sim::SimDuration when, std::string label, std::function<void()> fn,
           bool post_mortem = false);
   /// Kill router i's sighost process at `when`.
@@ -96,8 +105,18 @@ class FaultPlan {
   /// endpoint links; the AAL5 CRC discards the damaged frame.
   void atm_cell_corruption(std::size_t router, double p);
 
-  /// Install the wire-fault hook and schedule every event.  Call once.
+  /// Windowed variant for chaos schedules: impair router i's endpoint links
+  /// with cell loss `loss` and cell corruption `corrupt` starting at `when`,
+  /// healing both back to zero `duration` later.  Scripted (subject to the
+  /// before-arm() contract), unlike the steady-state setters above.
+  void impair_cells(sim::SimDuration when, sim::SimDuration duration,
+                    std::size_t router, double loss, double corrupt);
+
+  /// Install the wire-fault hook and schedule every event.  Call exactly
+  /// once: arming twice would double-schedule every event, so a second call
+  /// aborts the process.
   void arm();
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
 
   [[nodiscard]] const InjectionStats& stats() const noexcept { return stats_; }
   [[nodiscard]] util::Rng& rng() noexcept { return rng_; }

@@ -143,6 +143,16 @@ class Kernel {
   /// VCI (deterministic across runs).
   [[nodiscard]] std::vector<XunetVciInfo> audit_xunet_vcis() const;
 
+  /// Count of signaling-entity lifetimes on this kernel, starting at 1.
+  /// §5.3's argument cuts both ways once more: the kernel outlives the
+  /// sighost, so it can hand each incarnation a number no previous life
+  /// used.  The sighost partitions its request-id space by it so that
+  /// post-restart call keys never collide with calls its predecessor left
+  /// behind in peers' five-lists.
+  [[nodiscard]] std::uint32_t next_sighost_incarnation() {
+    return ++sighost_incarnations_;
+  }
+
   // -- /dev/anand --------------------------------------------------------------
   /// Open the pseudo-device.  One holder at a time (sighost or anand server).
   util::Result<int> open_anand(Pid pid);
@@ -239,6 +249,7 @@ class Kernel {
   std::uint64_t next_handle_ = 1;
   Pid anand_holder_ = -1;
   std::uint64_t x_dropped_ = 0;
+  std::uint32_t sighost_incarnations_ = 0;
 
   // Observability: context + cached per-kernel metric handles.
   obs::Observability* obs_ = nullptr;

@@ -19,6 +19,14 @@ namespace xunet::sig {
 /// used as the end-to-end call id between peer sighosts.
 using ReqId = std::uint32_t;
 
+/// Request-id space partition between sighost incarnations.  Call keys are
+/// "<originator>#<req_id>" and outlive a sighost crash in its peers'
+/// five-lists, so a reborn sighost restarting its counter at 1 would mint
+/// keys colliding with calls its previous life established — a failing new
+/// call could then tear down a peer's record of a healthy recovered call.
+/// Each incarnation therefore allocates from a disjoint 4M-wide band.
+inline constexpr int kReqIdIncarnationShift = 22;
+
 /// The 16-bit capability of §7.1: "a cookie is a 16 bit capability that
 /// gives the holder the right to access a socket bound to a particular VCI."
 using Cookie = std::uint16_t;

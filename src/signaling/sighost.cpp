@@ -38,6 +38,16 @@ Sighost::~Sighost() = default;
 util::Result<void> Sighost::start() {
   pid_ = k_.spawn("sighost");
 
+  // Allocate request ids (and resync nonces) from this incarnation's own
+  // band.  A counter restarting at 1 after a crash would re-mint call keys
+  // like "mh.rt#2" that peers still hold for calls the previous life
+  // established and recovery preserved — and a timeout on the *new* call
+  // would then tear the *old* call's record out of the peer, orphaning its
+  // network VC.  (Found by the chaos harness; see chaos_test.cpp.)
+  const std::uint32_t inc = k_.next_sighost_incarnation() - 1;
+  next_req_ = 1 + (static_cast<ReqId>(inc) << kReqIdIncarnationShift);
+  next_resync_nonce_ = 1 + (inc << kReqIdIncarnationShift);
+
   auto lfd = k_.tcp_listen(pid_, cfg_.port,
                            [this](int fd) { on_app_accept(fd); });
   if (!lfd) return lfd.error();
@@ -1096,6 +1106,31 @@ std::string Sighost::management_report() const {
   return out;
 }
 
+Sighost::ListSnapshot Sighost::audit_snapshot() const {
+  ListSnapshot snap;
+  for (const auto& [name, svc] : services_) snap.services.push_back(name);
+  for (const auto& [id, out] : outgoing_) {
+    snap.outgoing_calls.push_back(call_key(k_.atm_address().name, id));
+  }
+  for (const auto& [key, inc] : incoming_) snap.incoming_calls.push_back(key);
+  for (const auto& [vci, wb] : wait_bind_) snap.wait_for_bind.push_back(vci);
+  for (const auto& [vci, e] : vci_map_) {
+    VciAuditEntry a;
+    a.vci = vci;
+    a.call_key = e.call_key;
+    a.req_id = e.req_id;
+    a.originator = e.originator;
+    a.confirmed = e.confirmed;
+    a.recovered = e.recovered;
+    a.peer = e.peer;
+    a.endpoint_ip = e.endpoint_ip;
+    a.remote_vci = e.remote_vci;
+    snap.vci_mapping.push_back(std::move(a));
+  }
+  // Every source map is ordered, so the vectors are already sorted.
+  return snap;
+}
+
 atm::Vci Sighost::vci_for_call(const std::string& key) const {
   for (const auto& [vci, e] : vci_map_) {
     if (e.call_key == key) return vci;
@@ -1157,6 +1192,14 @@ util::Result<void> Sighost::recover() {
   // (active VCs terminating here) and rebuilds VCI_mapping from their join:
   // a VC with a surviving socket is a call worth keeping; a VC without one
   // is an orphan.
+  if (cfg_.recovery_skip_audit) {
+    // Chaos-harness sabotage: pretend the audit ran and found nothing.
+    // Every pre-crash call's socket and VC is now orphaned — exactly the
+    // cross-layer divergence the InvariantChecker must catch.
+    maintenance_log("RECOVER rebuilt 0 calls", "", [] {});
+    record_lists();
+    return {};
+  }
   std::map<atm::Vci, kern::Kernel::XunetVciInfo> socks;
   for (const auto& s : k_.audit_xunet_vcis()) socks.emplace(s.vci, s);
   std::size_t rebuilt = 0;
@@ -1185,7 +1228,17 @@ util::Result<void> Sighost::recover() {
     e.recovered = true;  // call_key/req_id arrive via PEER_RESYNC_INFO
     cookies_.bind_vci(vc.local_vci, e.cookie);
     vci_map_.emplace(vc.local_vci, std::move(e));
+    socks.erase(sit);
     ++rebuilt;
+  }
+  // The join's third case: a socket whose VC is gone.  The peer tore the
+  // call down while we were dead (e.g. its own recovery grace expired with
+  // us unreachable), so no resync will ever claim it and no data can reach
+  // it — disconnect it now or it lingers bound forever.
+  for (const auto& [vci, info] : socks) {
+    if (vci < atm::kFirstSwitchedVci) continue;  // PVCs are not calls
+    k_.mark_vci_disconnected(vci);
+    ++stats_.orphans_torn_down;
   }
   maintenance_log("RECOVER rebuilt " + std::to_string(rebuilt) + " calls",
                   "", [] {});

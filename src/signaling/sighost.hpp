@@ -88,6 +88,11 @@ struct SighostConfig {
   /// After a crash-restart recovery, audited calls not claimed by any
   /// peer's PEER_RESYNC_INFO within this grace period are torn down.
   sim::SimDuration resync_grace = sim::seconds(5);
+  /// TEST-ONLY sabotage seam for the chaos harness: recover() skips the
+  /// kernel/network audit, leaving every pre-crash call's kernel socket and
+  /// network VC orphaned.  The chaos acceptance test plants this fault and
+  /// asserts the InvariantChecker finds it; never set it in real scenarios.
+  bool recovery_skip_audit = false;
 };
 
 /// What a wire-fault hook may do to one peer signaling message about to be
@@ -167,6 +172,32 @@ class Sighost {
   /// used by network management software."  A human-readable dump of the
   /// five lists and counters.
   [[nodiscard]] std::string management_report() const;
+
+  // -- cross-layer audit surface (the chaos InvariantChecker) --------------
+  /// One VCI_mapping entry flattened for audits: identity and bookkeeping
+  /// only, no live handles.
+  struct VciAuditEntry {
+    atm::Vci vci = atm::kInvalidVci;
+    std::string call_key;
+    ReqId req_id = 0;
+    bool originator = false;
+    bool confirmed = false;
+    bool recovered = false;
+    std::string peer;
+    ip::IpAddress endpoint_ip;  ///< 0 = the socket lives on this router
+    atm::Vci remote_vci = atm::kInvalidVci;
+  };
+  /// The five lists flattened into value types, every vector sorted, so the
+  /// InvariantChecker can cross-audit signaling state against the kernel,
+  /// network and switch layers without reaching into live records.
+  struct ListSnapshot {
+    std::vector<std::string> services;
+    std::vector<std::string> outgoing_calls;  ///< call keys ("self#req_id")
+    std::vector<std::string> incoming_calls;  ///< call keys
+    std::vector<atm::Vci> wait_for_bind;
+    std::vector<VciAuditEntry> vci_mapping;   ///< ascending VCI
+  };
+  [[nodiscard]] ListSnapshot audit_snapshot() const;
 
   [[nodiscard]] const SighostStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const CookieTable& cookies() const noexcept { return cookies_; }

@@ -1,5 +1,7 @@
 #include "userlib/userlib.hpp"
 
+#include <algorithm>
+
 namespace xunet::app {
 
 using sig::Msg;
@@ -368,6 +370,68 @@ void UserLib::open_connection(const std::string& dst,
     m.parent_span = span;
     channel_send(m);
   });
+}
+
+bool UserLib::transient_error(util::Errc e) noexcept {
+  switch (e) {
+    case Errc::connection_reset:   // signaling channel died mid-request
+    case Errc::connection_refused: // sighost not yet listening after restart
+    case Errc::not_connected:
+    case Errc::timed_out:          // sighost request watchdog fired
+    case Errc::no_buffer_space:    // request shed under overload
+    case Errc::no_route:           // trunk cut; heals when the fault does
+      return true;
+    default:
+      return false;
+  }
+}
+
+void UserLib::open_connection(const std::string& dst,
+                              const std::string& service,
+                              const std::string& comment,
+                              const std::string& qos, const OpenOptions& opts,
+                              OpenFn on_done, CookieFn on_req_id) {
+  const sim::SimTime give_up = k_.simulator().now() + opts.deadline;
+  retry_open(dst, service, comment, qos, opts, give_up, opts.retry_backoff,
+             std::move(on_done),
+             std::make_shared<CookieFn>(std::move(on_req_id)));
+}
+
+void UserLib::retry_open(const std::string& dst, const std::string& service,
+                         const std::string& comment, const std::string& qos,
+                         OpenOptions opts, sim::SimTime give_up,
+                         sim::SimDuration backoff, OpenFn on_done,
+                         std::shared_ptr<CookieFn> on_req_id) {
+  CookieFn per_attempt;
+  if (*on_req_id) {
+    per_attempt = [on_req_id](util::Result<sig::Cookie> c) {
+      (*on_req_id)(std::move(c));
+    };
+  }
+  open_connection(
+      dst, service, comment, qos,
+      [this, dst, service, comment, qos, opts, give_up, backoff,
+       on_done = std::move(on_done),
+       on_req_id](util::Result<OpenResult> r) mutable {
+        if (r || !transient_error(r.error())) {
+          on_done(std::move(r));
+          return;
+        }
+        sim::Simulator& sim = k_.simulator();
+        if (sim.now() + backoff >= give_up || !k_.alive(pid_)) {
+          on_done(r.error());  // budget exhausted: the failure is final
+          return;
+        }
+        const sim::SimDuration next =
+            std::min(backoff + backoff, opts.retry_backoff_max);
+        sim.schedule(backoff, [this, dst, service, comment, qos, opts, give_up,
+                               next, on_done = std::move(on_done),
+                               on_req_id]() mutable {
+          retry_open(dst, service, comment, qos, opts, give_up, next,
+                     std::move(on_done), std::move(on_req_id));
+        });
+      },
+      std::move(per_attempt));
 }
 
 void UserLib::cancel_request(sig::Cookie cookie, Completion<void> done) {

@@ -39,6 +39,19 @@ struct OpenResult {
   std::string qos;  ///< the negotiated (possibly modified) QoS
 };
 
+/// Deadline-budgeted call setup: how long open_connection may keep retrying
+/// transient failures (crashed sighost, shed request, lost reply) before
+/// giving up for good.  The budget is what makes call-setup liveness a
+/// checkable invariant: once faults heal, every open must resolve — success
+/// or definitive failure — within `deadline` of being issued.
+struct OpenOptions {
+  /// Total budget including retries; zero means a single attempt.
+  sim::SimDuration deadline{};
+  /// First retry delay; doubles per retry up to `retry_backoff_max`.
+  sim::SimDuration retry_backoff = sim::milliseconds(200);
+  sim::SimDuration retry_backoff_max = sim::seconds(2);
+};
+
 /// The library.  One instance per application process.
 class UserLib {
  public:
@@ -94,6 +107,22 @@ class UserLib {
                        const std::string& comment, const std::string& qos,
                        OpenFn on_done, CookieFn on_req_id = {});
 
+  /// Deadline-budgeted variant: retries transient failures (see
+  /// transient_error) under exponential backoff until success, a permanent
+  /// error, or `opts.deadline` elapsing — whichever comes first.  `on_done`
+  /// fires exactly once.  `on_req_id` fires once per attempt; the latest
+  /// cookie is the one cancel_request() accepts.
+  void open_connection(const std::string& dst, const std::string& service,
+                       const std::string& comment, const std::string& qos,
+                       const OpenOptions& opts, OpenFn on_done,
+                       CookieFn on_req_id = {});
+
+  /// True when `e` is a setup failure worth retrying once faults heal:
+  /// channel resets (sighost crash), shed/timed-out requests, and transient
+  /// admission or routing refusals.  Definitive answers — not_found service,
+  /// rejected by the callee — are final.
+  [[nodiscard]] static bool transient_error(util::Errc e) noexcept;
+
   /// Withdraw an outstanding open_connection by its cookie.  `done`
   /// (optional) reports the outcome: ok when the cancel was sent,
   /// not_connected when the signaling channel is not up (nothing to
@@ -135,6 +164,11 @@ class UserLib {
   };
 
   void ensure_channel(std::function<void(util::Result<void>)> then);
+  void retry_open(const std::string& dst, const std::string& service,
+                  const std::string& comment, const std::string& qos,
+                  OpenOptions opts, sim::SimTime give_up,
+                  sim::SimDuration backoff, OpenFn on_done,
+                  std::shared_ptr<CookieFn> on_req_id);
   void channel_send(const sig::Msg& m);
   void on_channel_msg(const sig::Msg& m);
   void on_percall_msg(int fd, const sig::Msg& m);

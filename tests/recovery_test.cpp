@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -301,6 +302,55 @@ TEST(CrashRecovery, OrphanedVcsAreTornDownAfterRestart) {
   EXPECT_EQ(rig.tb->router(1).sighost->vci_mapping_size(), 0u);
   EXPECT_EQ(rig.tb->router(0).sighost->vci_mapping_size(), 0u);
   EXPECT_EQ(rig.tb->audit().network_vcs, 0u);
+}
+
+TEST(CrashRecovery, CrashBetweenRetransmitBackoffAttemptsOfInflightConnect) {
+  Rig rig;
+  fault::FaultPlan plan(*rig.tb, 5);
+  // The callee never hears the CONNECT_REQ: every peer_setup out of mh.rt
+  // is dropped, so the originating sighost sits in retransmission backoff
+  // (attempts at ~250 ms, ~500 ms, ~1 s after the send) with an armed retx
+  // timer the whole time.
+  fault::WireRule r;
+  r.node = "mh.rt";
+  r.type = sig::MsgType::peer_setup;
+  r.until = rig.tb->sim().now() + sim::milliseconds(1700);
+  plan.add_rule(r);
+  // The crash lands BETWEEN backoff attempts: the armed retransmit timer
+  // must die with the instance (Timer destructors cancel; raw events hold
+  // the liveness token) instead of firing into the dead sighost.
+  plan.crash_sighost_at(sim::milliseconds(850), 0);
+  plan.restart_sighost_at(sim::milliseconds(1500), 0);
+  plan.arm();
+
+  int fired = 0, ok = 0, failed = 0;
+  std::optional<CallClient::Call> call;
+  rig.tb->sim().schedule(sim::milliseconds(200), [&] {
+    app::OpenOptions opts;
+    // The crash resets the app channel mid-request; the deadline budget
+    // re-dials the replacement sighost and re-issues the open.
+    opts.deadline = sim::seconds(10);
+    rig.client->open("berkeley.rt", "svc", "", opts,
+                     [&](util::Result<CallClient::Call> res) {
+                       ++fired;
+                       if (res.ok()) {
+                         ++ok;
+                         call = *res;
+                       } else {
+                         ++failed;
+                       }
+                     });
+  });
+  rig.tb->sim().run_for(sim::seconds(15));
+
+  // Exactly-once resolution through the crash, and the call lands.
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(ok, 1) << "failed=" << failed;
+  ASSERT_TRUE(call.has_value());
+  rig.client->close_call(*call);
+  rig.tb->sim().run_for(sim::seconds(2));
+  auto rep = rig.tb->audit();
+  EXPECT_TRUE(rep.clean()) << rep.describe();
 }
 
 // ----------------------------------------------- the acceptance scenario

@@ -1,15 +1,16 @@
 // bench_json_check — CI gate for machine-readable trajectory files
 // (BENCH_*.json benchmark reports, LINT_findings.json lint reports, and
-// the JSONL observability artifacts: flight-recorder dumps and health
-// alert streams).
+// the JSONL artifacts: flight-recorder dumps, health alert streams, and
+// chaos-harness repro schedules).
 //
 // Usage: bench_json_check FILE...
 //
 // For each file: verify it is well-formed enough to trust (single JSON
 // object — or, for JSONL schemas, one object per line — balanced
 // structure, no truncation), carries a known schema marker
-// ("xunet.bench.v1", "xunet.lint.v1", "xunet.trace.v1" or
-// "xunet.health.v1"), and contains every key required for its profile.
+// ("xunet.bench.v1", "xunet.lint.v1", "xunet.trace.v1",
+// "xunet.health.v1" or "xunet.chaos.v1"), and contains every key
+// required for its profile.
 // Exit 0 only when every file passes; a missing file is a failure (the
 // tool silently not writing its report is exactly the regression this
 // gate exists to catch).
@@ -165,6 +166,82 @@ bool check_jsonl(const char* path, const std::string& s,
   return ok;
 }
 
+/// xunet.chaos.v1 — chaos-harness repro artifacts.  Header line carries the
+/// case (topology + workload + seed); every record line declares its type
+/// in "rec" and must carry that type's keys.
+bool check_chaos_jsonl(const char* path, const std::string& s) {
+  static const std::map<std::string, std::vector<std::string>> rec_keys = {
+      {"event", {"kind", "at_ns", "duration_ns", "node"}},
+      {"violation", {"rule", "detail"}},
+      {"result", {"opened", "delivered", "failed", "unresolved"}},
+      {"post_mortem", {"trace"}},
+  };
+  bool ok = true;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t eol = s.find('\n', pos);
+    if (eol == std::string::npos) eol = s.size();
+    const std::string line = s.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ++line_no;
+    std::string why;
+    if (!well_formed(line, why)) {
+      std::fprintf(stderr, "FAIL %s: line %zu malformed: %s\n", path, line_no,
+                   why.c_str());
+      return false;
+    }
+    if (line_no == 1) {
+      for (const char* key :
+           {"schema", "seed", "routers", "calls", "events", "violations"}) {
+        if (!has_key(line, key)) {
+          std::fprintf(stderr,
+                       "FAIL %s: chaos header missing required key %s\n", path,
+                       key);
+          ok = false;
+        }
+      }
+      continue;
+    }
+    const std::string tag = "\"rec\":\"";
+    const std::size_t p = line.find(tag);
+    const std::size_t q =
+        p == std::string::npos ? p : line.find('"', p + tag.size());
+    if (p == std::string::npos || q == std::string::npos) {
+      std::fprintf(stderr, "FAIL %s: chaos line %zu has no \"rec\" type\n",
+                   path, line_no);
+      ok = false;
+      continue;
+    }
+    const std::string rec = line.substr(p + tag.size(), q - p - tag.size());
+    auto it = rec_keys.find(rec);
+    if (it == rec_keys.end()) {
+      std::fprintf(stderr, "FAIL %s: chaos line %zu unknown rec \"%s\"\n",
+                   path, line_no, rec.c_str());
+      ok = false;
+      continue;
+    }
+    for (const std::string& key : it->second) {
+      if (!has_key(line, key)) {
+        std::fprintf(stderr,
+                     "FAIL %s: chaos %s line %zu missing required key %s\n",
+                     path, rec.c_str(), line_no, key.c_str());
+        ok = false;
+      }
+    }
+  }
+  if (line_no == 0) {
+    std::fprintf(stderr, "FAIL %s: empty chaos document\n", path);
+    return false;
+  }
+  if (ok) {
+    std::printf("OK   %s (chaos repro, %zu lines, xunet.chaos.v1)\n", path,
+                line_no);
+  }
+  return ok;
+}
+
 bool check_file(const char* path) {
   bool read_ok = false;
   const std::string s = slurp(path, read_ok);
@@ -186,6 +263,9 @@ bool check_file(const char* path) {
     return check_jsonl(path, s, "xunet.health.v1", "health alert stream",
                       {"schema", "rules", "alerts", "ticks"},
                       {"ts_ns", "rule", "metric", "value", "state"});
+  }
+  if (first_line.find("\"xunet.chaos.v1\"") != std::string::npos) {
+    return check_chaos_jsonl(path, s);
   }
   std::string why;
   if (!well_formed(s, why)) {
@@ -209,7 +289,8 @@ bool check_file(const char* path) {
   if (s.find("\"xunet.bench.v1\"") == std::string::npos) {
     std::fprintf(stderr,
                  "FAIL %s: missing schema marker (xunet.bench.v1, "
-                 "xunet.lint.v1, xunet.trace.v1 or xunet.health.v1)\n",
+                 "xunet.lint.v1, xunet.trace.v1, xunet.health.v1 or "
+                 "xunet.chaos.v1)\n",
                  path);
     return false;
   }

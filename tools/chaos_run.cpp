@@ -1,0 +1,159 @@
+// chaos_run — CLI front-end for the deterministic chaos harness.
+//
+// Usage: chaos_run [options]
+//   --seeds N        number of consecutive seeds to run   (default 8)
+//   --start-seed S   first seed                           (default 1)
+//   --routers R      routers in the chain topology        (default 2)
+//   --calls C        calls opened by the workload         (default 6)
+//   --crashes K      max sighost crash/restart pairs      (default 1)
+//   --sabotage       plant the recovery-audit skip seam (self-test mode)
+//   --out DIR        write CHAOS_<seed>.jsonl repro artifacts here
+//                    (default: current directory)
+//
+// Each seed deterministically generates a fault schedule, drives the
+// testbed through it to quiescence, and runs the cross-layer invariant
+// checker.  Any violation is shrunk (ddmin) to a minimal repro and
+// emitted as a xunet.chaos.v1 JSONL artifact, then replayed from its own
+// bytes to prove the artifact is self-contained and byte-identical.
+//
+// Exit codes:
+//   default mode   0 = every seed audited clean, 1 = violations found
+//   --sabotage     0 = at least one violation found AND every emitted
+//                      artifact replayed byte-identically,
+//                  1 = the planted fault escaped the checker (or replay
+//                      diverged) — the harness itself is broken
+//   either mode    2 = bad usage / cannot write artifacts
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chaos/runner.hpp"
+
+namespace {
+
+struct Options {
+  int seeds = 8;
+  std::uint64_t start_seed = 1;
+  int routers = 2;
+  int calls = 6;
+  int crashes = 1;
+  bool sabotage = false;
+  std::string out_dir = ".";
+};
+
+bool parse_args(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](long long lo, long long hi, long long& out) {
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      out = std::strtoll(argv[++i], &end, 10);
+      return end != nullptr && *end == '\0' && out >= lo && out <= hi;
+    };
+    long long v = 0;
+    if (arg == "--seeds" && value(1, 100000, v)) {
+      o.seeds = static_cast<int>(v);
+    } else if (arg == "--start-seed" && value(0, 1LL << 62, v)) {
+      o.start_seed = static_cast<std::uint64_t>(v);
+    } else if (arg == "--routers" && value(1, 16, v)) {
+      o.routers = static_cast<int>(v);
+    } else if (arg == "--calls" && value(1, 64, v)) {
+      o.calls = static_cast<int>(v);
+    } else if (arg == "--crashes" && value(0, 8, v)) {
+      o.crashes = static_cast<int>(v);
+    } else if (arg == "--sabotage") {
+      o.sabotage = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      o.out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "chaos_run: bad argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  return std::fclose(f) == 0 && n == bytes.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xunet;
+
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    std::fprintf(stderr,
+                 "usage: chaos_run [--seeds N] [--start-seed S] [--routers R] "
+                 "[--calls C] [--crashes K] [--sabotage] [--out DIR]\n");
+    return 2;
+  }
+
+  int violated = 0;
+  int replay_failures = 0;
+  int artifact_failures = 0;
+  for (int i = 0; i < opt.seeds; ++i) {
+    chaos::ChaosCase c;
+    c.routers = opt.routers;
+    c.calls = opt.calls;
+    c.seed = opt.start_seed + static_cast<std::uint64_t>(i);
+    c.profile.max_crash_restarts = opt.crashes;
+    c.sabotage_skip_audit = opt.sabotage;
+
+    const chaos::RunOutcome out = chaos::run_case(c);
+    if (out.violations.empty()) {
+      std::printf("seed %llu: clean (%zu events, %zu/%zu calls delivered)\n",
+                  static_cast<unsigned long long>(c.seed),
+                  out.schedule.events.size(),
+                  static_cast<std::size_t>(out.workload.delivered),
+                  static_cast<std::size_t>(out.workload.opened));
+      continue;
+    }
+
+    ++violated;
+    std::printf("seed %llu: VIOLATION %s (%zu total) — shrinking...\n",
+                static_cast<unsigned long long>(c.seed),
+                out.violations.front().rule.c_str(), out.violations.size());
+    const chaos::ShrinkResult shrunk = chaos::shrink(c, out);
+    const chaos::RunOutcome minimal_out = chaos::run_events(c, shrunk.minimal);
+    const std::string artifact =
+        chaos::to_artifact(c, shrunk.minimal, minimal_out);
+
+    const std::string path = opt.out_dir + "/CHAOS_" +
+                             std::to_string(c.seed) + ".jsonl";
+    if (!write_file(path, artifact)) {
+      std::fprintf(stderr, "chaos_run: cannot write %s\n", path.c_str());
+      ++artifact_failures;
+      continue;
+    }
+    std::printf("  shrunk %zu -> %zu events in %d runs; repro: %s\n",
+                out.schedule.events.size(), shrunk.minimal.size(),
+                shrunk.iterations, path.c_str());
+
+    const chaos::ReplayResult replay = chaos::replay_artifact(artifact);
+    if (!replay.parsed || replay.artifact != artifact) {
+      std::fprintf(stderr, "  REPLAY MISMATCH for seed %llu\n",
+                   static_cast<unsigned long long>(c.seed));
+      ++replay_failures;
+    } else {
+      std::printf("  replay: byte-identical (%s)\n",
+                  replay.outcome.violations.empty()
+                      ? "no violation?!"
+                      : replay.outcome.violations.front().rule.c_str());
+    }
+  }
+
+  std::printf("chaos_run: %d/%d seeds violated invariants%s\n", violated,
+              opt.seeds, opt.sabotage ? " (sabotage mode)" : "");
+  if (artifact_failures > 0) return 2;
+  if (opt.sabotage) {
+    // Self-test: the planted fault must be caught and repros must replay.
+    return (violated > 0 && replay_failures == 0) ? 0 : 1;
+  }
+  return (violated == 0 && replay_failures == 0) ? 0 : 1;
+}
