@@ -20,7 +20,7 @@ namespace {
 /// the given duty cycle on the forward VC.
 double native_transfer_secs(double drop_duty, std::size_t total_bytes) {
   core::TestbedConfig cfg;
-  auto tb = core::Testbed::canonical(cfg);
+  auto tb = cfg.build_deferred();
   if (!tb->bring_up().ok()) std::abort();
   auto& r0 = *tb->router(0).kernel;
   auto& r1 = *tb->router(1).kernel;
@@ -79,7 +79,7 @@ double native_transfer_secs(double drop_duty, std::size_t total_bytes) {
 double tcp_transfer_secs(double drop_duty, std::size_t total_bytes) {
   core::TestbedConfig cfg;
   cfg.ip_over_atm = true;
-  auto tb = core::Testbed::canonical(cfg);
+  auto tb = cfg.build_deferred();
   if (!tb->bring_up().ok()) std::abort();
   auto& r0 = *tb->router(0).kernel;
   auto& r1 = *tb->router(1).kernel;

@@ -15,7 +15,7 @@ struct Snapshot {
 void run() {
   banner("Figure 2: the overall design, walked by a single frame");
 
-  auto tb = core::Testbed::canonical_with_hosts();
+  auto tb = core::TestbedConfig{}.hosts(2).build_deferred();
   if (!tb->bring_up().ok()) std::abort();
   auto& h0 = tb->host(0);
   auto& h1 = tb->host(1);

@@ -9,7 +9,7 @@ namespace {
 void run() {
   banner("Figures 3 & 4: signaling message sequences (traced live)");
 
-  auto tb = core::Testbed::canonical();
+  auto tb = core::TestbedConfig{}.build_deferred();
   if (!tb->bring_up().ok()) std::abort();
 
   struct Event {

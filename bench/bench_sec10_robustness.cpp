@@ -41,7 +41,7 @@ core::TestbedConfig fixed_config() {
 }
 
 void hundred_call_workload() {
-  auto tb = core::Testbed::canonical(fixed_config());
+  auto tb = fixed_config().build_deferred();
   if (!tb->bring_up().ok()) std::abort();
   auto& r1 = tb->router(1);
   core::CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "load",
@@ -83,7 +83,7 @@ void thousands_of_calls() {
   auto cfg = fixed_config();
   cfg.kernel.tcp_msl = sim::seconds(1);
   cfg.sighost.per_call_log_cost = sim::milliseconds(1);
-  auto tb = core::Testbed::canonical(cfg);
+  auto tb = cfg.build_deferred();
   if (!tb->bring_up().ok()) std::abort();
   auto& r1 = tb->router(1);
   core::CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "churn",
@@ -123,7 +123,7 @@ void kill_sweep() {
   };
   int clean_count = 0;
   for (int stage = 0; stage < 7; ++stage) {
-    auto tb = core::Testbed::canonical(fixed_config());
+    auto tb = fixed_config().build_deferred();
     if (!tb->bring_up().ok()) std::abort();
     auto& r1 = tb->router(1);
     core::CallServer server(*r1.kernel, r1.kernel->ip_node().address(),

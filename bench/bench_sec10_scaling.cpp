@@ -35,7 +35,7 @@ ClumpResult clump_run(std::size_t buffers) {
   cfg.kernel.tcp_msl = sim::seconds(1);
   cfg.sighost.per_call_log_cost = sim::milliseconds(5);
   cfg.sighost.wait_for_bind_timeout = sim::seconds(20);
-  auto tb = core::Testbed::canonical(cfg);
+  auto tb = cfg.build_deferred();
   if (!tb->bring_up().ok()) std::abort();
   auto& r0 = tb->router(0);
   auto& r1 = tb->router(1);
@@ -95,7 +95,7 @@ BurstResult fd_burst(std::size_t fd_table) {
   core::TestbedConfig cfg;
   cfg.kernel.fd_table_size = fd_table;
   cfg.kernel.tcp_msl = sim::seconds(5);
-  auto tb = core::Testbed::canonical(cfg);
+  auto tb = cfg.build_deferred();
   if (!tb->bring_up().ok()) std::abort();
   auto& r1 = tb->router(1);
   core::CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "burst",
@@ -147,7 +147,7 @@ void two_hundred_open() {
   core::TestbedConfig cfg;
   cfg.kernel.fd_table_size = 512;
   cfg.kernel.tcp_msl = sim::seconds(5);
-  auto tb = core::Testbed::canonical(cfg);
+  auto tb = cfg.build_deferred();
   if (!tb->bring_up().ok()) std::abort();
   auto& r0 = tb->router(0);
   auto& r1 = tb->router(1);

@@ -13,7 +13,7 @@ namespace {
 
 /// Measure mean registration latency under a testbed config.
 double registration_ms(core::TestbedConfig cfg) {
-  auto tb = core::Testbed::canonical(cfg);
+  auto tb = cfg.build_deferred();
   if (!tb->bring_up().ok()) std::abort();
   auto& r1 = *tb->router(1).kernel;
   kern::Pid pid = r1.spawn("srv");
@@ -113,7 +113,7 @@ void ablation_encap_transport() {
   // could cause complex interactions between PF_XUNET flow control and TCP
   // flow control."  Measure raw-IP encapsulation vs a TCP stream carrying
   // the same frames host -> router.
-  auto tb = core::Testbed::canonical_with_hosts();
+  auto tb = core::TestbedConfig{}.hosts(2).build_deferred();
   if (!tb->bring_up().ok()) std::abort();
   auto& h0 = tb->host(0);
   auto& h1 = tb->host(1);

@@ -14,7 +14,7 @@ namespace {
 void run() {
   banner("Section 9: AAL-over-IP vs UDP throughput, host to router");
 
-  auto tb = core::Testbed::canonical_with_hosts();
+  auto tb = core::TestbedConfig{}.hosts(2).build_deferred();
   if (!tb->bring_up().ok()) std::abort();
   auto& h0 = tb->host(0);
   auto& h1 = tb->host(1);

@@ -23,7 +23,7 @@ void run() {
 
   core::TestbedConfig cfg;
   cfg.kernel.fd_table_size = 200;
-  auto tb = core::Testbed::canonical(cfg);
+  auto tb = cfg.build_deferred();
   if (!tb->bring_up().ok()) std::abort();
   auto& r0 = *tb->router(0).kernel;
   auto& r1 = *tb->router(1).kernel;

@@ -20,7 +20,7 @@ using kern::InstrDir;
 void run() {
   banner("Table 1: instruction counts for send/receive paths at a host");
 
-  auto tb = core::Testbed::canonical_with_hosts();
+  auto tb = core::TestbedConfig{}.hosts(2).build_deferred();
   if (!tb->bring_up().ok()) std::abort();
   auto& h0 = tb->host(0);
   auto& h1 = tb->host(1);

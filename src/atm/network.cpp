@@ -9,34 +9,49 @@ namespace xunet::atm {
 
 using util::Errc;
 
-util::Result<Vci> VciAllocator::allocate() {
-  for (Vci v = next_hint_; v <= kMaxVci; ++v) {
-    if (!used_.contains(v)) {
-      used_.insert(v);
-      next_hint_ = static_cast<Vci>(v + 1);
-      return v;
+util::Result<Vci> VciAllocator::allocate(std::uint16_t mod, std::uint16_t rem) {
+  if (mod == 0) mod = 1;
+  rem = static_cast<std::uint16_t>(rem % mod);
+  // First VCI of the residue class at or above the switched floor.  All the
+  // arithmetic runs in 32 bits: kMaxVci is the full uint16 range, so a Vci
+  // loop variable would wrap instead of terminating.
+  std::uint32_t first = kFirstSwitchedVci;
+  if (first % mod != rem) first += mod - (first % mod - rem + mod) % mod;
+  const std::uint32_t key = (std::uint32_t(mod) << 16) | rem;
+  std::uint32_t& hint = hints_.try_emplace(key, first).first->second;
+  for (std::uint32_t v = hint; v <= kMaxVci; v += mod) {
+    if (!used_.contains(static_cast<Vci>(v))) {
+      used_.insert(static_cast<Vci>(v));
+      hint = v + mod;
+      return static_cast<Vci>(v);
     }
   }
-  // Wrap: scan from the start of the switched range.
-  for (Vci v = kFirstSwitchedVci; v < next_hint_; ++v) {
-    if (!used_.contains(v)) {
-      used_.insert(v);
-      next_hint_ = static_cast<Vci>(v + 1);
-      return v;
+  // Wrap: scan the class from the switched floor up to the hint.
+  for (std::uint32_t v = first; v < hint && v <= kMaxVci; v += mod) {
+    if (!used_.contains(static_cast<Vci>(v))) {
+      used_.insert(static_cast<Vci>(v));
+      hint = v + mod;
+      return static_cast<Vci>(v);
     }
   }
   return Errc::no_resources;
 }
 
 util::Result<void> VciAllocator::reserve(Vci vci) {
-  if (vci == kInvalidVci || vci > kMaxVci) return Errc::invalid_argument;
+  if (vci == kInvalidVci) return Errc::invalid_argument;
   if (!used_.insert(vci).second) return Errc::duplicate;
   return {};
 }
 
 void VciAllocator::release(Vci vci) noexcept {
   used_.erase(vci);
-  if (vci >= kFirstSwitchedVci && vci < next_hint_) next_hint_ = vci;
+  if (vci < kFirstSwitchedVci) return;
+  // Lower every residue-class hint that skipped past the freed VCI.
+  for (auto& [key, hint] : hints_) {
+    const std::uint32_t mod = key >> 16;
+    const std::uint32_t rem = key & 0xffffu;
+    if (vci % mod == rem && vci < hint) hint = vci;
+  }
 }
 
 AtmNetwork::AtmNetwork(sim::Simulator& sim, sim::SimDuration per_switch_setup)
@@ -170,20 +185,26 @@ int AtmNetwork::edge_between(int a, int b) const {
 
 util::Result<AtmNetwork::ActiveVc> AtmNetwork::install_path(
     const std::vector<int>& path, const Qos& qos,
-    std::optional<Vci> fixed_vci) {
+    std::optional<Vci> fixed_vci, VciPartition part) {
   ActiveVc vc;
-  // Allocate a VCI on every edge of the path.
+  // Allocate a VCI on every edge of the path.  The partition constraint
+  // applies only to the two endpoint-facing edges: those VCIs are what the
+  // endpoint kernels demux on, while interior trunk VCIs are private to the
+  // switches.
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     int ei = edge_between(path[i], path[i + 1]);
     if (ei < 0) {
       uninstall(vc);
       return Errc::no_route;
     }
+    const bool endpoint_edge = (i == 0) || (i + 2 == path.size());
     Edge& e = edges_[static_cast<std::size_t>(ei)];
     util::Result<Vci> vci = fixed_vci ? (e.vcis->reserve(*fixed_vci)
                                              ? util::Result<Vci>(*fixed_vci)
                                              : util::Result<Vci>(Errc::duplicate))
-                                      : e.vcis->allocate();
+                                      : (endpoint_edge
+                                             ? e.vcis->allocate(part.mod, part.rem)
+                                             : e.vcis->allocate());
     if (!vci) {
       uninstall(vc);
       return vci.error();
@@ -224,7 +245,7 @@ void AtmNetwork::uninstall(ActiveVc& vc) {
 void AtmNetwork::setup_vc(const AtmAddress& src, const AtmAddress& dst,
                           const Qos& qos, SetupHandler done,
                           const std::string& call, std::uint64_t trace_id,
-                          std::uint64_t parent_span) {
+                          std::uint64_t parent_span, VciPartition part) {
   ++setups_attempted_;
   obs::Observability& o = sim_.obs();
   o.metrics().counter("atm.net.setups_attempted").inc();
@@ -274,7 +295,7 @@ void AtmNetwork::setup_vc(const AtmAddress& src, const AtmAddress& dst,
   for (std::size_t i = 1; i + 1 < path.size(); ++i) ++switches_on_path;
   latency += per_switch_setup_ * switches_on_path;
 
-  auto vc = install_path(path, qos, std::nullopt);
+  auto vc = install_path(path, qos, std::nullopt, part);
   if (!vc) {
     ++setups_denied_;
     trace_setup(latency, false);
@@ -375,8 +396,8 @@ std::vector<AtmNetwork::VcAudit> AtmNetwork::audit_vcs(
     }
     out.push_back(std::move(a));
   });
-  // Bucket order depends on the insert/erase history: impose a
-  // deterministic order.
+  // The trie iterates by VC id; this surface is keyed by local VCI, so it
+  // still needs its own sort.
   std::sort(out.begin(), out.end(), [](const VcAudit& x, const VcAudit& y) {
     return x.local_vci < y.local_vci;
   });
@@ -395,8 +416,7 @@ std::vector<AtmNetwork::VcSummary> AtmNetwork::audit_all_vcs() const {
     s.dst_vci = vc.hops.back().vci;
     out.push_back(std::move(s));
   });
-  std::sort(out.begin(), out.end(),
-            [](const VcSummary& a, const VcSummary& b) { return a.id < b.id; });
+  // The trie iterates in ascending id order already; no re-sort needed.
   return out;
 }
 

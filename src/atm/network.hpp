@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -18,16 +19,29 @@
 
 #include "atm/switch.hpp"
 #include "atm/types.hpp"
-#include "util/flat_map.hpp"
+#include "util/vci_index.hpp"
 
 namespace xunet::atm {
+
+/// Residue-class constraint on endpoint VCI allocation: the VCI handed out
+/// satisfies `vci % mod == rem`.  Sighost shards partition the VCI space
+/// this way (shard s owns the class vci ≡ s (mod shard_count)) so the
+/// kernel can demux indications to the owning shard by arithmetic alone.
+/// The default {1, 0} places no constraint.
+struct VciPartition {
+  std::uint16_t mod = 1;
+  std::uint16_t rem = 0;
+};
 
 /// Per-directed-link VCI allocator.  Switched VCIs start at
 /// kFirstSwitchedVci; lower values are reservable for PVCs.
 class VciAllocator {
  public:
-  /// Lowest free switched VCI, or no_resources when exhausted.
-  [[nodiscard]] util::Result<Vci> allocate();
+  /// Lowest free switched VCI in the residue class `vci % mod == rem`, or
+  /// no_resources when that class is exhausted.  The default arguments scan
+  /// the whole switched range.
+  [[nodiscard]] util::Result<Vci> allocate(std::uint16_t mod = 1,
+                                           std::uint16_t rem = 0);
   /// Reserve a specific VCI (PVC setup).  Fails with duplicate when taken.
   [[nodiscard]] util::Result<void> reserve(Vci vci);
   void release(Vci vci) noexcept;
@@ -35,7 +49,9 @@ class VciAllocator {
 
  private:
   std::set<Vci> used_;
-  Vci next_hint_ = kFirstSwitchedVci;
+  /// Next-candidate hint per residue class, keyed (mod << 16) | rem; keeps
+  /// allocation O(log n) even with millions of live VCIs per link.
+  std::map<std::uint32_t, std::uint32_t> hints_;
 };
 
 /// Identifies an established VC within the network controller.
@@ -93,10 +109,13 @@ class AtmNetwork {
   /// passes (request out, confirm back).  `call` optionally tags the trace
   /// span with the end-to-end call key ("origin#req_id");
   /// `trace_id`/`parent_span` link the vc.setup span into the call's causal
-  /// cross-host trace tree (0/0 = untraced).
+  /// cross-host trace tree (0/0 = untraced).  `part` constrains the VCIs on
+  /// the two endpoint-facing links (not interior trunks) to a residue class
+  /// so a sharded sighost's calls land on the owning shard at both ends.
   void setup_vc(const AtmAddress& src, const AtmAddress& dst, const Qos& qos,
                 SetupHandler done, const std::string& call = {},
-                std::uint64_t trace_id = 0, std::uint64_t parent_span = 0);
+                std::uint64_t trace_id = 0, std::uint64_t parent_span = 0,
+                VciPartition part = {});
 
   /// Synchronous variant used for PVC provisioning at simulation start; the
   /// requested VCI is used verbatim on every hop (PVCs use well-known
@@ -215,7 +234,7 @@ class AtmNetwork {
   [[nodiscard]] int edge_between(int a, int b) const;
   [[nodiscard]] util::Result<ActiveVc> install_path(
       const std::vector<int>& path, const Qos& qos,
-      std::optional<Vci> fixed_vci);
+      std::optional<Vci> fixed_vci, VciPartition part = {});
   void uninstall(ActiveVc& vc);
 
   sim::Simulator& sim_;
@@ -226,10 +245,12 @@ class AtmNetwork {
   std::vector<std::vector<int>> out_edges_;  ///< per node, indices into edges_
   std::vector<std::unique_ptr<AtmSwitch>> switches_;
   std::unordered_map<AtmAddress, int> endpoint_nodes_;
-  /// Active VCs, id -> state.  Open-addressing flat table: teardown and the
-  /// per-call signaling path hit this map once per hop, and crash-recovery
-  /// audits iterate it; both want contiguous storage over node chasing.
-  util::FlatMap<VcId, ActiveVc> active_;
+  /// Active VCs, id -> state, behind the compressed-trie index.  Teardown
+  /// and the per-call signaling path hit this table once per hop, and
+  /// crash-recovery audits iterate it; the trie keeps lookups O(key bits)
+  /// at millions of live VCs and iterates in ascending id order, so audit
+  /// surfaces need no re-sort.
+  util::VciIndex<VcId, ActiveVc> active_;
   VcId next_vc_id_ = 1;
   std::uint64_t setups_attempted_ = 0;
   std::uint64_t setups_denied_ = 0;

@@ -87,9 +87,8 @@ std::vector<AtmSwitch::RouteInfo> AtmSwitch::route_table() const {
     info.out_vci = r.out_vci;
     out.push_back(info);
   });
-  // FlatMap bucket order depends on insert/erase history; audits need a
-  // stable order.
-  std::sort(out.begin(), out.end());
+  // The trie iterates route_key ascending, which IS (in_port, in_vci)
+  // order; no re-sort needed.
   return out;
 }
 

@@ -9,8 +9,8 @@
 // as future work (refs [17], [18]); overflowing cells are dropped per
 // class, which is what congests first under best-effort load.
 //
-// Fast path: the VC table is an open-addressing flat map keyed by
-// (input port, VCI), incoming trains are routed cell-by-cell but staged
+// Fast path: the VC table is a compressed-trie index (util::VciIndex) keyed
+// by (input port, VCI), incoming trains are routed cell-by-cell but staged
 // per output port with a single armed fabric event (cells that crossed the
 // fabric by the same instant join the output queue together), and the
 // class queues are allocation-free ring buffers.
@@ -25,9 +25,9 @@
 #include "atm/link.hpp"
 #include "atm/qos.hpp"
 #include "obs/obs.hpp"
-#include "util/flat_map.hpp"
 #include "util/result.hpp"
 #include "util/ring.hpp"
+#include "util/vci_index.hpp"
 
 namespace xunet::atm {
 
@@ -77,9 +77,10 @@ class AtmSwitch {
     Vci out_vci = kInvalidVci;
     [[nodiscard]] auto operator<=>(const RouteInfo&) const = default;
   };
-  /// Every installed route, sorted by (in_port, in_vci).  The chaos
-  /// InvariantChecker diffs this against the network controller's active-VC
-  /// hop state to find dangling or missing routes.
+  /// Every installed route, in ascending (in_port, in_vci) order — the
+  /// trie's native iteration order over route_key, so no re-sort happens.
+  /// The chaos InvariantChecker diffs this against the network controller's
+  /// active-VC hop state to find dangling or missing routes.
   [[nodiscard]] std::vector<RouteInfo> route_table() const;
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -143,7 +144,9 @@ class AtmSwitch {
   obs::Counter* m_cells_ = nullptr;
   obs::Counter* m_unroutable_ = nullptr;
   std::vector<std::unique_ptr<Port>> ports_;
-  util::FlatMap<std::uint64_t, Route> table_;
+  /// VC table behind the compressed-trie index: ordered iteration for the
+  /// audit surface, O(key bits) lookups at millions of routes.
+  util::VciIndex<std::uint64_t, Route> table_;
   std::uint64_t cells_switched_ = 0;
   std::uint64_t cells_unroutable_ = 0;
 };

@@ -13,10 +13,12 @@ namespace xunet::atm {
 using Vci = std::uint16_t;
 
 /// VCIs below this value are reserved for permanent virtual circuits
-/// (e.g. the sighost-to-sighost signaling PVC).
-inline constexpr Vci kFirstSwitchedVci = 32;
-/// Largest allocatable VCI.
-inline constexpr Vci kMaxVci = 4095;
+/// (e.g. the sighost-to-sighost signaling PVC meshes, one pair per sighost
+/// shard).
+inline constexpr Vci kFirstSwitchedVci = 1024;
+/// Largest allocatable VCI (the full 16-bit cell field; control-plane
+/// sharding and the trie index need the headroom for ≥10^6 live VCs).
+inline constexpr Vci kMaxVci = 65535;
 /// Sentinel meaning "no VCI".
 inline constexpr Vci kInvalidVci = 0;
 

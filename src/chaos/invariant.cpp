@@ -44,13 +44,40 @@ Snapshot capture(core::Testbed& tb) {
 
     SighostView sv;
     sv.name = name;
-    sv.alive = r.sighost != nullptr;
+    // Shards crash and restart together (a machine crash, not a process
+    // one), so the router's view is alive only when every shard is.
+    sv.alive = true;
+    for (std::size_t s = 0; s < r.shard_count(); ++s) {
+      if (r.shard(s) == nullptr) sv.alive = false;
+    }
     if (sv.alive) {
-      sig::Sighost::ListSnapshot lists = r.sighost->audit_snapshot();
-      sv.outgoing_calls = std::move(lists.outgoing_calls);
-      sv.incoming_calls = std::move(lists.incoming_calls);
-      sv.wait_for_bind = std::move(lists.wait_for_bind);
-      for (const sig::Sighost::VciAuditEntry& e : lists.vci_mapping) {
+      // Merge the shards into one per-router view: shards partition the
+      // switched VCI space, so concatenating their lists loses nothing,
+      // and sorting restores the deterministic order the checker needs.
+      std::vector<sig::Sighost::VciAuditEntry> mapping;
+      for (std::size_t s = 0; s < r.shard_count(); ++s) {
+        sig::Sighost::ListSnapshot lists = r.shard(s)->audit_snapshot();
+        sv.outgoing_calls.insert(sv.outgoing_calls.end(),
+                                 lists.outgoing_calls.begin(),
+                                 lists.outgoing_calls.end());
+        sv.incoming_calls.insert(sv.incoming_calls.end(),
+                                 lists.incoming_calls.begin(),
+                                 lists.incoming_calls.end());
+        sv.wait_for_bind.insert(sv.wait_for_bind.end(),
+                                lists.wait_for_bind.begin(),
+                                lists.wait_for_bind.end());
+        mapping.insert(mapping.end(), lists.vci_mapping.begin(),
+                       lists.vci_mapping.end());
+      }
+      std::sort(sv.outgoing_calls.begin(), sv.outgoing_calls.end());
+      std::sort(sv.incoming_calls.begin(), sv.incoming_calls.end());
+      std::sort(sv.wait_for_bind.begin(), sv.wait_for_bind.end());
+      std::sort(mapping.begin(), mapping.end(),
+                [](const sig::Sighost::VciAuditEntry& a,
+                   const sig::Sighost::VciAuditEntry& b) {
+                  return a.vci < b.vci;
+                });
+      for (const sig::Sighost::VciAuditEntry& e : mapping) {
         CallRecordView cr;
         cr.sighost = name;
         cr.vci = e.vci;

@@ -41,14 +41,19 @@ RunOutcome run_events(const ChaosCase& c,
   cfg.sighost.wait_for_bind_timeout = sim::seconds(2);
   cfg.sighost.resync_grace = sim::seconds(1);
   cfg.sighost.recovery_skip_audit = c.sabotage_skip_audit;
-  auto tb = cfg.routers(c.routers).hosts(c.hosts).pvc_mesh().build();
+  const int shards = std::max(1, c.shards);
+  auto tb = cfg.routers(c.routers)
+                .hosts(c.hosts)
+                .shards(shards)
+                .pvc_mesh()
+                .build();
 
   core::Router& last = tb->router(tb->router_count() - 1);
   core::CallServer server(*last.kernel, last.kernel->ip_node().address(),
-                          "svc", 6200);
+                          "svc", 6200, shards);
   server.start([](util::Result<void>) {});
   core::CallClient client(*tb->router(0).kernel,
-                          tb->router(0).kernel->ip_node().address());
+                          tb->router(0).kernel->ip_node().address(), shards);
   tb->sim().run_for(sim::milliseconds(300));
 
   const std::string dst = last.kernel->atm_address().name;
@@ -186,14 +191,16 @@ std::string to_artifact(const ChaosCase& c,
   std::snprintf(
       buf, sizeof buf,
       "{\"schema\":\"%.*s\",\"seed\":%" PRIu64
-      ",\"routers\":%d,\"hosts\":%d,\"calls\":%d,\"call_stagger_ns\":%" PRId64
+      ",\"routers\":%d,\"hosts\":%d,\"shards\":%d,\"calls\":%d"
+      ",\"call_stagger_ns\":%" PRId64
       ",\"close_every\":%d,\"frames_per_call\":%d,\"sabotage\":%d"
       ",\"horizon_ns\":%" PRId64 ",\"heal_by_ns\":%" PRId64
       ",\"events\":%zu,\"violations\":%zu}",
       static_cast<int>(kChaosSchema.size()), kChaosSchema.data(), c.seed,
-      c.routers, c.hosts, c.calls, c.call_stagger.ns(), c.close_every,
-      c.frames_per_call, c.sabotage_skip_audit ? 1 : 0, c.profile.horizon.ns(),
-      c.profile.heal_by.ns(), events.size(), outcome.violations.size());
+      c.routers, c.hosts, std::max(1, c.shards), c.calls, c.call_stagger.ns(),
+      c.close_every, c.frames_per_call, c.sabotage_skip_audit ? 1 : 0,
+      c.profile.horizon.ns(), c.profile.heal_by.ns(), events.size(),
+      outcome.violations.size());
   out += buf;
   out += '\n';
   for (const ChaosEvent& e : events) {
@@ -239,6 +246,8 @@ ReplayResult replay_artifact(const std::string& jsonl) {
       std::strtoull(json_field(header, "seed").c_str(), nullptr, 10));
   c.routers = std::atoi(json_field(header, "routers").c_str());
   c.hosts = std::atoi(json_field(header, "hosts").c_str());
+  // Absent in pre-sharding artifacts (atoi("") == 0): clamp to 1.
+  c.shards = std::max(1, std::atoi(json_field(header, "shards").c_str()));
   c.calls = std::atoi(json_field(header, "calls").c_str());
   c.call_stagger =
       sim::nanoseconds(std::atoll(json_field(header, "call_stagger_ns").c_str()));

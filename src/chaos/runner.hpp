@@ -26,6 +26,9 @@ inline constexpr std::string_view kChaosSchema = "xunet.chaos.v1";
 struct ChaosCase {
   int routers = 3;
   int hosts = 0;
+  /// Sighost shards per router (TestbedConfig::sighost_shards); the
+  /// workload apps register with / round-robin over every shard.
+  int shards = 1;
   int calls = 8;
   sim::SimDuration call_stagger = sim::milliseconds(150);
   int close_every = 2;      ///< every k-th delivered call is closed (0 = none)

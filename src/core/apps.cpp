@@ -5,63 +5,85 @@ namespace xunet::core {
 using util::Errc;
 
 CallServer::CallServer(kern::Kernel& k, ip::IpAddress sighost_ip,
-                       std::string service, std::uint16_t notify_port)
+                       std::string service, std::uint16_t notify_port,
+                       int shard_count)
     : k_(k), service_(std::move(service)), port_(notify_port) {
   pid_ = k_.spawn("server:" + service_);
-  lib_ = std::make_unique<app::UserLib>(k_, pid_, sighost_ip);
+  if (shard_count < 1) shard_count = 1;
+  for (int s = 0; s < shard_count; ++s)
+    libs_.push_back(std::make_unique<app::UserLib>(
+        k_, pid_, sighost_ip,
+        static_cast<std::uint16_t>(sig::kSighostPort + s)));
 }
 
 void CallServer::start(app::UserLib::VoidFn on_registered) {
-  // sighost losing our registration (crash/restart) shows up as the
-  // signaling channel dropping; re-export so new calls find us again.
-  lib_->set_channel_down([this] {
-    if (k_.alive(pid_)) re_register(0);
-  });
-  lib_->export_service(service_, port_,
-                       [this, on_registered = std::move(on_registered)](
-                           util::Result<void> r) {
-                         if (r) accept_loop();
-                         on_registered(r);
-                       });
+  for (std::size_t s = 0; s < libs_.size(); ++s) {
+    // sighost losing our registration (crash/restart) shows up as the
+    // signaling channel dropping; re-export so new calls find us again.
+    libs_[s]->set_channel_down([this, s] {
+      if (k_.alive(pid_)) re_register(s, 0);
+    });
+    if (s == 0) {
+      // The caller's completion tracks shard 0 — the shard every
+      // unsharded deployment has.
+      libs_[0]->export_service(
+          service_, port_,
+          [this, on_registered = std::move(on_registered)](
+              util::Result<void> r) {
+            if (r) accept_loop(0);
+            on_registered(r);
+          });
+    } else {
+      libs_[s]->export_service(
+          service_, static_cast<std::uint16_t>(port_ + s),
+          [this, s](util::Result<void> r) {
+            if (r) accept_loop(s);
+          });
+    }
+  }
 }
 
-void CallServer::re_register(int attempt) {
+void CallServer::re_register(std::size_t shard, int attempt) {
   // Linear backoff: the replacement sighost needs a moment to start
   // listening before the reconnect can succeed.
   k_.simulator().schedule(
-      sim::milliseconds(100) * (attempt + 1), [this, attempt] {
+      sim::milliseconds(100) * (attempt + 1), [this, shard, attempt] {
         if (!k_.alive(pid_)) return;
-        lib_->export_service(service_, port_, [this, attempt](
-                                                  util::Result<void> r) {
-          if (!r) {
-            if (attempt < 20) re_register(attempt + 1);
-            return;
-          }
-          ++re_registrations_;
-          accept_loop();
-        });
+        libs_[shard]->export_service(
+            service_, static_cast<std::uint16_t>(port_ + shard),
+            [this, shard, attempt](util::Result<void> r) {
+              if (!r) {
+                if (attempt < 20) re_register(shard, attempt + 1);
+                return;
+              }
+              ++re_registrations_;
+              accept_loop(shard);
+            });
       });
 }
 
-void CallServer::accept_loop() {
-  lib_->await_service_request([this](util::Result<app::IncomingRequest> r) {
+void CallServer::accept_loop(std::size_t shard) {
+  libs_[shard]->await_service_request([this, shard](
+                                          util::Result<app::IncomingRequest>
+                                              r) {
     if (!r) return;  // server torn down
     const app::IncomingRequest req = *r;
     if (!k_.alive(pid_)) return;
     if (!auto_accept_) {
-      lib_->reject_connection(req);
+      libs_[shard]->reject_connection(req);
       ++rejected_;
-      accept_loop();
+      accept_loop(shard);
       return;
     }
     // Negotiate: shrink the client's ask to our ceiling (§3's "negotiated
     // (possibly modified) QoS").
     atm::Qos offered = atm::parse_qos(req.qos).value_or(atm::Qos{});
     atm::Qos granted = atm::negotiate(offered, qos_limit_);
-    lib_->accept_connection(
-        req, atm::to_string(granted), [this](util::Result<app::OpenResult> rr) {
+    libs_[shard]->accept_connection(
+        req, atm::to_string(granted),
+        [this, shard](util::Result<app::OpenResult> rr) {
           if (!rr) return;
-          auto fd = lib_->bind_data_socket(*rr);
+          auto fd = libs_[shard]->bind_data_socket(*rr);
           if (!fd) return;
           ++accepted_;
           socks_.emplace(rr->vci, *fd);
@@ -77,13 +99,19 @@ void CallServer::accept_loop() {
             if (socks_.erase(vci) != 0) (void)k_.close(pid_, fd);
           });
         });
-    accept_loop();
+    accept_loop(shard);
   });
 }
 
-CallClient::CallClient(kern::Kernel& k, ip::IpAddress sighost_ip) : k_(k) {
+CallClient::CallClient(kern::Kernel& k, ip::IpAddress sighost_ip,
+                       int shard_count)
+    : k_(k) {
   pid_ = k_.spawn("client");
-  lib_ = std::make_unique<app::UserLib>(k_, pid_, sighost_ip);
+  if (shard_count < 1) shard_count = 1;
+  for (int s = 0; s < shard_count; ++s)
+    libs_.push_back(std::make_unique<app::UserLib>(
+        k_, pid_, sighost_ip,
+        static_cast<std::uint16_t>(sig::kSighostPort + s)));
 }
 
 void CallClient::open(const std::string& dst, const std::string& service,
@@ -94,15 +122,17 @@ void CallClient::open(const std::string& dst, const std::string& service,
 void CallClient::open(const std::string& dst, const std::string& service,
                       const std::string& qos, const app::OpenOptions& opts,
                       CallFn on_done) {
-  lib_->open_connection(
+  app::UserLib& lib = *libs_[next_shard_++ % libs_.size()];
+  lib.open_connection(
       dst, service, "", qos, opts,
-      [this, on_done = std::move(on_done)](util::Result<app::OpenResult> r) {
+      [this, &lib,
+       on_done = std::move(on_done)](util::Result<app::OpenResult> r) {
         if (!r) {
           ++failed_;
           on_done(r.error());
           return;
         }
-        auto fd = lib_->connect_data_socket(*r);
+        auto fd = lib.connect_data_socket(*r);
         if (!fd) {
           ++failed_;
           on_done(fd.error());

@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "atm/qos.hpp"
 #include "kern/kernel.hpp"
@@ -22,9 +23,12 @@ class CallServer {
  public:
   /// `sighost_ip`: the router where this machine's signaling entity runs
   /// (the machine's own router — its own IP when the server runs on a
-  /// router).
+  /// router).  With `shard_count` > 1 the server registers with every
+  /// sighost shard (shard s listens on sig::kSighostPort + s) and takes
+  /// its incoming-call notifications for shard s on notify_port + s, so
+  /// calls land no matter which shard owns their VCI.
   CallServer(kern::Kernel& k, ip::IpAddress sighost_ip, std::string service,
-             std::uint16_t notify_port);
+             std::uint16_t notify_port, int shard_count = 1);
 
   /// Behaviour knobs (set before start()).
   void set_auto_accept(bool v) noexcept { auto_accept_ = v; }
@@ -38,7 +42,8 @@ class CallServer {
   void kill() { (void)k_.kill_process(pid_); }
 
   [[nodiscard]] kern::Pid pid() const noexcept { return pid_; }
-  [[nodiscard]] app::UserLib& lib() noexcept { return *lib_; }
+  /// The shard-0 library (the only one in unsharded deployments).
+  [[nodiscard]] app::UserLib& lib() noexcept { return *libs_.front(); }
   [[nodiscard]] std::uint64_t calls_accepted() const noexcept { return accepted_; }
   [[nodiscard]] std::uint64_t calls_rejected() const noexcept { return rejected_; }
   [[nodiscard]] std::uint64_t frames_received() const noexcept { return frames_; }
@@ -51,14 +56,14 @@ class CallServer {
   }
 
  private:
-  void accept_loop();
-  void re_register(int attempt);
+  void accept_loop(std::size_t shard);
+  void re_register(std::size_t shard, int attempt);
 
   kern::Kernel& k_;
   std::string service_;
   std::uint16_t port_;
   kern::Pid pid_ = -1;
-  std::unique_ptr<app::UserLib> lib_;
+  std::vector<std::unique_ptr<app::UserLib>> libs_;  ///< one per sighost shard
   bool auto_accept_ = true;
   atm::Qos qos_limit_{atm::ServiceClass::guaranteed, 10'000'000};
   std::map<atm::Vci, int> socks_;  ///< bound data sockets by VCI
@@ -72,7 +77,10 @@ class CallServer {
 /// A client application.
 class CallClient {
  public:
-  CallClient(kern::Kernel& k, ip::IpAddress sighost_ip);
+  /// With `shard_count` > 1 the client keeps a signaling channel to every
+  /// sighost shard and round-robins opens across them, spreading call
+  /// setup over the sharded control plane.
+  CallClient(kern::Kernel& k, ip::IpAddress sighost_ip, int shard_count = 1);
 
   /// One open call.
   struct Call {
@@ -105,14 +113,16 @@ class CallClient {
   void kill() { (void)k_.kill_process(pid_); }
 
   [[nodiscard]] kern::Pid pid() const noexcept { return pid_; }
-  [[nodiscard]] app::UserLib& lib() noexcept { return *lib_; }
+  /// The shard-0 library (the only one in unsharded deployments).
+  [[nodiscard]] app::UserLib& lib() noexcept { return *libs_.front(); }
   [[nodiscard]] std::uint64_t opens_ok() const noexcept { return ok_; }
   [[nodiscard]] std::uint64_t opens_failed() const noexcept { return failed_; }
 
  private:
   kern::Kernel& k_;
   kern::Pid pid_ = -1;
-  std::unique_ptr<app::UserLib> lib_;
+  std::vector<std::unique_ptr<app::UserLib>> libs_;  ///< one per sighost shard
+  std::size_t next_shard_ = 0;  ///< round-robin cursor over libs_
   std::uint64_t ok_ = 0;
   std::uint64_t failed_ = 0;
 };

@@ -55,7 +55,16 @@ Router& Testbed::add_router(const std::string& atm_name, ip::IpAddress ip,
   r->sw = &sw;
   r->anand_server = std::make_unique<sig::AnandServerStub>(
       *r->kernel, cfg_.sighost.anand_server_port);
-  r->sighost = std::make_unique<sig::Sighost>(*r->kernel, *net_, cfg_.sighost);
+  sig::SighostConfig scfg = cfg_.sighost;
+  if (cfg_.sighost_shards > 1) {
+    scfg.shard_count = static_cast<std::uint16_t>(cfg_.sighost_shards);
+  }
+  r->sighost = std::make_unique<sig::Sighost>(*r->kernel, *net_, scfg);
+  for (int s = 1; s < cfg_.sighost_shards; ++s) {
+    scfg.shard_id = static_cast<std::uint16_t>(s);
+    r->extra_shards.push_back(
+        std::make_unique<sig::Sighost>(*r->kernel, *net_, scfg));
+  }
   routers_.push_back(std::move(r));
   return *routers_.back();
 }
@@ -84,28 +93,38 @@ util::Result<void> Testbed::bring_up() {
   up_ = true;
   for (auto& r : routers_) {
     if (auto rc = r->anand_server->start(); !rc) return rc;
-    if (auto rc = r->sighost->start(); !rc) return rc;
+    for (std::size_t s = 0; s < r->shard_count(); ++s) {
+      if (auto rc = r->shard(s)->start(); !rc) return rc;
+    }
   }
-  // PVC full mesh: one simplex PVC per ordered router pair, with a
-  // well-known (sub-32) VCI reserved end to end.
+  // PVC mesh: one simplex PVC per ordered router pair AND sighost shard,
+  // with a well-known sub-floor VCI reserved end to end.  Shard s of one
+  // router talks only to shard s of its peers (they own the same residue
+  // class).  adjacent_pvc_mesh restricts the mesh to chain neighbours so
+  // long sharded chains fit the PVC VCI space.
+  const std::size_t shards =
+      routers_.empty() ? 1 : routers_.front()->shard_count();
   for (std::size_t i = 0; i < routers_.size(); ++i) {
     for (std::size_t j = i + 1; j < routers_.size(); ++j) {
-      atm::Vci ij = next_pvc_vci_++;
-      atm::Vci ji = next_pvc_vci_++;
-      assert(ji < atm::kFirstSwitchedVci && "too many routers for PVC VCIs");
-      const atm::AtmAddress& a = routers_[i]->kernel->atm_address();
-      const atm::AtmAddress& b = routers_[j]->kernel->atm_address();
-      atm::Qos pvc_qos;  // best effort: signaling traffic is tiny
-      auto p1 = net_->setup_pvc(a, b, ij, pvc_qos);
-      if (!p1) return p1.error();
-      auto p2 = net_->setup_pvc(b, a, ji, pvc_qos);
-      if (!p2) return p2.error();
-      pvc_count_ += 2;
-      if (auto rc = routers_[i]->sighost->add_peer(b, ij, ji); !rc) return rc;
-      if (auto rc = routers_[j]->sighost->add_peer(a, ji, ij); !rc) return rc;
-      peer_pvcs_.resize(routers_.size());
-      peer_pvcs_[i].push_back({j, ij, ji});
-      peer_pvcs_[j].push_back({i, ji, ij});
+      if (cfg_.adjacent_pvc_mesh && j != i + 1) continue;
+      for (std::size_t s = 0; s < shards; ++s) {
+        atm::Vci ij = next_pvc_vci_++;
+        atm::Vci ji = next_pvc_vci_++;
+        assert(ji < atm::kFirstSwitchedVci && "too many routers for PVC VCIs");
+        const atm::AtmAddress& a = routers_[i]->kernel->atm_address();
+        const atm::AtmAddress& b = routers_[j]->kernel->atm_address();
+        atm::Qos pvc_qos;  // best effort: signaling traffic is tiny
+        auto p1 = net_->setup_pvc(a, b, ij, pvc_qos);
+        if (!p1) return p1.error();
+        auto p2 = net_->setup_pvc(b, a, ji, pvc_qos);
+        if (!p2) return p2.error();
+        pvc_count_ += 2;
+        if (auto rc = routers_[i]->shard(s)->add_peer(b, ij, ji); !rc) return rc;
+        if (auto rc = routers_[j]->shard(s)->add_peer(a, ji, ij); !rc) return rc;
+        peer_pvcs_.resize(routers_.size());
+        peer_pvcs_[i].push_back({j, s, ij, ji});
+        peer_pvcs_[j].push_back({i, s, ji, ij});
+      }
     }
   }
   if (cfg_.ip_over_atm) {
@@ -151,35 +170,63 @@ util::Result<void> Testbed::bring_up() {
 void Testbed::set_wire_fault(sig::Sighost::WireFaultFn fn) {
   wire_fault_ = std::move(fn);
   for (auto& r : routers_) {
-    if (r->sighost) r->sighost->set_wire_fault(wire_fault_);
+    for (std::size_t s = 0; s < r->shard_count(); ++s) {
+      if (sig::Sighost* sh = r->shard(s)) sh->set_wire_fault(wire_fault_);
+    }
   }
 }
 
 void Testbed::crash_sighost(std::size_t i) {
   Router& r = *routers_.at(i);
   if (!r.sighost) return;
-  // Kill the process first (the kernel reclaims its sockets exactly as it
-  // would for any crashed program), then drop the object (cancelling its
-  // timers — a dead process fires no more events).
+  // Kill the process(es) first (the kernel reclaims their sockets exactly
+  // as it would for any crashed program), then drop the objects (cancelling
+  // their timers — a dead process fires no more events).  All shards of the
+  // router die together: this models the machine rebooting.
   (void)r.kernel->kill_process(r.sighost->pid());
   r.sighost.reset();
+  for (auto& sh : r.extra_shards) {
+    if (!sh) continue;
+    (void)r.kernel->kill_process(sh->pid());
+    sh.reset();
+  }
 }
 
 util::Result<void> Testbed::restart_sighost(std::size_t i) {
   Router& r = *routers_.at(i);
   if (r.sighost) return Errc::duplicate;
-  r.sighost = std::make_unique<sig::Sighost>(*r.kernel, *net_, cfg_.sighost);
-  if (wire_fault_) r.sighost->set_wire_fault(wire_fault_);
-  if (auto rc = r.sighost->start(); !rc) return rc;
-  if (peer_pvcs_.size() > i) {
-    for (const PeerPvc& p : peer_pvcs_[i]) {
-      const atm::AtmAddress& peer = routers_.at(p.other)->kernel->atm_address();
-      if (auto rc = r.sighost->add_peer(peer, p.send_vci, p.recv_vci); !rc) {
-        return rc;
+  const std::size_t shards = r.shard_count();
+  for (std::size_t s = 0; s < shards; ++s) {
+    sig::SighostConfig scfg = cfg_.sighost;
+    if (shards > 1) {
+      scfg.shard_count = static_cast<std::uint16_t>(shards);
+      scfg.shard_id = static_cast<std::uint16_t>(s);
+    }
+    auto sh = std::make_unique<sig::Sighost>(*r.kernel, *net_, scfg);
+    if (wire_fault_) sh->set_wire_fault(wire_fault_);
+    if (auto rc = sh->start(); !rc) return rc;
+    if (peer_pvcs_.size() > i) {
+      for (const PeerPvc& p : peer_pvcs_[i]) {
+        if (p.shard != s) continue;
+        const atm::AtmAddress& peer =
+            routers_.at(p.other)->kernel->atm_address();
+        if (auto rc = sh->add_peer(peer, p.send_vci, p.recv_vci); !rc) {
+          return rc;
+        }
       }
     }
+    if (s == 0) {
+      r.sighost = std::move(sh);
+    } else {
+      r.extra_shards.at(s - 1) = std::move(sh);
+    }
   }
-  return r.sighost->recover();
+  // Recover each shard only after every shard is listening again, so the
+  // per-shard audits see the same post-crash kernel state.
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (auto rc = r.shard(s)->recover(); !rc) return rc;
+  }
+  return {};
 }
 
 namespace {
@@ -240,23 +287,19 @@ std::unique_ptr<Testbed> TestbedConfig::build() const {
   return tb;
 }
 
-std::unique_ptr<Testbed> Testbed::canonical(TestbedConfig cfg) {
-  return cfg.routers(2).hosts(0).build_deferred();
-}
-
-std::unique_ptr<Testbed> Testbed::canonical_with_hosts(TestbedConfig cfg) {
-  return cfg.routers(2).hosts(2).build_deferred();
-}
-
 LeakReport Testbed::audit() const {
   LeakReport rep;
   rep.network_vcs = net_->active_vc_count() - pvc_count_;
   for (const auto& r : routers_) {
-    rep.sighost_outgoing += r->sighost->outgoing_requests_size();
-    rep.sighost_incoming += r->sighost->incoming_requests_size();
-    rep.sighost_wait_bind += r->sighost->wait_for_bind_size();
-    rep.sighost_vci_mappings += r->sighost->vci_mapping_size();
-    rep.cookie_vcis += r->sighost->cookies().vci_count();
+    for (std::size_t s = 0; s < r->shard_count(); ++s) {
+      const sig::Sighost* sh = r->shard(s);
+      if (sh == nullptr) continue;  // crashed shard: nothing to count
+      rep.sighost_outgoing += sh->outgoing_requests_size();
+      rep.sighost_incoming += sh->incoming_requests_size();
+      rep.sighost_wait_bind += sh->wait_for_bind_size();
+      rep.sighost_vci_mappings += sh->vci_mapping_size();
+      rep.cookie_vcis += sh->cookies().vci_count();
+    }
   }
   return rep;
 }

@@ -52,6 +52,16 @@ struct TestbedConfig {
   /// (distributed round-robin across routers).
   int n_routers = 2;
   int n_hosts = 0;
+  /// Sighost shards per router: shard s owns the switched VCIs with
+  /// vci % sighost_shards == s, listens on sighost.port + s, and gets its
+  /// own signaling-PVC mesh to shard s of every peer.  1 = the paper's
+  /// one-sighost-per-router deployment.
+  int sighost_shards = 1;
+  /// Provision signaling PVCs only between chain-adjacent routers instead
+  /// of the full mesh.  Long chains at high shard counts would otherwise
+  /// exhaust the sub-floor PVC VCI space; calls must then stay between
+  /// adjacent routers.
+  bool adjacent_pvc_mesh = false;
   /// Use the pre-fast-path binary-heap event engine (determinism studies).
   bool use_legacy_engine = false;
   /// Arrival-coalescing quantum for every ATM link; zero = exact instants.
@@ -73,6 +83,10 @@ struct TestbedConfig {
   /// Bring the deployment up inside build(), provisioning the signaling
   /// PVC full mesh between routers.
   TestbedConfig& pvc_mesh() { auto_bring_up = true; return *this; }
+  /// Run `n` sighost shards per router.
+  TestbedConfig& shards(int n) { sighost_shards = n; return *this; }
+  /// Signaling PVCs between chain-adjacent routers only.
+  TestbedConfig& adjacent_pvc_only() { adjacent_pvc_mesh = true; return *this; }
   TestbedConfig& legacy_event_engine() { use_legacy_engine = true; return *this; }
   TestbedConfig& cell_coalescing(sim::SimDuration q) { cell_quantum = q; return *this; }
   TestbedConfig& fault_plan(std::function<void(Testbed&)> fn) {
@@ -89,12 +103,22 @@ struct TestbedConfig {
   [[nodiscard]] std::unique_ptr<Testbed> build_deferred() const;
 };
 
-/// One router: kernel + Hobbit + sighost + anand server.
+/// One router: kernel + Hobbit + sighost shard(s) + anand server.
 struct Router {
   std::unique_ptr<kern::Kernel> kernel;
   std::unique_ptr<sig::AnandServerStub> anand_server;
-  std::unique_ptr<sig::Sighost> sighost;
+  std::unique_ptr<sig::Sighost> sighost;  ///< shard 0 (the only one at 1)
+  /// Shards 1..N-1 when the testbed was configured with shards(N).
+  std::vector<std::unique_ptr<sig::Sighost>> extra_shards;
   atm::AtmSwitch* sw = nullptr;  ///< the switch this router attaches to
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return 1 + extra_shards.size();
+  }
+  /// Shard s, nullptr while crashed.
+  [[nodiscard]] sig::Sighost* shard(std::size_t s) noexcept {
+    return s == 0 ? sighost.get() : extra_shards.at(s - 1).get();
+  }
 };
 
 /// One IP-connected host: kernel + anand client, homed on a router.
@@ -160,24 +184,17 @@ class Testbed {
   /// so a restarted sighost gets it too).  Pass nullptr to clear.
   void set_wire_fault(sig::Sighost::WireFaultFn fn);
 
-  /// Kill router i's sighost process abruptly: its TCP listen socket,
-  /// application channels and signaling-PVC sockets all close; established
-  /// data VCs (owned by application processes) keep flowing.
+  /// Kill router i's sighost process(es) abruptly: their TCP listen
+  /// sockets, application channels and signaling-PVC sockets all close;
+  /// established data VCs (owned by application processes) keep flowing.
+  /// With shards, every shard of the router dies together (a machine
+  /// crash, not a single-process one).
   void crash_sighost(std::size_t i);
 
-  /// Construct a replacement sighost on router i, re-provision its
-  /// signaling PVC channels, and run crash recovery (kernel/network audit
-  /// plus peer resync).  Requires crash_sighost(i) first.
+  /// Construct replacement sighost shard(s) on router i, re-provision
+  /// their signaling PVC channels, and run crash recovery (kernel/network
+  /// audit plus peer resync) per shard.  Requires crash_sighost(i) first.
   util::Result<void> restart_sighost(std::size_t i);
-
-  /// §9's measurement topology: router "mh.rt" — switch s1 — switch s2 —
-  /// router "berkeley.rt" (three hops), no hosts.
-  /// Deprecated: thin shim over `cfg.routers(2).build_deferred()`.
-  static std::unique_ptr<Testbed> canonical(TestbedConfig cfg = TestbedConfig{});
-  /// The canonical topology plus one IP host behind each router.
-  /// Deprecated: thin shim over `cfg.routers(2).hosts(2).build_deferred()`.
-  static std::unique_ptr<Testbed> canonical_with_hosts(
-      TestbedConfig cfg = TestbedConfig{});
 
   // -- audits ------------------------------------------------------------------
   [[nodiscard]] LeakReport audit() const;
@@ -187,6 +204,7 @@ class Testbed {
   /// can re-attach to the same well-known VCIs.
   struct PeerPvc {
     std::size_t other = 0;  ///< peer router index
+    std::size_t shard = 0;  ///< owning sighost shard (both ends)
     atm::Vci send_vci = atm::kInvalidVci;
     atm::Vci recv_vci = atm::kInvalidVci;
   };

@@ -145,11 +145,12 @@ util::Result<void> Kernel::terminate(Pid pid) {
 }
 
 util::Result<int> Kernel::alloc_fd(Proc& p, Descriptor d) {
-  for (std::size_t i = 0; i < p.fds.size(); ++i) {
-    if (!p.fds[i].has_value()) {
-      p.fds[i] = d;
-      return static_cast<int>(i);
-    }
+  if (!p.free_slots.empty()) {
+    auto it = p.free_slots.begin();
+    const std::size_t i = *it;  // lowest free index — POSIX semantics
+    p.free_slots.erase(it);
+    p.fds[i] = d;
+    return static_cast<int>(i);
   }
   if (p.fds.size() >= cfg_.fd_table_size) return Errc::too_many_files;
   p.fds.push_back(d);
@@ -157,8 +158,10 @@ util::Result<int> Kernel::alloc_fd(Proc& p, Descriptor d) {
 }
 
 void Kernel::free_fd(Proc& p, int fd) {
-  if (fd >= 0 && static_cast<std::size_t>(fd) < p.fds.size()) {
+  if (fd >= 0 && static_cast<std::size_t>(fd) < p.fds.size() &&
+      p.fds[static_cast<std::size_t>(fd)].has_value()) {
     p.fds[static_cast<std::size_t>(fd)].reset();
+    p.free_slots.insert(static_cast<std::size_t>(fd));
   }
 }
 

@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <deque>
@@ -182,6 +183,10 @@ class Kernel {
     std::string name;
     bool alive = false;
     std::vector<std::optional<Descriptor>> fds;
+    /// Indices of free slots in `fds`, so alloc_fd can hand out the
+    /// POSIX-lowest free descriptor without scanning the table (which is
+    /// quadratic across a call burst at 10^5+ live fds per process).
+    std::set<std::size_t> free_slots;
   };
   struct XunetSock {
     Pid owner = -1;

@@ -1,5 +1,9 @@
 #include "signaling/anand_stubs.hpp"
 
+#include <algorithm>
+
+#include "atm/types.hpp"
+
 namespace xunet::sig {
 
 using util::Errc;
@@ -35,7 +39,11 @@ util::Result<void> AnandServerStub::start() {
     });
     (void)k_.tcp_on_close(pid_, fd, [this, fd](util::Errc) {
       if (auto cit = conns_.find(fd); cit != conns_.end()) {
-        if (cit->second.is_sighost) sighost_fd_ = -1;
+        if (cit->second.is_sighost) {
+          for (int& sfd : sighost_fds_) {
+            if (sfd == fd) sfd = -1;
+          }
+        }
         conns_.erase(cit);
       }
       (void)k_.close(pid_, fd);
@@ -56,7 +64,10 @@ void AnandServerStub::drain_device() {
 
 void AnandServerStub::relay_up(const kern::AnandUpMsg& msg,
                                ip::IpAddress origin) {
-  if (sighost_fd_ < 0) return;  // sighost not attached yet: indication lost
+  if (std::all_of(sighost_fds_.begin(), sighost_fds_.end(),
+                  [](int fd) { return fd < 0; })) {
+    return;  // no sighost attached yet: indication lost
+  }
   obs::Observability& o = k_.simulator().obs();
   if (XOBS_TRACING(&o)) {
     obs::TraceIds ids;
@@ -70,15 +81,38 @@ void AnandServerStub::relay_up(const kern::AnandUpMsg& msg,
   m.vci = msg.vci;
   m.cookie = msg.cookie;
   m.machine = origin;
-  send_to(sighost_fd_, m);
+  // Sharded demux: a switched VCI belongs to exactly one shard by residue
+  // arithmetic, so only the owner sees its indications (if that shard is
+  // down the indication is lost, same as the unsharded attach race).
+  // Sub-floor VCIs (PVCs, provisioned channels) fan out to every shard:
+  // each sighost filters its own signaling sockets via pvc_vcis_.
+  if (shard_count_ > 1 && msg.vci >= atm::kFirstSwitchedVci) {
+    const int fd = sighost_fds_[msg.vci % shard_count_];
+    if (fd >= 0) send_to(fd, m);
+    return;
+  }
+  for (int fd : sighost_fds_) {
+    if (fd >= 0) send_to(fd, m);
+  }
 }
 
 void AnandServerStub::handle_conn_msg(Conn& c, const StubMsg& m) {
   switch (m.type) {
-    case StubMsg::Type::hello_sighost:
+    case StubMsg::Type::hello_sighost: {
       c.is_sighost = true;
-      sighost_fd_ = c.fd;
+      // The hello carries the shard map: vci = shard_id, cookie =
+      // shard_count.  A legacy hello (both zero) is shard 0 of 1.
+      const std::uint16_t count = std::max<std::uint16_t>(m.cookie, 1);
+      const std::uint16_t shard =
+          static_cast<std::uint16_t>(m.vci % count);
+      c.shard_id = shard;
+      if (count != shard_count_) {
+        shard_count_ = count;
+        sighost_fds_.assign(count, -1);
+      }
+      sighost_fds_[shard] = c.fd;
       break;
+    }
     case StubMsg::Type::hello_client:
       c.client_ip = k_.tcp_peer(pid_, c.fd);
       break;

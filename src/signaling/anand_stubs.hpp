@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "kern/kernel.hpp"
 #include "signaling/stub_proto.hpp"
@@ -40,6 +41,7 @@ class AnandServerStub {
   struct Conn {
     int fd = -1;
     bool is_sighost = false;
+    std::uint16_t shard_id = 0;  ///< for sighost conns (hello carries it)
     ip::IpAddress client_ip;  ///< for anand clients
     std::unique_ptr<StubFramer> framer;
   };
@@ -57,7 +59,11 @@ class AnandServerStub {
   int anand_fd_ = -1;
   int ctl_fd_ = -1;  ///< raw IPPROTO_ATM socket for VCI_BIND/VCI_SHUT
   std::map<int, Conn> conns_;
-  int sighost_fd_ = -1;
+  /// Attached sighost shards, slot s = the shard owning vci % shard_count_
+  /// == s (-1 when that shard has not said hello / has disconnected).
+  /// Single-shard topologies degenerate to one slot, the classic wiring.
+  std::vector<int> sighost_fds_ = {-1};
+  std::uint16_t shard_count_ = 1;
   std::map<std::uint16_t, ip::IpAddress> vci_host_;  ///< VCI → remote host
 };
 

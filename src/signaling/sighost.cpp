@@ -10,7 +10,12 @@ Sighost::Sighost(kern::Kernel& router, atm::AtmNetwork& net,
                  SighostConfig cfg)
     : k_(router), net_(net), cfg_(cfg), cookies_(cfg.cookie_seed),
       rng_(cfg.retransmit_seed),
-      obs_(&router.simulator().obs()), track_(router.atm_address().name) {
+      obs_(&router.simulator().obs()),
+      // Shard 0 keeps the router's bare name so single-shard topologies
+      // (the default) produce byte-identical metric names and traces.
+      track_(router.atm_address().name +
+             (cfg.shard_id > 0 ? ".s" + std::to_string(cfg.shard_id)
+                               : std::string{})) {
   obs::MetricsRegistry& mx = obs_->metrics();
   m_maint_records_ = &mx.counter("sighost." + track_ + ".maint.records");
   m_maint_records_all_ = &mx.counter("sighost.maint.records");
@@ -48,7 +53,10 @@ util::Result<void> Sighost::start() {
   next_req_ = 1 + (static_cast<ReqId>(inc) << kReqIdIncarnationShift);
   next_resync_nonce_ = 1 + (inc << kReqIdIncarnationShift);
 
-  auto lfd = k_.tcp_listen(pid_, cfg_.port,
+  // Shard s of a router listens on port + s; the user library picks the
+  // owning shard for a call by the same residue arithmetic the kernel uses.
+  auto lfd = k_.tcp_listen(pid_,
+                           static_cast<std::uint16_t>(cfg_.port + cfg_.shard_id),
                            [this](int fd) { on_app_accept(fd); });
   if (!lfd) return lfd.error();
   listen_fd_ = *lfd;
@@ -65,6 +73,10 @@ util::Result<void> Sighost::start() {
         });
         StubMsg hello;
         hello.type = StubMsg::Type::hello_sighost;
+        // Sharding handshake: the anand server demuxes switched-VCI
+        // indications to the shard owning vci % shard_count.
+        hello.vci = cfg_.shard_id;
+        hello.cookie = cfg_.shard_count;
         (void)k_.tcp_send(pid_, anand_fd_, serialize(hello));
       });
   if (!afd) return afd.error();
@@ -523,7 +535,17 @@ void Sighost::handle_connect_req(int fd, const Msg& m) {
   // the end-to-end call key ("origin#req_id") for its own trace spans.
   reply.dst = k_.atm_address().name;
   if (m.req_id != 0 && ac != app_conns_.end()) {
-    ac->second.nonce_replies.emplace(m.req_id, reply);
+    AppConn& conn = ac->second;
+    if (conn.nonce_replies.size() >= kNonceReplyCap) {
+      // Evict the oldest nonce: a stub only ever retries its most recent
+      // requests, so FIFO eviction keeps the idempotency window intact
+      // without hoarding one reply per call forever.
+      conn.nonce_replies.erase(conn.nonce_order.front());
+      conn.nonce_order.pop_front();
+    }
+    if (conn.nonce_replies.emplace(m.req_id, reply).second) {
+      conn.nonce_order.push_back(m.req_id);
+    }
   }
   send_app(fd, reply);
   record_lists();
@@ -847,6 +869,7 @@ void Sighost::establish_vc(ReqId req_id, const std::string& qos_granted,
         // never outrun the receiver's bind.
         e.pending_client_fd = out.client_fd;
         vci_map_.emplace(vci, e);
+        call_by_key_[e.call_key] = vci;
         load_wait_for_bind(vci, out.client_cookie);
         ++stats_.calls_established;
         m_established_->inc();
@@ -863,7 +886,10 @@ void Sighost::establish_vc(ReqId req_id, const std::string& qos_granted,
         est.qos = qos_granted;
         send_peer(dst, est);
       },
-      call_key(k_.atm_address().name, req_id), trace_id, parent_span);
+      call_key(k_.atm_address().name, req_id), trace_id, parent_span,
+      // Constrain both endpoint VCIs to this shard's residue class so the
+      // callee-side indications and recovery land on the callee's shard s.
+      atm::VciPartition{cfg_.shard_count, cfg_.shard_id});
 }
 
 void Sighost::handle_peer_reject(const std::string& origin, const Msg& m) {
@@ -900,6 +926,7 @@ void Sighost::handle_peer_established(const std::string& origin, const Msg& m) {
   e.remote_vci = m.vci2;
   e.notify_origin_on_confirm = true;
   vci_map_.emplace(vci, e);
+  call_by_key_[key] = vci;
   load_wait_for_bind(vci, inc.server_cookie);
   ++stats_.calls_established;
   m_established_->inc();
@@ -920,24 +947,27 @@ void Sighost::handle_peer_established(const std::string& origin, const Msg& m) {
 void Sighost::handle_peer_bound(const std::string& origin, const Msg& m) {
   (void)origin;
   // We originated this call; the callee's server is now bound: release the
-  // client's VCI_FOR_CONN.
+  // client's VCI_FOR_CONN.  The reverse index replaces what used to be a
+  // full VCI_mapping walk per PEER_BOUND — O(n) per call, quadratic over a
+  // call burst.
   std::string key = call_key(k_.atm_address().name, m.req_id);
-  for (auto& [vci, e] : vci_map_) {
-    if (e.call_key != key || e.pending_client_fd < 0) continue;
-    Msg vmsg;
-    vmsg.type = MsgType::vci_for_conn;
-    vmsg.req_id = e.req_id;
-    vmsg.vci = vci;
-    vmsg.cookie = e.cookie;
-    vmsg.qos = e.qos;
-    send_app(e.pending_client_fd, vmsg);
-    e.pending_client_fd = -1;
-    fsm("fsm.peer_bound", key, vci);
-    // The callee is bound and the client has its VCI: setup is complete
-    // from the originating sighost's point of view.
-    end_setup_trace(e.req_id);
-    return;
-  }
+  auto bit = call_by_key_.find(key);
+  if (bit == call_by_key_.end()) return;
+  const atm::Vci vci = bit->second;
+  VciEntry* e = vci_map_.find(vci);
+  if (e == nullptr || e->pending_client_fd < 0) return;
+  Msg vmsg;
+  vmsg.type = MsgType::vci_for_conn;
+  vmsg.req_id = e->req_id;
+  vmsg.vci = vci;
+  vmsg.cookie = e->cookie;
+  vmsg.qos = e->qos;
+  send_app(e->pending_client_fd, vmsg);
+  e->pending_client_fd = -1;
+  fsm("fsm.peer_bound", key, vci);
+  // The callee is bound and the client has its VCI: setup is complete
+  // from the originating sighost's point of view.
+  end_setup_trace(e->req_id);
 }
 
 void Sighost::handle_peer_setup_failed(const std::string& origin, const Msg& m) {
@@ -1004,6 +1034,10 @@ void Sighost::handle_peer_cancel(const std::string& origin, const Msg& m) {
 
 void Sighost::handle_indication(const StubMsg& m) {
   if (pvc_vcis_.contains(m.vci)) return;  // our own signaling sockets
+  // Defense in depth: the anand server already demuxes switched-VCI
+  // indications by residue class, but a non-owned one (e.g. replayed from
+  // an artifact recorded under a different shard map) must still bounce.
+  if (m.vci >= atm::kFirstSwitchedVci && !owns_vci(m.vci)) return;
   switch (m.up_type) {
     case kern::AnandUpType::bind_indication:
     case kern::AnandUpType::connect_indication:
@@ -1019,8 +1053,8 @@ void Sighost::handle_indication(const StubMsg& m) {
 
 void Sighost::confirm_endpoint(atm::Vci vci, Cookie cookie,
                                ip::IpAddress origin) {
-  auto vit = vci_map_.find(vci);
-  if (vit == vci_map_.end()) return;  // stale indication
+  VciEntry* e = vci_map_.find(vci);
+  if (e == nullptr) return;  // stale indication
   if (!cookies_.authenticate(vci, cookie)) {
     // §7.1: authentication failure tears the call down and the socket is
     // marked unusable (the teardown's downward disconnect does that).
@@ -1028,15 +1062,15 @@ void Sighost::confirm_endpoint(atm::Vci vci, Cookie cookie,
     teardown_vci(vci, /*notify_peer=*/true);
     return;
   }
-  vit->second.confirmed = true;
-  vit->second.endpoint_ip = origin;
+  e->confirmed = true;
+  e->endpoint_ip = origin;
   wait_bind_.erase(vci);  // Timer destructor cancels the pending expiry.
-  if (vit->second.notify_origin_on_confirm) {
-    vit->second.notify_origin_on_confirm = false;
+  if (e->notify_origin_on_confirm) {
+    e->notify_origin_on_confirm = false;
     Msg bound;
     bound.type = MsgType::peer_bound;
-    bound.req_id = vit->second.req_id;
-    send_peer(vit->second.peer, bound);
+    bound.req_id = e->req_id;
+    send_peer(e->peer, bound);
   }
 }
 
@@ -1084,12 +1118,12 @@ std::string Sighost::management_report() const {
   out += "  incoming_requests: " + std::to_string(incoming_.size()) + "\n";
   out += "  wait_for_bind: " + std::to_string(wait_bind_.size()) + "\n";
   out += "  VCI_mapping (" + std::to_string(vci_map_.size()) + "):\n";
-  for (const auto& [vci, e] : vci_map_) {
+  vci_map_.for_each([&out](const atm::Vci& vci, const VciEntry& e) {
     out += "    vci=" + std::to_string(vci) + " call=" + e.call_key +
            (e.originator ? " (originator)" : " (callee)") +
            (e.confirmed ? " confirmed" : " unconfirmed") + " qos=<" + e.qos +
            ">\n";
-  }
+  });
   const SighostStats& st = stats_;
   out += "  stats: established=" + std::to_string(st.calls_established) +
          " torn_down=" + std::to_string(st.calls_torn_down) +
@@ -1114,7 +1148,7 @@ Sighost::ListSnapshot Sighost::audit_snapshot() const {
   }
   for (const auto& [key, inc] : incoming_) snap.incoming_calls.push_back(key);
   for (const auto& [vci, wb] : wait_bind_) snap.wait_for_bind.push_back(vci);
-  for (const auto& [vci, e] : vci_map_) {
+  vci_map_.for_each([&snap](const atm::Vci& vci, const VciEntry& e) {
     VciAuditEntry a;
     a.vci = vci;
     a.call_key = e.call_key;
@@ -1126,23 +1160,28 @@ Sighost::ListSnapshot Sighost::audit_snapshot() const {
     a.endpoint_ip = e.endpoint_ip;
     a.remote_vci = e.remote_vci;
     snap.vci_mapping.push_back(std::move(a));
-  }
-  // Every source map is ordered, so the vectors are already sorted.
+  });
+  // Every source is ordered (the trie iterates VCIs ascending), so the
+  // vectors are already sorted.
   return snap;
 }
 
 atm::Vci Sighost::vci_for_call(const std::string& key) const {
-  for (const auto& [vci, e] : vci_map_) {
-    if (e.call_key == key) return vci;
-  }
-  return atm::kInvalidVci;
+  auto it = call_by_key_.find(key);
+  return it == call_by_key_.end() ? atm::kInvalidVci : it->second;
 }
 
 void Sighost::teardown_vci(atm::Vci vci, bool notify_peer) {
-  auto vit = vci_map_.find(vci);
-  if (vit == vci_map_.end()) return;
-  VciEntry e = vit->second;
-  vci_map_.erase(vit);
+  VciEntry* vp = vci_map_.find(vci);
+  if (vp == nullptr) return;
+  VciEntry e = *vp;
+  vci_map_.erase(vci);
+  if (!e.call_key.empty()) {
+    auto cit = call_by_key_.find(e.call_key);
+    if (cit != call_by_key_.end() && cit->second == vci) {
+      call_by_key_.erase(cit);
+    }
+  }
   wait_bind_.erase(vci);
   cookies_.release_vci(vci);
   ++stats_.calls_torn_down;
@@ -1200,13 +1239,20 @@ util::Result<void> Sighost::recover() {
     record_lists();
     return {};
   }
+  // A sharded sighost audits back only the VCIs in its own residue class;
+  // sibling shards reconcile theirs.  (Sub-floor sockets stay in the map so
+  // the leftover scan below can still skip them explicitly.)
   std::map<atm::Vci, kern::Kernel::XunetVciInfo> socks;
-  for (const auto& s : k_.audit_xunet_vcis()) socks.emplace(s.vci, s);
+  for (const auto& s : k_.audit_xunet_vcis()) {
+    if (s.vci >= atm::kFirstSwitchedVci && !owns_vci(s.vci)) continue;
+    socks.emplace(s.vci, s);
+  }
   std::size_t rebuilt = 0;
   for (const auto& vc : net_.audit_vcs(k_.atm_address())) {
     // Provisioned channels (signaling PVCs, IP-over-ATM) all live below the
     // switched-VCI floor and are not calls — never audit them back.
     if (vc.local_vci < atm::kFirstSwitchedVci) continue;
+    if (!owns_vci(vc.local_vci)) continue;  // a sibling shard's call
     auto sit = socks.find(vc.local_vci);
     if (sit == socks.end()) {
       // The VC survived our crash but its endpoint socket did not.  Only
@@ -1296,11 +1342,12 @@ void Sighost::handle_peer_resync(const std::string& origin, const Msg& m) {
   reset_channel(p);
   transmit_peer(p, ack);
   // Report every established call we share with the restarted host so it
-  // can restore call_key/req_id on the VCI entries it audited back.
-  for (const auto& [vci, e] : vci_map_) {
+  // can restore call_key/req_id on the VCI entries it audited back.  The
+  // trie iterates ascending, preserving the replay-pinned INFO order.
+  vci_map_.for_each([&](const atm::Vci& vci, const VciEntry& e) {
     if (e.peer != origin || !e.confirmed || e.call_key.empty() ||
         e.remote_vci == atm::kInvalidVci) {
-      continue;
+      return;
     }
     Msg info;
     info.type = MsgType::peer_resync_info;
@@ -1312,7 +1359,7 @@ void Sighost::handle_peer_resync(const std::string& origin, const Msg& m) {
     info.vci2 = vci;          // ours
     info.qos = e.qos;
     send_peer(origin, info);
-  }
+  });
   maintenance_log("RESYNC from " + origin, "", [] {});
 }
 
@@ -1327,8 +1374,8 @@ void Sighost::handle_peer_resync_ack(const std::string& origin, const Msg& m) {
 }
 
 void Sighost::handle_peer_resync_info(const std::string& origin, const Msg& m) {
-  auto vit = vci_map_.find(m.vci);
-  if (vit == vci_map_.end()) {
+  VciEntry* ep = vci_map_.find(m.vci);
+  if (ep == nullptr) {
     // We audited no such call: the endpoint socket died with us.  Tell the
     // peer so it can release its half (and the VC, if it originated).
     Msg down;
@@ -1337,11 +1384,12 @@ void Sighost::handle_peer_resync_info(const std::string& origin, const Msg& m) {
     send_peer(origin, down);
     return;
   }
-  VciEntry& e = vit->second;
+  VciEntry& e = *ep;
   if (!e.recovered || !e.call_key.empty()) return;  // already claimed
   e.call_key = call_key(m.dst, m.req_id);
   e.req_id = m.req_id;
   e.qos = m.qos;
+  call_by_key_[e.call_key] = m.vci;
   if (e.remote_vci == atm::kInvalidVci) e.remote_vci = m.vci2;
   ++stats_.recovered_calls;
   m_recovered_->inc();
@@ -1355,9 +1403,9 @@ void Sighost::expire_unclaimed_recoveries() {
   // the peer lost the call too, or it was never fully established.  Either
   // way nobody will route data over them again.
   std::vector<atm::Vci> stale;
-  for (const auto& [vci, e] : vci_map_) {
+  vci_map_.for_each([&stale](const atm::Vci& vci, const VciEntry& e) {
     if (e.recovered && e.call_key.empty()) stale.push_back(vci);
-  }
+  });
   for (atm::Vci vci : stale) {
     ++stats_.orphans_torn_down;
     // No call_key means no req_id the peer could match — don't notify.

@@ -9,6 +9,7 @@
 // wait_for_bind and VCI_mapping.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -23,6 +24,7 @@
 #include "signaling/stub_proto.hpp"
 #include "sim/timer.hpp"
 #include "util/rng.hpp"
+#include "util/vci_index.hpp"
 
 namespace xunet::sig {
 
@@ -93,6 +95,15 @@ struct SighostConfig {
   /// network VC orphaned.  The chaos acceptance test plants this fault and
   /// asserts the InvariantChecker finds it; never set it in real scenarios.
   bool recovery_skip_audit = false;
+  /// Control-plane sharding: run `shard_count` sighosts per router, each
+  /// owning the residue class `vci % shard_count == shard_id` of the
+  /// switched VCI space.  Shard s listens on `port + s`, provisions its own
+  /// per-shard PVC mesh to the matching shard of every peer router, asks
+  /// the network for VCIs in its own class (so both endpoints of a call
+  /// land on shard s), and recovers/audits only the VCIs it owns.  The
+  /// defaults keep the paper's one-sighost-per-router topology unchanged.
+  std::uint16_t shard_count = 1;
+  std::uint16_t shard_id = 0;
 };
 
 /// What a wire-fault hook may do to one peer signaling message about to be
@@ -156,14 +167,19 @@ class Sighost {
   /// VCI_mapping keys in iteration order.  The resync path
   /// (handle_peer_resync emitting PEER_RESYNC_INFO per shared call) and the
   /// management report both walk vci_map_ in this order, so deterministic
-  /// replay requires it to be ascending — vci_map_ must stay an ordered map,
-  /// and the recovery tests pin that contract.
+  /// replay requires it to be ascending — the VciIndex trie's in-order
+  /// traversal guarantees that, and the recovery tests pin the contract.
+  /// This reads straight through the index (the single source of truth for
+  /// VCI_mapping; there is no parallel vector to drift after recovery).
   [[nodiscard]] std::vector<atm::Vci> vci_mapping_vcis() const {
-    std::vector<atm::Vci> out;
-    out.reserve(vci_map_.size());
-    for (const auto& [vci, e] : vci_map_) out.push_back(vci);
-    return out;
+    return vci_map_.keys();
   }
+  /// Sharding: does this sighost own `vci`'s residue class?
+  [[nodiscard]] bool owns_vci(atm::Vci vci) const noexcept {
+    return cfg_.shard_count <= 1 ||
+           vci % cfg_.shard_count == cfg_.shard_id;
+  }
+  [[nodiscard]] const SighostConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] bool has_service(const std::string& name) const {
     return services_.contains(name);
   }
@@ -218,8 +234,12 @@ class Sighost {
     std::set<ReqId> reqs;  ///< outstanding requests initiated on this conn
     /// Idempotency: client-stamped CONNECT_REQ nonce → the REQ_ID reply
     /// already issued for it, so a retried request never mints a second id.
+    /// Bounded FIFO (kNonceReplyCap): at 10^6 calls per connection an
+    /// unbounded map would hoard a reply per call forever.
     std::map<std::uint32_t, Msg> nonce_replies;
+    std::deque<std::uint32_t> nonce_order;  ///< insertion order for eviction
   };
+  static constexpr std::size_t kNonceReplyCap = 128;
   struct Outgoing {  // outgoing_requests: client request awaiting peer reply
     ReqId id = 0;
     int client_fd = -1;
@@ -391,12 +411,19 @@ class Sighost {
   std::uint32_t next_resync_nonce_ = 1;
   std::unique_ptr<sim::Timer> recovery_grace_;  ///< armed once by recover()
 
-  // The five lists.
+  // The five lists.  VCI_mapping sits behind the compressed-trie index:
+  // O(key bits) lookups at millions of live calls, in-order traversal for
+  // the audit/resync surfaces.
   std::map<std::string, Service> services_;          // service_list
   std::map<ReqId, Outgoing> outgoing_;               // outgoing_requests
   std::map<std::string, Incoming> incoming_;         // incoming_requests
   std::map<atm::Vci, WaitBind> wait_bind_;           // wait_for_bind
-  std::map<atm::Vci, VciEntry> vci_map_;             // VCI_mapping
+  util::VciIndex<atm::Vci, VciEntry> vci_map_;       // VCI_mapping
+  /// Reverse index call_key → VCI, maintained strictly alongside vci_map_
+  /// (entries with a non-empty call_key only).  vci_for_call and
+  /// handle_peer_bound used to walk all of VCI_mapping per lookup — O(n)
+  /// per call, quadratic across a call burst.
+  std::map<std::string, atm::Vci> call_by_key_;
 
   std::map<int, AppConn> app_conns_;
   std::map<std::string, Peer> peers_;

@@ -48,8 +48,10 @@ class StubFramer {
   util::Buffer pending_;
 };
 
-/// Well-known ports of the signaling plane.
+/// Well-known ports of the signaling plane.  Sighost shard s listens on
+/// kSighostPort + s, so the anand server sits below the base port rather
+/// than on the old 178 (which shard 1 would collide with).
 inline constexpr std::uint16_t kSighostPort = 177;
-inline constexpr std::uint16_t kAnandServerPort = 178;
+inline constexpr std::uint16_t kAnandServerPort = 170;
 
 }  // namespace xunet::sig

@@ -328,6 +328,16 @@ void UserLib::open_connection(const std::string& dst,
                               const std::string& comment,
                               const std::string& qos, OpenFn on_done,
                               CookieFn on_req_id) {
+  // Legacy single-attempt signature: delegate to the OpenOptions path.
+  // Default options carry a zero deadline, which retry_open turns into
+  // exactly one attempt.
+  open_connection(dst, service, comment, qos, OpenOptions{},
+                  std::move(on_done), std::move(on_req_id));
+}
+
+void UserLib::open_once(const std::string& dst, const std::string& service,
+                        const std::string& comment, const std::string& qos,
+                        OpenFn on_done, CookieFn on_req_id) {
   // The client-observed end-to-end open: open_connection called → VCI (or
   // failure) delivered.  The call key is unknown until REQ_ID arrives; the
   // span is annotated with it then.  The stub is the root of the causal
@@ -408,7 +418,7 @@ void UserLib::retry_open(const std::string& dst, const std::string& service,
       (*on_req_id)(std::move(c));
     };
   }
-  open_connection(
+  open_once(
       dst, service, comment, qos,
       [this, dst, service, comment, qos, opts, give_up, backoff,
        on_done = std::move(on_done),

@@ -101,13 +101,16 @@ class UserLib {
 
   // -- client side (Figure 6) ------------------------------------------------
 
-  /// Connect to <dst, service, QoS>.  `on_req_id` (optional) fires early
-  /// with the request's cookie so the caller can cancel_request() it.
+  /// Connect to <dst, service, QoS>.  Single-attempt convenience shim:
+  /// delegates to the OpenOptions overload below with default options
+  /// (deadline zero ⇒ exactly one attempt, no retries).  `on_req_id`
+  /// (optional) fires early with the request's cookie so the caller can
+  /// cancel_request() it.
   void open_connection(const std::string& dst, const std::string& service,
                        const std::string& comment, const std::string& qos,
                        OpenFn on_done, CookieFn on_req_id = {});
 
-  /// Deadline-budgeted variant: retries transient failures (see
+  /// THE open entry point.  Retries transient failures (see
   /// transient_error) under exponential backoff until success, a permanent
   /// error, or `opts.deadline` elapsing — whichever comes first.  `on_done`
   /// fires exactly once.  `on_req_id` fires once per attempt; the latest
@@ -117,10 +120,20 @@ class UserLib {
                        const OpenOptions& opts, OpenFn on_done,
                        CookieFn on_req_id = {});
 
-  /// True when `e` is a setup failure worth retrying once faults heal:
-  /// channel resets (sighost crash), shed/timed-out requests, and transient
-  /// admission or routing refusals.  Definitive answers — not_found service,
-  /// rejected by the callee — are final.
+  /// Transient-error classification for the retry loop.  Transient (worth
+  /// retrying once faults heal):
+  ///   - connection_reset   — the signaling channel died mid-request
+  ///                          (sighost crash); heals on restart + resync
+  ///   - connection_refused — sighost not yet listening after a restart
+  ///   - not_connected      — no signaling channel at attempt time
+  ///   - timed_out          — sighost's request watchdog fired (partition,
+  ///                          dead peer); may succeed when the path heals
+  ///   - no_buffer_space    — request shed by bounded-queue overload
+  ///                          control; succeeds once load drains
+  ///   - no_route           — trunk cut; heals when the fault does
+  /// Everything else is definitive and is never retried — notably
+  /// not_found (no such service), rejected (callee declined),
+  /// no_resources (admission control refused the QoS), cancelled.
   [[nodiscard]] static bool transient_error(util::Errc e) noexcept;
 
   /// Withdraw an outstanding open_connection by its cookie.  `done`
@@ -164,6 +177,11 @@ class UserLib {
   };
 
   void ensure_channel(std::function<void(util::Result<void>)> then);
+  /// One CONNECT_REQ attempt over the signaling channel — the code path
+  /// every public open_connection overload funnels into via retry_open.
+  void open_once(const std::string& dst, const std::string& service,
+                 const std::string& comment, const std::string& qos,
+                 OpenFn on_done, CookieFn on_req_id);
   void retry_open(const std::string& dst, const std::string& service,
                   const std::string& comment, const std::string& qos,
                   OpenOptions opts, sim::SimTime give_up,

@@ -98,7 +98,9 @@ TEST(VciAllocator, ReleaseEnablesReuse) {
 
 TEST(VciAllocator, ExhaustionReported) {
   VciAllocator a;
-  for (Vci v = kFirstSwitchedVci; v <= kMaxVci; ++v) {
+  // 32-bit counter: kMaxVci is the top of the 16-bit space, so a Vci loop
+  // variable would wrap instead of terminating.
+  for (std::uint32_t v = kFirstSwitchedVci; v <= kMaxVci; ++v) {
     ASSERT_TRUE(a.allocate().ok());
   }
   EXPECT_EQ(a.allocate().error(), util::Errc::no_resources);

@@ -16,6 +16,7 @@ namespace {
 using core::CallClient;
 using core::CallServer;
 using core::Testbed;
+using core::TestbedConfig;
 
 // ---------------------------------------------------------- TCP half-close
 
@@ -150,7 +151,7 @@ TEST(Aal5Edge, RunawayFrameWithoutEomIsBounded) {
 // ------------------------------------------- signaling idempotence / replay
 
 TEST(SignalingEdge, DuplicateTerminationIndicationsAreIdempotent) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r1 = tb->router(1);
   CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "dup", 5800);
@@ -175,7 +176,7 @@ TEST(SignalingEdge, DuplicateTerminationIndicationsAreIdempotent) {
 }
 
 TEST(SignalingEdge, CancelOfUnknownCookieIsIgnored) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r0 = *tb->router(0).kernel;
   kern::Pid pid = r0.spawn("cancel-noise");
@@ -192,7 +193,7 @@ TEST(SignalingEdge, CancelOfUnknownCookieIsIgnored) {
 
 TEST(SignalingEdge, RejectAfterCancelDoesNotCorruptState) {
   // Client cancels while the server is deciding; the server then rejects.
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r1 = *tb->router(1).kernel;
   kern::Pid spid = r1.spawn("slow-decider");
@@ -236,7 +237,7 @@ TEST(SignalingEdge, RejectAfterCancelDoesNotCorruptState) {
 TEST(SignalingEdge, ServerChannelCloseDoesNotDropItsService) {
   // The paper keeps registrations independent of the registration conn's
   // lifetime; killing the server later is what makes calls fail.
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r1 = tb->router(1);
   CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "sticky", 5803);
@@ -294,7 +295,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, QosPropertySweep, ::testing::Range(0, 4));
 // -------------------------------------------------------- duplex teardown
 
 TEST(DuplexEdge, ClientDeathReclaimsBothDirections) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r0 = *tb->router(0).kernel;
   auto& r1 = *tb->router(1).kernel;

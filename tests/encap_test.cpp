@@ -12,6 +12,7 @@ namespace {
 using core::CallClient;
 using core::CallServer;
 using core::Testbed;
+using core::TestbedConfig;
 using kern::InstrComponent;
 using kern::InstrDir;
 
@@ -24,7 +25,7 @@ struct EncapFixture : ::testing::Test {
   std::optional<CallClient::Call> call;
 
   void SetUp() override {
-    tb = Testbed::canonical_with_hosts();
+    tb = TestbedConfig{}.hosts(2).build_deferred();
     ASSERT_TRUE(tb->bring_up().ok());
     auto& h1 = tb->host(1);
     server = std::make_unique<CallServer>(
@@ -140,7 +141,7 @@ TEST_F(EncapFixture, VciShutStopsForwardingToTheHost) {
 TEST(Encap, RouterPerVciIpDestinationTableRoutesTwoHosts) {
   // Two hosts behind the same remote router, each with its own call: the
   // per-VCI IP destination table must keep them separate.
-  auto tb = Testbed::canonical_with_hosts();
+  auto tb = TestbedConfig{}.hosts(2).build_deferred();
   // Second host behind router 1.
   auto& h2 = tb->add_host("berkeley.host2", ip::make_ip(10, 0, 1, 3),
                           tb->router(1));
@@ -176,7 +177,7 @@ TEST(Encap, RouterPerVciIpDestinationTableRoutesTwoHosts) {
 
 TEST(Encap, ReconfiguringTheTargetRouterTakesEffect) {
   // "This allows a host to reconfigure its target router easily."
-  auto tb = Testbed::canonical_with_hosts();
+  auto tb = TestbedConfig{}.hosts(2).build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& h0 = tb->host(0);
   auto pid = h0.kernel->spawn("reconfig");

@@ -15,6 +15,7 @@ namespace {
 using core::CallClient;
 using core::CallServer;
 using core::Testbed;
+using core::TestbedConfig;
 
 // ------------------------------------------------ encapsulation checksum
 
@@ -27,7 +28,7 @@ struct ChecksumRig {
   explicit ChecksumRig(bool checksum) {
     core::TestbedConfig cfg;
     cfg.kernel.encap_checksum = checksum;
-    tb = Testbed::canonical_with_hosts(cfg);
+    tb = cfg.hosts(2).build_deferred();
     EXPECT_TRUE(tb->bring_up().ok());
     auto& h1 = tb->host(1);
     server = std::make_unique<CallServer>(
@@ -94,7 +95,7 @@ TEST(Reordering, SequenceNumbersDetectReorderedEncapsulation) {
   // §5.4: "All the encapsulation header needs to do is to detect out of
   // order frames, which we do using a sequence number field."  A reordering
   // access link exercises exactly that.
-  auto tb = Testbed::canonical_with_hosts();
+  auto tb = TestbedConfig{}.hosts(2).build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& h1 = tb->host(1);
   CallServer server(*h1.kernel, h1.home->kernel->ip_node().address(), "reord",
@@ -162,7 +163,7 @@ TEST(Reordering, TcpDeliversInOrderDespiteReordering) {
 // ------------------------------------------------------------ duplex calls
 
 TEST(Duplex, ChannelCarriesDataBothWays) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r0 = *tb->router(0).kernel;
   auto& r1 = *tb->router(1).kernel;
@@ -213,7 +214,7 @@ TEST(Duplex, ChannelCarriesDataBothWays) {
 }
 
 TEST(Duplex, EachDirectionNegotiatesIndependently) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r0 = *tb->router(0).kernel;
   auto& r1 = *tb->router(1).kernel;
@@ -243,7 +244,7 @@ TEST(Duplex, EachDirectionNegotiatesIndependently) {
 }
 
 TEST(Duplex, NonDuplexCallToDuplexServerIsRejected) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r1 = *tb->router(1).kernel;
   core::DuplexServer server(r1, r1.ip_node().address(), "strict", 4614);
@@ -263,7 +264,7 @@ TEST(Duplex, NonDuplexCallToDuplexServerIsRejected) {
 // ----------------------------------------------------- management report
 
 TEST(Management, ReportShowsServicesAndLiveCalls) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r1 = tb->router(1);
   CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "mgmt-svc",
@@ -292,7 +293,7 @@ TEST(Management, ReportShowsServicesAndLiveCalls) {
 // ------------------------------------------- origin address in INCOMING_CONN
 
 TEST(Origin, IncomingRequestCarriesOriginSighost) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r1 = *tb->router(1).kernel;
   kern::Pid spid = r1.spawn("origin-check");

@@ -17,6 +17,7 @@ namespace {
 using core::CallClient;
 using core::CallServer;
 using core::Testbed;
+using core::TestbedConfig;
 
 util::Buffer random_bytes(util::Rng& rng, std::size_t max_len) {
   util::Buffer b(rng.below(max_len + 1));
@@ -177,7 +178,7 @@ struct MaliciousRig {
   kern::Kernel* k0 = nullptr;
 
   MaliciousRig() {
-    tb = Testbed::canonical();
+    tb = TestbedConfig{}.build_deferred();
     EXPECT_TRUE(tb->bring_up().ok());
     auto& r1 = tb->router(1);
     server = std::make_unique<CallServer>(

@@ -12,6 +12,7 @@ namespace {
 
 using core::CallClient;
 using core::Testbed;
+using core::TestbedConfig;
 
 TEST(WireLimits, LargeCommentSurvivesFramingUpToTheU16Cap) {
   sig::Msg m;
@@ -32,7 +33,7 @@ TEST(WireLimits, LargeCommentSurvivesFramingUpToTheU16Cap) {
 }
 
 TEST(WireLimits, QosStringRoundTripsThroughTheWholeSignalingPath) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r1 = tb->router(1);
   core::CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "q",
@@ -105,7 +106,7 @@ TEST(TcpWindow, TransfersLargerThanTheWindowStillComplete) {
 TEST(SelfCall, CallToOwnRouterFailsCleanly) {
   // Calls must cross routers (documented limitation, matching the paper's
   // testbed): a client asking its own sighost's address gets a clean error.
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   CallClient client(*tb->router(0).kernel,
                     tb->router(0).kernel->ip_node().address());
@@ -119,7 +120,7 @@ TEST(SelfCall, CallToOwnRouterFailsCleanly) {
 }
 
 TEST(ApiMisuse, DoubleRejectAndRejectAfterAcceptAreHarmless) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r1 = *tb->router(1).kernel;
   kern::Pid spid = r1.spawn("fumbler");

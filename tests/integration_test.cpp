@@ -12,9 +12,10 @@ namespace {
 using core::CallClient;
 using core::CallServer;
 using core::Testbed;
+using core::TestbedConfig;
 
 TEST(Integration, BringUpCanonicalTestbed) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   // Sighosts know each other.
   EXPECT_EQ(tb->router_count(), 2u);
@@ -24,7 +25,7 @@ TEST(Integration, BringUpCanonicalTestbed) {
 }
 
 TEST(Integration, RouterToRouterCall) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r0 = tb->router(0);
   auto& r1 = tb->router(1);
@@ -76,7 +77,7 @@ TEST(Integration, RouterToRouterCall) {
 }
 
 TEST(Integration, HostToHostCallOverIpEncapsulation) {
-  auto tb = Testbed::canonical_with_hosts();
+  auto tb = TestbedConfig{}.hosts(2).build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& h0 = tb->host(0);  // client host behind mh.rt
   auto& h1 = tb->host(1);  // server host behind berkeley.rt
@@ -125,7 +126,7 @@ TEST(Integration, HostToHostCallOverIpEncapsulation) {
 }
 
 TEST(Integration, ServerModifiesQosDownward) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r1 = tb->router(1);
 
@@ -152,7 +153,7 @@ TEST(Integration, ServerModifiesQosDownward) {
 }
 
 TEST(Integration, UnknownServiceIsRejected) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   CallClient client(*tb->router(0).kernel,
                     tb->router(0).kernel->ip_node().address());
@@ -169,7 +170,7 @@ TEST(Integration, UnknownServiceIsRejected) {
 }
 
 TEST(Integration, UnknownDestinationFails) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   CallClient client(*tb->router(0).kernel,
                     tb->router(0).kernel->ip_node().address());
@@ -182,7 +183,7 @@ TEST(Integration, UnknownDestinationFails) {
 }
 
 TEST(Integration, AdmissionControlDeniesOversubscription) {
-  auto tb = Testbed::canonical();  // DS3: 45 Mb/s per link
+  auto tb = TestbedConfig{}.build_deferred();  // DS3: 45 Mb/s per link
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r1 = tb->router(1);
   CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "bulk", 4003);

@@ -20,7 +20,7 @@ core::TestbedConfig ipatm_config() {
 }
 
 TEST(IpOverAtm, RouterToRouterUdpCrossesTheAtmWan) {
-  auto tb = Testbed::canonical(ipatm_config());
+  auto tb = ipatm_config().build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r0 = *tb->router(0).kernel;
   auto& r1 = *tb->router(1).kernel;
@@ -45,7 +45,7 @@ TEST(IpOverAtm, RouterToRouterUdpCrossesTheAtmWan) {
 TEST(IpOverAtm, HostToHostAcrossRoutersViaIp) {
   // mh.host1 -> FDDI -> mh.rt -> [IP over ATM PVC] -> berkeley.rt -> FDDI ->
   // berkeley.host1, all plain UDP.
-  auto tb = Testbed::canonical_with_hosts(ipatm_config());
+  auto tb = ipatm_config().hosts(2).build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& h0 = *tb->host(0).kernel;
   auto& h1 = *tb->host(1).kernel;
@@ -68,7 +68,7 @@ TEST(IpOverAtm, HostToHostAcrossRoutersViaIp) {
 }
 
 TEST(IpOverAtm, LargeDatagramsUseThe9180ByteMtu) {
-  auto tb = Testbed::canonical(ipatm_config());
+  auto tb = ipatm_config().build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r0 = *tb->router(0).kernel;
   auto& r1 = *tb->router(1).kernel;
@@ -97,7 +97,7 @@ TEST(IpOverAtm, LargeDatagramsUseThe9180ByteMtu) {
 }
 
 TEST(IpOverAtm, TcpConnectionAcrossTheWan) {
-  auto tb = Testbed::canonical_with_hosts(ipatm_config());
+  auto tb = ipatm_config().hosts(2).build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& h0 = *tb->host(0).kernel;
   auto& h1 = *tb->host(1).kernel;
@@ -127,7 +127,7 @@ TEST(IpOverAtm, TcpConnectionAcrossTheWan) {
 
 TEST(IpOverAtm, CoexistsWithNativeModeCalls) {
   // The point of the paper: native-mode and IP service share the network.
-  auto tb = Testbed::canonical_with_hosts(ipatm_config());
+  auto tb = ipatm_config().hosts(2).build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& h1 = tb->host(1);
 
@@ -167,7 +167,7 @@ TEST(IpOverAtm, CoexistsWithNativeModeCalls) {
 }
 
 TEST(IpOverAtm, InterfaceCountersTrack) {
-  auto tb = Testbed::canonical(ipatm_config());
+  auto tb = ipatm_config().build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r0 = *tb->router(0).kernel;
   auto& r1 = *tb->router(1).kernel;

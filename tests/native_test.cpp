@@ -13,6 +13,7 @@ namespace xunet {
 namespace {
 
 using core::Testbed;
+using core::TestbedConfig;
 
 /// Testbed + duplex channel + a NativeStream on each end.
 struct StreamRig {
@@ -24,7 +25,7 @@ struct StreamRig {
 
   explicit StreamRig(native::StreamConfig scfg = {},
                      const std::string& qos = "class=guaranteed,bw=10000000") {
-    tb = Testbed::canonical();
+    tb = TestbedConfig{}.build_deferred();
     EXPECT_TRUE(tb->bring_up().ok());
     auto& r0 = *tb->router(0).kernel;
     auto& r1 = *tb->router(1).kernel;

@@ -24,6 +24,7 @@ namespace {
 using core::CallClient;
 using core::CallServer;
 using core::Testbed;
+using core::TestbedConfig;
 
 // ---------------------------------------------------------------- TraceBuffer
 
@@ -661,7 +662,7 @@ struct TracedRun {
 
 TracedRun traced_canonical_run() {
   TracedRun out;
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   tb->sim().obs().set_tracing(true);
   EXPECT_TRUE(tb->bring_up().ok());
 
@@ -721,7 +722,7 @@ TEST(TracedRun, BreakdownAttributesSetupTimeWithLoggingDominant) {
 }
 
 TEST(TracedRun, SighostGaugesAndHistogramArePopulated) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   tb->sim().obs().set_tracing(true);
   ASSERT_TRUE(tb->bring_up().ok());
   kern::Kernel& r1 = *tb->router(1).kernel;
@@ -770,7 +771,7 @@ TEST(TracedRun, IdenticallySeededRunsProduceByteIdenticalExports) {
 //   stub call.open -> sighost call.setup (caller) ->
 //   sighost call.serve (callee) -> atm vc.setup (the VC-install hop).
 std::string causal_waterfall(bool assert_edges) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   tb->sim().obs().set_tracing(true);
   EXPECT_TRUE(tb->bring_up().ok());
 

@@ -12,6 +12,7 @@ namespace {
 using core::CallClient;
 using core::CallServer;
 using core::Testbed;
+using core::TestbedConfig;
 
 /// Stages of the call-setup process at which a process can be killed.
 enum class KillStage : int {
@@ -30,7 +31,7 @@ struct Harness {
   std::unique_ptr<CallClient> client;
 
   Harness() {
-    tb = Testbed::canonical();
+    tb = TestbedConfig{}.build_deferred();
     EXPECT_TRUE(tb->bring_up().ok());
     auto& r1 = tb->router(1);
     server = std::make_unique<CallServer>(
@@ -127,7 +128,7 @@ TEST(Robustness, HundredCallWorkloadHeldOneSecond) {
   cfg.kernel.fd_table_size = 100;
   cfg.kernel.anand_buffers = 80;
   cfg.kernel.tcp_msl = sim::seconds(5);  // compressed timescale (see DESIGN.md)
-  auto tb = Testbed::canonical(cfg);
+  auto tb = cfg.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r1 = tb->router(1);
 
@@ -166,7 +167,7 @@ TEST(Robustness, ThousandsOfSequentialCallsDoNotDegrade) {
   cfg.kernel.fd_table_size = 100;
   cfg.kernel.tcp_msl = sim::seconds(1);  // compressed timescale (see DESIGN.md)
   cfg.sighost.per_call_log_cost = sim::milliseconds(1);  // speed the sweep
-  auto tb = Testbed::canonical(cfg);
+  auto tb = cfg.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r1 = tb->router(1);
   CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "churn", 4301);
@@ -195,7 +196,7 @@ TEST(Robustness, ThousandsOfSequentialCallsDoNotDegrade) {
 TEST(Robustness, ClientCrashWithManyOpenCallsReclaimsAll) {
   core::TestbedConfig cfg;
   cfg.kernel.fd_table_size = 100;
-  auto tb = Testbed::canonical(cfg);
+  auto tb = cfg.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r1 = tb->router(1);
   CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "bulk", 4302);
@@ -225,7 +226,7 @@ TEST(Robustness, ClientCrashWithManyOpenCallsReclaimsAll) {
 }
 
 TEST(Robustness, ServerCrashDisconnectsClientSockets) {
-  auto tb = Testbed::canonical();
+  auto tb = TestbedConfig{}.build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& r1 = tb->router(1);
   auto server = std::make_unique<CallServer>(

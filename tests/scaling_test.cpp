@@ -12,8 +12,12 @@
 // records the mapping.
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "core/apps.hpp"
 #include "core/testbed.hpp"
+#include "util/rng.hpp"
+#include "util/vci_index.hpp"
 
 namespace xunet {
 namespace {
@@ -230,6 +234,118 @@ TEST(Scaling, TwoHundredConnectionsStayOpenBetweenTwoRouters) {
   EXPECT_EQ(tb->network().active_vc_count(), 2u + 200u);
   EXPECT_EQ(sa.calls_accepted(), 100u);
   EXPECT_EQ(sb.calls_accepted(), 100u);
+}
+
+// ---- the routing index behind every VCI surface ---------------------------
+
+TEST(Scaling, VciIndexMatchesMapUnderRandomizedChurn) {
+  // Differential test: VciIndex must agree with std::map after any
+  // interleaving of insert/overwrite/erase/find, including its ordered
+  // iteration — the property the deterministic audits depend on.
+  util::Rng rng(0xC0FFEE);
+  util::VciIndex<atm::Vci, int> idx;
+  std::map<atm::Vci, int> ref;
+  for (int step = 0; step < 20000; ++step) {
+    const auto vci = static_cast<atm::Vci>(rng.below(4096));
+    const int val = static_cast<int>(rng.below(1 << 20));
+    switch (rng.below(4)) {
+      case 0:  // emplace: first write wins
+        ASSERT_EQ(idx.emplace(vci, val), ref.emplace(vci, val).second);
+        break;
+      case 1: {  // insert: insert-or-assign
+        const bool fresh = ref.find(vci) == ref.end();
+        ASSERT_EQ(idx.insert(vci, val), fresh);
+        ref[vci] = val;
+        break;
+      }
+      case 2:  // erase
+        ASSERT_EQ(idx.erase(vci), ref.erase(vci) > 0);
+        break;
+      default: {  // find
+        const int* p = idx.find(vci);
+        auto it = ref.find(vci);
+        ASSERT_EQ(p != nullptr, it != ref.end());
+        if (p != nullptr) {
+          ASSERT_EQ(*p, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(idx.size(), ref.size());
+  }
+  // Ordered-iteration parity: keys() ascending, for_each in key order.
+  std::vector<atm::Vci> expect;
+  expect.reserve(ref.size());
+  for (const auto& kv : ref) expect.push_back(kv.first);
+  EXPECT_EQ(idx.keys(), expect);
+  std::vector<std::pair<atm::Vci, int>> walked;
+  idx.for_each([&walked](const atm::Vci& k, const int& v) {
+    walked.emplace_back(k, v);
+  });
+  ASSERT_EQ(walked.size(), ref.size());
+  std::size_t i = 0;
+  for (const auto& [k, v] : ref) {
+    EXPECT_EQ(walked[i].first, k);
+    EXPECT_EQ(walked[i].second, v);
+    ++i;
+  }
+}
+
+TEST(Scaling, ShardOwnershipIsStableAcrossRestart) {
+  // Two shards per router: every switched VCI must live on the shard that
+  // owns its residue class, and a machine-wide crash/restart (both shards)
+  // must recover the same partition — no call migrates shards.
+  core::TestbedConfig cfg;
+  cfg.kernel.fd_table_size = 512;
+  cfg.kernel.tcp_msl = sim::seconds(1);
+  cfg.sighost.per_call_log_cost = sim::milliseconds(1);
+  auto tb = cfg.routers(2).shards(2).pvc_mesh().build();
+  auto& r0 = tb->router(0);
+  auto& r1 = tb->router(1);
+
+  CallServer server(*r1.kernel, r1.kernel->ip_node().address(), "shard", 4420,
+                    2);
+  server.start([](util::Result<void>) {});
+  tb->sim().run_for(sim::milliseconds(300));
+  CallClient client(*r0.kernel, r0.kernel->ip_node().address(), 2);
+
+  int established = 0;
+  for (int i = 0; i < 24; ++i) {
+    client.open("berkeley.rt", "shard", "",
+                [&](util::Result<CallClient::Call> r) {
+                  ASSERT_TRUE(r.ok()) << to_string(r.error());
+                  ++established;
+                });
+  }
+  tb->sim().run_for(sim::seconds(15));
+  ASSERT_EQ(established, 24);
+
+  auto partition_holds = [&](core::Router& r) {
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < r.shard_count(); ++s) {
+      ASSERT_NE(r.shard(s), nullptr);
+      for (atm::Vci v : r.shard(s)->vci_mapping_vcis()) {
+        EXPECT_EQ(v % r.shard_count(), s) << "vci " << v << " on shard " << s;
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, 24u);
+  };
+  partition_holds(r0);
+  partition_holds(r1);
+  const std::vector<atm::Vci> before0 = r0.shard(0)->vci_mapping_vcis();
+  const std::vector<atm::Vci> before1 = r0.shard(1)->vci_mapping_vcis();
+
+  // Machine crash: both shards die and restart together; recovery audits
+  // reconcile per shard, filtered by ownership.
+  tb->crash_sighost(0);
+  tb->sim().run_for(sim::milliseconds(200));
+  ASSERT_TRUE(tb->restart_sighost(0).ok());
+  tb->sim().run_for(sim::seconds(10));
+
+  partition_holds(r0);
+  EXPECT_EQ(r0.shard(0)->vci_mapping_vcis(), before0);
+  EXPECT_EQ(r0.shard(1)->vci_mapping_vcis(), before1);
 }
 
 TEST(Scaling, AnandMessagesAreSmall) {

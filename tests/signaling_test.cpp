@@ -167,7 +167,7 @@ TEST(Cookies, ReleaseVciEndsTheLifetime) {
 struct SighostFixture : ::testing::Test {
   std::unique_ptr<core::Testbed> tb;
   void SetUp() override {
-    tb = core::Testbed::canonical();
+    tb = core::TestbedConfig{}.build_deferred();
     ASSERT_TRUE(tb->bring_up().ok());
   }
   sig::Sighost& sh(std::size_t i) { return *tb->router(i).sighost; }

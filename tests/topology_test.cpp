@@ -149,7 +149,7 @@ TEST(Topology, TransitBandwidthIsSharedAcrossRouterPairs) {
 TEST(Topology, ManyHostsBehindOneRouter) {
   core::TestbedConfig cfg;
   cfg.kernel.fd_table_size = 200;
-  auto tb = Testbed::canonical(cfg);
+  auto tb = cfg.build_deferred();
   // Six IP hosts behind berkeley.rt, one server on each.
   std::vector<core::Host*> hosts;
   for (int i = 0; i < 6; ++i) {

@@ -11,11 +11,12 @@ namespace {
 using core::CallClient;
 using core::CallServer;
 using core::Testbed;
+using core::TestbedConfig;
 
 struct LibFixture : ::testing::Test {
   std::unique_ptr<Testbed> tb;
   void SetUp() override {
-    tb = Testbed::canonical();
+    tb = TestbedConfig{}.build_deferred();
     ASSERT_TRUE(tb->bring_up().ok());
   }
   kern::Kernel& r0() { return *tb->router(0).kernel; }
@@ -300,7 +301,7 @@ TEST(AnandStubs, HostIndicationsReachTheRouterSighost) {
   // Covered end-to-end by integration tests; here, verify the specific
   // relay path counters: a host bind indication must create a VCI_BIND at
   // the router even when sighost state for it is stale.
-  auto tb = Testbed::canonical_with_hosts();
+  auto tb = TestbedConfig{}.hosts(2).build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& h0 = tb->host(0);
   kern::Pid pid = h0.kernel->spawn("odd-binder");
@@ -318,7 +319,7 @@ TEST(AnandStubs, HostIndicationsReachTheRouterSighost) {
 }
 
 TEST(AnandStubs, DownwardDisconnectReachesTheRightHost) {
-  auto tb = Testbed::canonical_with_hosts();
+  auto tb = TestbedConfig{}.hosts(2).build_deferred();
   ASSERT_TRUE(tb->bring_up().ok());
   auto& h1 = tb->host(1);
   CallServer server(*h1.kernel, h1.home->kernel->ip_node().address(), "dsvc",

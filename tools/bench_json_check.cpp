@@ -118,6 +118,9 @@ const std::map<std::string, std::vector<std::string>>& required_keys() {
       {"signaling",
        {"calls_per_sec_wall", "setup_ms_p50", "setup_ms_p90", "setup_ms_p99"}},
       {"scaling", {"open_connections_held"}},
+      {"call_load",
+       {"live_vcs_peak", "wall_us_per_call_lo", "wall_us_per_call_hi",
+        "sublinear_ratio", "setup_us_p50_hi"}},
   };
   return keys;
 }

@@ -4,6 +4,7 @@
 //   --seeds N        number of consecutive seeds to run   (default 8)
 //   --start-seed S   first seed                           (default 1)
 //   --routers R      routers in the chain topology        (default 2)
+//   --shards S       sighost shards per router            (default 1)
 //   --calls C        calls opened by the workload         (default 6)
 //   --crashes K      max sighost crash/restart pairs      (default 1)
 //   --sabotage       plant the recovery-audit skip seam (self-test mode)
@@ -36,6 +37,7 @@ struct Options {
   int seeds = 8;
   std::uint64_t start_seed = 1;
   int routers = 2;
+  int shards = 1;
   int calls = 6;
   int crashes = 1;
   bool sabotage = false;
@@ -58,6 +60,8 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.start_seed = static_cast<std::uint64_t>(v);
     } else if (arg == "--routers" && value(1, 16, v)) {
       o.routers = static_cast<int>(v);
+    } else if (arg == "--shards" && value(1, 8, v)) {
+      o.shards = static_cast<int>(v);
     } else if (arg == "--calls" && value(1, 64, v)) {
       o.calls = static_cast<int>(v);
     } else if (arg == "--crashes" && value(0, 8, v)) {
@@ -90,7 +94,8 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) {
     std::fprintf(stderr,
                  "usage: chaos_run [--seeds N] [--start-seed S] [--routers R] "
-                 "[--calls C] [--crashes K] [--sabotage] [--out DIR]\n");
+                 "[--shards S] [--calls C] [--crashes K] [--sabotage] "
+                 "[--out DIR]\n");
     return 2;
   }
 
@@ -100,6 +105,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < opt.seeds; ++i) {
     chaos::ChaosCase c;
     c.routers = opt.routers;
+    c.shards = opt.shards;
     c.calls = opt.calls;
     c.seed = opt.start_seed + static_cast<std::uint64_t>(i);
     c.profile.max_crash_restarts = opt.crashes;
