@@ -110,10 +110,16 @@ Aal5Reassembler::Aal5Reassembler(FrameHandler on_frame, ErrorHandler on_error)
 
 void Aal5Reassembler::fail(Vci vci, Aal5Error e) {
   ++errors_;
+  ++errors_by_cause_[static_cast<std::size_t>(e)];
   if (on_error_) on_error_(vci, e);
 }
 
 void Aal5Reassembler::cell_arrival(const Cell& cell) {
+  // RM cells are never part of an AAL5 frame; a feedback cell slipping
+  // into the reassembly stream must not corrupt a partial frame.  The
+  // Hobbit board filters them before reassembly; this is the backstop for
+  // endpoints that feed the reassembler directly.
+  if (cell.rm) return;
   VcState& vc = vcs_[cell.vci];
   if (vc.partial.size() + kCellPayload > kMaxFramePayload + kCellPayload * 2) {
     // A lost end-of-frame cell would otherwise grow this buffer without

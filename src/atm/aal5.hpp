@@ -13,6 +13,7 @@
 //   UU (1, frame seq) | CPI (1, zero) | Length (2) | CRC-32 (4)
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -98,6 +99,12 @@ class Aal5Reassembler {
 
   /// Count of frames that failed reassembly, by any cause.
   [[nodiscard]] std::uint64_t error_count() const noexcept { return errors_; }
+  /// Count of frames that failed reassembly for cause `e`.  Frame-aware
+  /// discard (EPD) shows up here as out_of_order only — a clean sequence
+  /// gap, never a truncated CRC-broken frame.
+  [[nodiscard]] std::uint64_t error_count(Aal5Error e) const noexcept {
+    return errors_by_cause_[static_cast<std::size_t>(e)];
+  }
   /// Count of frames delivered.
   [[nodiscard]] std::uint64_t frame_count() const noexcept { return frames_; }
 
@@ -114,6 +121,7 @@ class Aal5Reassembler {
   ErrorHandler on_error_;
   util::FlatMap<Vci, VcState> vcs_;
   std::uint64_t errors_ = 0;
+  std::array<std::uint64_t, 4> errors_by_cause_{};
   std::uint64_t frames_ = 0;
 };
 

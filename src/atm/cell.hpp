@@ -20,10 +20,28 @@ inline constexpr std::size_t kCellBytes = 53;
 inline constexpr std::uint64_t kCellBits = kCellBytes * 8;
 
 /// One ATM cell.
+///
+/// Resource-management (RM) cells carry the ABR feedback loop (TM 4.0): a
+/// source inserts a forward RM cell every Nrm data cells; switches on the
+/// path reduce the explicit rate and set the congestion bit when their
+/// output queues fill; the destination turns the cell around (backward)
+/// and the source adapts its allowed cell rate.  In real cells these
+/// fields live in the RM payload (PTI=6); here they are structured fields.
+/// An RM cell still occupies kCellBits on the wire, so it is charged like
+/// any other cell by link serialization and switch queues.
 struct Cell {
   Vci vci = kInvalidVci;
   /// AAL5 end-of-frame marker (payload-type field bit 0 in real cells).
   bool end_of_frame = false;
+  /// Resource-management cell (ABR feedback); never part of an AAL5 frame.
+  bool rm = false;
+  /// RM direction: false = forward (source→destination), true = backward.
+  bool backward = false;
+  /// RM congestion indication, set by congested switches on the path.
+  bool ci = false;
+  /// RM explicit rate in bits/second, reduced by switches to their fair
+  /// share; the source's ACR never exceeds the ER of the latest feedback.
+  std::uint64_t er_bps = 0;
   std::array<std::uint8_t, kCellPayload> payload{};
 };
 

@@ -436,6 +436,24 @@ std::vector<AtmNetwork::RouteAudit> AtmNetwork::audit_routes() const {
   return out;
 }
 
+std::vector<AtmNetwork::ReservationAudit> AtmNetwork::audit_reservations()
+    const {
+  std::vector<ReservationAudit> out;
+  for (const auto& sw : switches_) {
+    for (int p = 0; p < sw->port_count(); ++p) {
+      ReservationAudit a;
+      a.sw = sw->name();
+      a.port = p;
+      a.reserved_bps = sw->reserved_bps(p);
+      a.capacity_bps = sw->output_rate_bps(p);
+      out.push_back(std::move(a));
+    }
+  }
+  // switches_ is creation-ordered, not name-ordered; audits sort.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 AtmSwitch* AtmNetwork::switch_by_name(const std::string& name) noexcept {
   for (auto& sw : switches_) {
     if (sw->name() == name) return sw.get();

@@ -183,6 +183,21 @@ class AtmNetwork {
   /// against each AtmSwitch::route_table() in both directions.
   [[nodiscard]] std::vector<RouteAudit> audit_routes() const;
 
+  /// One output port's bandwidth ledger: how much admission control has
+  /// granted against what the link can carry.
+  struct ReservationAudit {
+    std::string sw;
+    int port = -1;
+    std::uint64_t reserved_bps = 0;
+    std::uint64_t capacity_bps = 0;  ///< 0 when no output link is attached
+    [[nodiscard]] auto operator<=>(const ReservationAudit&) const = default;
+  };
+  /// Every (switch, output port) reservation ledger, sorted by (sw, port).
+  /// The chaos InvariantChecker's QoS-conservation rule asserts
+  /// reserved <= capacity on each — admission control must never
+  /// overcommit a trunk, whatever faults the run injected.
+  [[nodiscard]] std::vector<ReservationAudit> audit_reservations() const;
+
   /// Lookup a switch created by make_switch; nullptr when unknown.
   [[nodiscard]] AtmSwitch* switch_by_name(const std::string& name) noexcept;
 

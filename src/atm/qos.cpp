@@ -10,6 +10,7 @@ using util::Errc;
 std::string_view to_string(ServiceClass c) noexcept {
   switch (c) {
     case ServiceClass::best_effort: return "best_effort";
+    case ServiceClass::abr: return "abr";
     case ServiceClass::predicted: return "predicted";
     case ServiceClass::guaranteed: return "guaranteed";
   }
@@ -17,9 +18,10 @@ std::string_view to_string(ServiceClass c) noexcept {
 }
 
 util::Result<ServiceClass> parse_service_class(std::string_view s) noexcept {
-  if (s == "best_effort") return ServiceClass::best_effort;
-  if (s == "predicted") return ServiceClass::predicted;
-  if (s == "guaranteed") return ServiceClass::guaranteed;
+  if (s == "best_effort" || s == "ubr") return ServiceClass::best_effort;
+  if (s == "abr") return ServiceClass::abr;
+  if (s == "predicted" || s == "vbr") return ServiceClass::predicted;
+  if (s == "guaranteed" || s == "cbr") return ServiceClass::guaranteed;
   return Errc::invalid_argument;
 }
 
@@ -28,8 +30,32 @@ std::string to_string(const Qos& q) {
   out += to_string(q.service_class);
   out += ",bw=";
   out += std::to_string(q.bandwidth_bps);
+  // Descriptors only when set: legacy <class, bandwidth> strings stay
+  // byte-stable, and to_string∘parse_qos is the identity either way.
+  if (q.pcr_bps > 0) {
+    out += ",pcr=";
+    out += std::to_string(q.pcr_bps);
+  }
+  if (q.scr_bps > 0) {
+    out += ",scr=";
+    out += std::to_string(q.scr_bps);
+  }
+  if (q.mbs_cells > 0) {
+    out += ",mbs=";
+    out += std::to_string(q.mbs_cells);
+  }
   return out;
 }
+
+namespace {
+
+template <typename T>
+bool parse_uint(std::string_view val, T& out) {
+  auto [ptr, ec] = std::from_chars(val.data(), val.data() + val.size(), out);
+  return ec == std::errc{} && ptr == val.data() + val.size();
+}
+
+}  // namespace
 
 util::Result<Qos> parse_qos(std::string_view s) {
   Qos q;
@@ -47,12 +73,13 @@ util::Result<Qos> parse_qos(std::string_view s) {
       if (!c) return c.error();
       q.service_class = *c;
     } else if (key == "bw") {
-      std::uint64_t bw = 0;
-      auto [ptr, ec] = std::from_chars(val.data(), val.data() + val.size(), bw);
-      if (ec != std::errc{} || ptr != val.data() + val.size()) {
-        return Errc::invalid_argument;
-      }
-      q.bandwidth_bps = bw;
+      if (!parse_uint(val, q.bandwidth_bps)) return Errc::invalid_argument;
+    } else if (key == "pcr") {
+      if (!parse_uint(val, q.pcr_bps)) return Errc::invalid_argument;
+    } else if (key == "scr") {
+      if (!parse_uint(val, q.scr_bps)) return Errc::invalid_argument;
+    } else if (key == "mbs") {
+      if (!parse_uint(val, q.mbs_cells)) return Errc::invalid_argument;
     } else {
       // Unknown keys are ignored: the QoS string is extensible by design
       // ("we plan to extend this framework", §10).
@@ -61,10 +88,25 @@ util::Result<Qos> parse_qos(std::string_view s) {
   return q;
 }
 
+namespace {
+
+/// Minimum where zero means "unset / no cap" rather than a cap at zero.
+template <typename T>
+constexpr T min_set(T a, T b) noexcept {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return std::min(a, b);
+}
+
+}  // namespace
+
 Qos negotiate(const Qos& offered, const Qos& server_limit) noexcept {
   Qos granted;
   granted.service_class = std::min(offered.service_class, server_limit.service_class);
   granted.bandwidth_bps = std::min(offered.bandwidth_bps, server_limit.bandwidth_bps);
+  granted.pcr_bps = min_set(offered.pcr_bps, server_limit.pcr_bps);
+  granted.scr_bps = min_set(offered.scr_bps, server_limit.scr_bps);
+  granted.mbs_cells = min_set(offered.mbs_cells, server_limit.mbs_cells);
   return granted;
 }
 

@@ -4,7 +4,21 @@
 // server and back; its contents are a <service class, bandwidth> pair in the
 // sense of Saran et al. [17] (the Xunet scheduling discipline).  We keep the
 // uninterpreted string on the wire and provide a typed view for the switch
-// admission-control substrate.
+// admission-control and traffic-management substrate.
+//
+// Beyond the paper's trio we carry the ATM Forum service categories
+// (CBR/VBR/ABR/UBR, after Goyal/Jain's traffic-management model) mapped
+// onto the Xunet classes, plus the standard traffic descriptors:
+//
+//   PCR  — peak cell rate: the GCRA(T_pcr, CDVT) bucket at switch ingress
+//   SCR  — sustainable cell rate: the second bucket of the dual GCRA
+//   MBS  — maximum burst size at PCR tolerated by the SCR bucket
+//
+// All three ride the existing wire string as new key=value fields, so the
+// signaling plane (CONNECT_REQ/PEER_SETUP carry the string verbatim) needs
+// no message-format change: sighost parses the granted string back into a
+// typed Qos before handing it to AtmNetwork::setup_vc, which is how the
+// descriptors reach every switch on the path.
 #pragma once
 
 #include <cstdint>
@@ -14,30 +28,53 @@
 
 namespace xunet::atm {
 
-/// Xunet service classes (after ref [17]): guaranteed-bandwidth traffic,
-/// predicted (measurement-based) traffic, and uncontrolled best-effort.
+/// Service classes, ordered by scheduling priority (higher value = served
+/// first at switch output ports).  The paper's Xunet trio (ref [17]) maps
+/// onto the ATM Forum categories:
+///
+///   guaranteed  = CBR  (reserved bandwidth, strict priority)
+///   predicted   = VBR  (measurement-based, dual-GCRA policed)
+///   abr         = ABR  (rate-feedback controlled via RM cells)
+///   best_effort = UBR  (uncontrolled)
+///
+/// `parse_service_class` accepts both spellings; `to_string` renders the
+/// historical Xunet names so existing wire strings stay byte-stable.
 enum class ServiceClass : std::uint8_t {
-  best_effort = 0,
-  predicted = 1,
-  guaranteed = 2,
+  best_effort = 0,  ///< UBR
+  abr = 1,          ///< ABR (no Xunet-trio equivalent; between UBR and VBR)
+  predicted = 2,    ///< VBR
+  guaranteed = 3,   ///< CBR
 };
+
+/// Number of service classes (switch queue bands are indexed by class).
+inline constexpr std::size_t kServiceClassCount = 4;
 
 [[nodiscard]] std::string_view to_string(ServiceClass c) noexcept;
 [[nodiscard]] util::Result<ServiceClass> parse_service_class(std::string_view s) noexcept;
 
-/// Typed QoS: service class plus a bandwidth request in bits/second.
+/// Typed QoS: service class, a bandwidth reservation in bits/second, and
+/// optional traffic descriptors (zero = unset: no policing on that bucket).
 struct Qos {
   ServiceClass service_class = ServiceClass::best_effort;
   std::uint64_t bandwidth_bps = 0;
+  std::uint64_t pcr_bps = 0;   ///< peak cell rate; 0 = unpoliced
+  std::uint64_t scr_bps = 0;   ///< sustainable cell rate; 0 = unpoliced
+  std::uint32_t mbs_cells = 0; ///< max burst at PCR the SCR bucket tolerates
 
   /// True when the network must reserve capacity for this call.
   [[nodiscard]] bool needs_reservation() const noexcept {
     return service_class != ServiceClass::best_effort && bandwidth_bps > 0;
   }
+  /// True when switch ingress must run the GCRA policer for this VC.
+  [[nodiscard]] bool needs_policing() const noexcept {
+    return pcr_bps > 0 || scr_bps > 0;
+  }
   bool operator==(const Qos&) const = default;
 };
 
 /// Render as the wire string, e.g. "class=guaranteed,bw=1500000".
+/// Descriptor fields are appended only when set, so pre-descriptor strings
+/// round-trip byte-identically.
 [[nodiscard]] std::string to_string(const Qos& q);
 
 /// Parse the wire string.  The empty string parses as best-effort/0 so that
@@ -45,8 +82,10 @@ struct Qos {
 [[nodiscard]] util::Result<Qos> parse_qos(std::string_view s);
 
 /// Server-side negotiation: the callee may accept the offer as-is or shrink
-/// it (lower class and/or bandwidth).  Returns the granted QoS, which is
-/// what travels back to the client in VCI_FOR_CONN.
+/// it (lower class and/or bandwidth/descriptors).  Returns the granted QoS,
+/// which is what travels back to the client in VCI_FOR_CONN.  A zero
+/// (unset) descriptor on either side yields the other side's value: unset
+/// means "no cap", not "cap at zero".
 [[nodiscard]] Qos negotiate(const Qos& offered, const Qos& server_limit) noexcept;
 
 }  // namespace xunet::atm

@@ -7,6 +7,24 @@ namespace xunet::atm {
 
 using util::Errc;
 
+namespace {
+
+[[nodiscard]] constexpr std::size_t band_idx(ServiceClass c) noexcept {
+  return static_cast<std::size_t>(c);
+}
+
+}  // namespace
+
+std::string_view to_string(DiscardCause c) noexcept {
+  switch (c) {
+    case DiscardCause::policed: return "policed";
+    case DiscardCause::epd: return "epd";
+    case DiscardCause::ppd: return "ppd";
+    case DiscardCause::overflow: return "overflow";
+  }
+  return "?";
+}
+
 AtmSwitch::AtmSwitch(sim::Simulator& sim, std::string name,
                      sim::SimDuration per_cell_latency,
                      std::size_t port_queue_cells)
@@ -17,11 +35,23 @@ AtmSwitch::AtmSwitch(sim::Simulator& sim, std::string name,
       obs_(&sim.obs()),
       m_cells_(&sim.obs().metrics().counter("atm.switch." + name_ + ".cells")),
       m_unroutable_(&sim.obs().metrics().counter("atm.switch." + name_ +
-                                                 ".cells_unroutable")) {}
+                                                 ".cells_unroutable")) {
+  for (std::size_t cause = 0; cause < kDiscardCauseCount; ++cause) {
+    m_discards_[cause] = &sim.obs().metrics().counter(
+        "atm.switch." + name_ + ".discard." +
+        std::string(to_string(static_cast<DiscardCause>(cause))));
+  }
+}
 
 int AtmSwitch::add_port() {
   int index = static_cast<int>(ports_.size());
   ports_.push_back(std::make_unique<Port>(*this, index));
+  Port& p = *ports_.back();
+  for (std::size_t b = 0; b < kServiceClassCount; ++b) {
+    p.depth_gauges[b] = &sim_.obs().metrics().gauge(
+        "atm.switch." + name_ + ".p" + std::to_string(index) + ".depth." +
+        std::string(to_string(static_cast<ServiceClass>(b))));
+  }
   return index;
 }
 
@@ -56,7 +86,29 @@ util::Result<void> AtmSwitch::install_route(int in_port, Vci in_vci,
     reserve = qos.bandwidth_bps;
     out.reserved_bps += reserve;
   }
-  table_.insert(key, Route{out_port, out_vci, reserve, qos.service_class});
+  // The VC's egress queue is created here, on the control plane, so the
+  // cell path never allocates (the ring itself still grows lazily during
+  // warmup).  Routes from several input ports may merge onto one outgoing
+  // VCI; they share the queue (first contract wins) and it lives until the
+  // last of them is removed.
+  VcQueue* vq;
+  auto it = out.vc_queues.find(out_vci);
+  if (it == out.vc_queues.end()) {
+    auto owned = std::make_unique<VcQueue>();
+    vq = owned.get();
+    vq->vci = out_vci;
+    vq->band = qos.service_class;
+    vq->weight = std::max<std::uint64_t>(1, qos.bandwidth_bps / 1'000'000);
+    out.vc_queues.emplace(out_vci, std::move(owned));
+  } else {
+    vq = it->second.get();
+  }
+  ++vq->refs;
+  if (qos.service_class == ServiceClass::abr) ++out.abr_routes;
+
+  Route r{out_port, out_vci, reserve, qos.service_class, DualGcra{}};
+  if (qos.needs_policing()) r.police = DualGcra(qos);
+  table_.insert(key, r);
   return {};
 }
 
@@ -67,6 +119,25 @@ util::Result<void> AtmSwitch::remove_route(int in_port, Vci in_vci) {
   Port& out = *ports_[static_cast<std::size_t>(r->out_port)];
   assert(out.reserved_bps >= r->reserved_bps);
   out.reserved_bps -= r->reserved_bps;
+  if (r->svc_class == ServiceClass::abr) {
+    assert(out.abr_routes > 0);
+    --out.abr_routes;
+  }
+  auto it = out.vc_queues.find(r->out_vci);
+  if (it != out.vc_queues.end()) {
+    VcQueue& vq = *it->second;
+    assert(vq.refs > 0);
+    if (--vq.refs == 0) {
+      // Tear-down flushes queued cells without counting them as discards:
+      // the VC no longer exists, so there is nothing to deliver them to.
+      const std::size_t b = band_idx(vq.band);
+      out.depth -= vq.q.size();
+      out.band_depth[b] -= vq.q.size();
+      out.depth_gauges[b]->set(static_cast<std::int64_t>(out.band_depth[b]));
+      if (vq.active) deactivate(out, vq);
+      out.vc_queues.erase(it);
+    }
+  }
   table_.erase(key);
   return {};
 }
@@ -74,6 +145,17 @@ util::Result<void> AtmSwitch::remove_route(int in_port, Vci in_vci) {
 std::uint64_t AtmSwitch::reserved_bps(int port) const {
   assert(port >= 0 && port < port_count());
   return ports_[static_cast<std::size_t>(port)]->reserved_bps;
+}
+
+std::uint64_t AtmSwitch::output_rate_bps(int port) const {
+  assert(port >= 0 && port < port_count());
+  const Port& p = *ports_[static_cast<std::size_t>(port)];
+  return p.out != nullptr ? p.out->rate_bps() : 0;
+}
+
+void AtmSwitch::debug_overreserve(int port, std::uint64_t bps) {
+  assert(port >= 0 && port < port_count());
+  ports_[static_cast<std::size_t>(port)]->reserved_bps += bps;
 }
 
 std::vector<AtmSwitch::RouteInfo> AtmSwitch::route_table() const {
@@ -93,8 +175,10 @@ std::vector<AtmSwitch::RouteInfo> AtmSwitch::route_table() const {
 }
 
 void AtmSwitch::handle_cells(int in_port, const Cell* cells, std::size_t n) {
-  const sim::SimTime ready = sim_.now() + per_cell_latency_;
+  const sim::SimTime now = sim_.now();
+  const sim::SimTime ready = now + per_cell_latency_;
   const bool tracing = XOBS_TRACING(obs_);
+  Port& ingress = *ports_[static_cast<std::size_t>(in_port)];
   std::uint64_t switched = 0;
   std::uint64_t unroutable = 0;
   // Cells of one train overwhelmingly share a VCI, so memoize the last
@@ -117,6 +201,14 @@ void AtmSwitch::handle_cells(int in_port, const Cell* cells, std::size_t n) {
       ++unroutable;
       continue;
     }
+    // Usage-parameter control: a contract with traffic descriptors runs the
+    // dual GCRA here, at ingress, before the cell touches the fabric.  RM
+    // cells are exempt — killing the feedback loop under overload would be
+    // self-defeating.
+    if (!cell.rm && route->police.enabled() && !route->police.police(now)) {
+      drop_cell(ingress, route->svc_class, DiscardCause::policed);
+      continue;
+    }
     ++switched;
     if (tracing) {
       obs::TraceIds ids;
@@ -125,13 +217,12 @@ void AtmSwitch::handle_cells(int in_port, const Cell* cells, std::size_t n) {
                      std::move(ids));
     }
     // Cross the fabric (fixed per-cell latency), then join the output port's
-    // class queue.  Every cell of a train shares one ready instant, so the
+    // per-VC queue.  Every cell of a train shares one ready instant, so the
     // whole train rides a single fabric event per output port.
     Staged& s = out.fabric.push_slot();
     s.ready = ready;
     s.cell = cell;
     s.cell.vci = route->out_vci;
-    s.svc_class = route->svc_class;
     if (out.fabric_armed == 0) {
       // xunet-lint: allow(LIFE-REF-CAPTURE) -- &out is a heap Port owned by
       // this switch; it lives exactly as long as the captured `this`.
@@ -152,9 +243,24 @@ void AtmSwitch::handle_cells(int in_port, const Cell* cells, std::size_t n) {
 void AtmSwitch::fabric_deliver(Port& out) {
   out.fabric_armed = 0;
   const sim::SimTime now = sim_.now();
+  // Trains share a VCI, so memoize the per-VC queue lookup too.  A route
+  // removed while its cells were mid-fabric leaves them with no queue;
+  // they are counted unroutable, like cells whose route never existed.
+  Vci last_vci = kInvalidVci;
+  VcQueue* vq = nullptr;
   while (!out.fabric.empty() && out.fabric.front().ready <= now) {
     const Staged& s = out.fabric.front();
-    enqueue_out(out, s.cell, s.svc_class);
+    if (s.cell.vci != last_vci) {
+      auto it = out.vc_queues.find(s.cell.vci);
+      vq = it != out.vc_queues.end() ? it->second.get() : nullptr;
+      last_vci = s.cell.vci;
+    }
+    if (vq == nullptr) {
+      ++cells_unroutable_;
+      m_unroutable_->inc();
+    } else {
+      enqueue_out(out, *vq, s.cell);
+    }
     out.fabric.pop_front();
   }
   if (out.fabric_armed == 0 && !out.fabric.empty()) {
@@ -165,28 +271,155 @@ void AtmSwitch::fabric_deliver(Port& out) {
   }
 }
 
-void AtmSwitch::enqueue_out(Port& out, const Cell& cell, ServiceClass c) {
-  std::size_t depth = 0;
-  for (const auto& q : out.queues) depth += q.size();
-  if (depth >= port_queue_cells_) {
-    // Bounded output buffer with push-out: a higher-class arrival evicts
-    // the youngest cell of the lowest occupied class, so best-effort
-    // buffer occupancy can never crowd out reserved traffic.
-    int victim = -1;
-    for (int v = 0; v < static_cast<int>(c); ++v) {
-      if (!out.queues[static_cast<std::size_t>(v)].empty()) {
-        victim = v;
-        break;
+void AtmSwitch::drop_cell(Port& at, ServiceClass band, DiscardCause cause) {
+  ++at.drops[band_idx(band)];
+  ++at.discards[static_cast<std::size_t>(cause)];
+  m_discards_[static_cast<std::size_t>(cause)]->inc();
+}
+
+void AtmSwitch::stamp_rm(Port& out, Cell& cell) const {
+  if (!cell.rm || cell.backward) return;
+  // ABR explicit-rate feedback: a forward RM cell leaving this port may not
+  // claim more than the port's fair share of unreserved capacity, split
+  // evenly among the ABR VCs routed through it (Goyal/Jain's switch rule in
+  // its simplest form).  The congestion bit trips at a quarter-full buffer.
+  const std::uint64_t rate = out.out != nullptr ? out.out->rate_bps() : 0;
+  const std::uint64_t avail = rate > out.reserved_bps ? rate - out.reserved_bps : 0;
+  const std::uint64_t share = std::max<std::uint64_t>(
+      1, avail / std::max<std::size_t>(std::size_t{1}, out.abr_routes));
+  if (cell.er_bps == 0 || cell.er_bps > share) cell.er_bps = share;
+  if (out.depth >= port_queue_cells_ / 4) cell.ci = true;
+}
+
+void AtmSwitch::activate(Port& out, VcQueue& vq) {
+  // SCFQ: a queue waking up starts one cell-cost past the band's virtual
+  // clock, so it cannot claim credit for the time it was idle.
+  const std::size_t b = band_idx(vq.band);
+  vq.finish = out.vtime[b] + wfq_cost(vq);
+  out.active[b].push_back(&vq);
+  vq.active = true;
+}
+
+void AtmSwitch::deactivate(Port& out, VcQueue& vq) {
+  auto& list = out.active[band_idx(vq.band)];
+  list.erase(std::find(list.begin(), list.end(), &vq));
+  vq.active = false;
+}
+
+AtmSwitch::VcQueue* AtmSwitch::select(Port& out) {
+  // Strict priority across bands; SCFQ (minimum finish tag, ties broken
+  // toward the lowest VCI for determinism) within one.
+  for (std::size_t b = kServiceClassCount; b-- > 0;) {
+    auto& list = out.active[b];
+    if (list.empty()) continue;
+    VcQueue* best = list.front();
+    for (VcQueue* cand : list) {
+      if (cand->finish < best->finish ||
+          (cand->finish == best->finish && cand->vci < best->vci)) {
+        best = cand;
       }
     }
-    if (victim < 0) {
-      ++out.drops[static_cast<std::size_t>(c)];
+    return best;
+  }
+  return nullptr;
+}
+
+void AtmSwitch::enqueue_out(Port& out, VcQueue& vq, Cell cell) {
+  if (cell.rm) stamp_rm(out, cell);
+  // Track AAL5 frame boundaries in the arrival stream (RM cells are
+  // transparent to framing) so the frame-aware policy knows where frames
+  // start.
+  bool frame_start = false;
+  if (!cell.rm) {
+    frame_start = !vq.in_frame;
+    vq.in_frame = !cell.end_of_frame;
+  }
+  if (policy_ == DiscardPolicy::epd_ppd && !cell.rm) {
+    if (vq.skipping_epd) {
+      // EPD in progress: the whole frame goes, including its delimiter.
+      // The receiver sees a clean gap in the AAL5 sequence, never a
+      // truncated CRC-broken frame.
+      if (cell.end_of_frame) vq.skipping_epd = false;
+      drop_cell(out, vq.band, DiscardCause::epd);
       return;
     }
-    out.queues[static_cast<std::size_t>(victim)].pop_back();
-    ++out.drops[static_cast<std::size_t>(victim)];
+    if (vq.discarding_ppd) {
+      if (!cell.end_of_frame) {
+        drop_cell(out, vq.band, DiscardCause::ppd);
+        return;
+      }
+      // Keep the end-of-frame delimiter when space allows: it closes the
+      // ruined frame so the next one reassembles.
+      vq.discarding_ppd = false;
+    }
+    if (frame_start && out.depth >= epd_threshold()) {
+      if (!cell.end_of_frame) vq.skipping_epd = true;
+      drop_cell(out, vq.band, DiscardCause::epd);
+      return;
+    }
   }
-  out.queues[static_cast<std::size_t>(c)].push_back(cell);
+  if (out.depth >= port_queue_cells_) {
+    if (policy_ == DiscardPolicy::pushout) {
+      // Bounded output buffer with push-out: a higher-class arrival evicts
+      // the youngest cell of the lowest occupied band (largest VC queue
+      // there, ties toward the lowest VCI), so best-effort occupancy can
+      // never crowd out reserved traffic.
+      VcQueue* victim = nullptr;
+      for (std::size_t b = 0; b < band_idx(vq.band); ++b) {
+        if (out.band_depth[b] == 0) continue;
+        for (VcQueue* cand : out.active[b]) {
+          if (victim == nullptr || cand->q.size() > victim->q.size() ||
+              (cand->q.size() == victim->q.size() &&
+               cand->vci < victim->vci)) {
+            victim = cand;
+          }
+        }
+        break;
+      }
+      if (victim == nullptr) {
+        // No lower band to raid: longest-queue drop within the arrival's
+        // own band (Suter/Lakshman).  Shared-buffer tail drop would let a
+        // greedy VC's standing queue starve its peers of buffer space and
+        // defeat the fair scheduler; evicting from the longest queue keeps
+        // goodput at the WFQ shares.  Only a strictly longer queue is
+        // raided, so the longest queue itself tail-drops.
+        for (VcQueue* cand : out.active[band_idx(vq.band)]) {
+          if (cand == &vq || cand->q.size() <= vq.q.size()) continue;
+          if (victim == nullptr || cand->q.size() > victim->q.size() ||
+              (cand->q.size() == victim->q.size() &&
+               cand->vci < victim->vci)) {
+            victim = cand;
+          }
+        }
+      }
+      if (victim == nullptr) {
+        drop_cell(out, vq.band, DiscardCause::overflow);
+        return;
+      }
+      victim->q.pop_back();
+      const std::size_t vb = band_idx(victim->band);
+      --out.band_depth[vb];
+      --out.depth;
+      out.depth_gauges[vb]->set(static_cast<std::int64_t>(out.band_depth[vb]));
+      if (victim->q.empty()) deactivate(out, *victim);
+      drop_cell(out, victim->band, DiscardCause::overflow);
+    } else {
+      // tail_drop — and the epd_ppd hard limit, where losing a mid-frame
+      // cell dooms the rest of the frame to partial packet discard.
+      if (policy_ == DiscardPolicy::epd_ppd && !cell.rm &&
+          !cell.end_of_frame) {
+        vq.discarding_ppd = true;
+      }
+      drop_cell(out, vq.band, DiscardCause::overflow);
+      return;
+    }
+  }
+  vq.q.push_back(cell);
+  const std::size_t b = band_idx(vq.band);
+  ++out.band_depth[b];
+  ++out.depth;
+  out.depth_gauges[b]->set(static_cast<std::int64_t>(out.band_depth[b]));
+  if (!vq.active) activate(out, vq);
   if (!out.draining) {
     out.draining = true;
     drain(out);
@@ -194,7 +427,6 @@ void AtmSwitch::enqueue_out(Port& out, const Cell& cell, ServiceClass c) {
 }
 
 void AtmSwitch::drain(Port& out) {
-  // Static priority: guaranteed (2) over predicted (1) over best effort (0).
   // When the output link coalesces arrivals anyway, serve a whole quantum's
   // worth of cells per wakeup; the link's serialization clock (line_free_at_)
   // still spaces them exactly one cell-time apart on the wire.
@@ -205,16 +437,20 @@ void AtmSwitch::drain(Port& out) {
   }
   std::int64_t sent = 0;
   while (sent < burst) {
-    bool any = false;
-    for (int c = 2; c >= 0; --c) {
-      auto& q = out.queues[static_cast<std::size_t>(c)];
-      if (q.empty()) continue;
-      out.out->send(q.front());
-      q.pop_front();
-      any = true;
-      break;
+    VcQueue* vq = select(out);
+    if (vq == nullptr) break;
+    const std::size_t b = band_idx(vq->band);
+    out.vtime[b] = vq->finish;
+    out.out->send(vq->q.front());
+    vq->q.pop_front();
+    --out.band_depth[b];
+    --out.depth;
+    out.depth_gauges[b]->set(static_cast<std::int64_t>(out.band_depth[b]));
+    if (vq->q.empty()) {
+      deactivate(out, *vq);
+    } else {
+      vq->finish += wfq_cost(*vq);
     }
-    if (!any) break;
     ++sent;
   }
   if (sent > 0) {
@@ -228,17 +464,23 @@ void AtmSwitch::drain(Port& out) {
 
 std::uint64_t AtmSwitch::cells_dropped(int port, ServiceClass c) const {
   assert(port >= 0 && port < port_count());
+  return ports_[static_cast<std::size_t>(port)]->drops[band_idx(c)];
+}
+
+std::uint64_t AtmSwitch::cells_discarded(int port, DiscardCause cause) const {
+  assert(port >= 0 && port < port_count());
   return ports_[static_cast<std::size_t>(port)]
-      ->drops[static_cast<std::size_t>(c)];
+      ->discards[static_cast<std::size_t>(cause)];
 }
 
 std::size_t AtmSwitch::queue_depth(int port) const {
   assert(port >= 0 && port < port_count());
-  std::size_t depth = 0;
-  for (const auto& q : ports_[static_cast<std::size_t>(port)]->queues) {
-    depth += q.size();
-  }
-  return depth;
+  return ports_[static_cast<std::size_t>(port)]->depth;
+}
+
+std::size_t AtmSwitch::abr_route_count(int port) const {
+  assert(port >= 0 && port < port_count());
+  return ports_[static_cast<std::size_t>(port)]->abr_routes;
 }
 
 }  // namespace xunet::atm

@@ -1,27 +1,47 @@
 // switch.hpp — output-buffered ATM switch with per-port VC tables, call
-// admission control, and class-based output scheduling.
+// admission control, GCRA usage-parameter control at ingress, and per-VC
+// weighted-fair class-band scheduling at egress.
 //
 // The measurement testbed in §9 is "a three hop (two switch) ATM path"
 // between two routers; core::Testbed builds exactly that out of these
-// switches.  Output ports serve cells by static priority over the Xunet
-// service classes (guaranteed > predicted > best effort) from bounded
-// queues — the simplest of the scheduling disciplines the paper points to
-// as future work (refs [17], [18]); overflowing cells are dropped per
-// class, which is what congests first under best-effort load.
+// switches.  The paper negotiates a <service class, bandwidth> QoS at call
+// setup but leaves enforcement as future work (refs [17], [18]); this
+// switch enforces it, after the Goyal/Jain traffic-management model:
+//
+//  * ingress policing — VCs whose contract carries PCR/SCR/MBS descriptors
+//    run the dual GCRA; non-conforming cells are dropped and counted;
+//  * egress scheduling — each output port keeps one bounded queue per VC,
+//    grouped into four class bands (CBR/guaranteed > VBR/predicted > ABR >
+//    UBR/best-effort).  Bands are served in strict priority; within a band
+//    VCs share by self-clocked weighted fair queueing, weighted by their
+//    reserved bandwidth;
+//  * overload shedding — one policy among several (the PR-2 bounded queue
+//    with push-out is now DiscardPolicy::pushout): push-out, tail drop, or
+//    EPD/PPD frame-aware discard that drops whole AAL5 frames instead of
+//    shredding them cell by cell;
+//  * ABR feedback — forward RM cells passing a congested output port get
+//    their explicit rate reduced to the port's ABR fair share and the
+//    congestion bit set.
+//
+// Every discarded cell increments exactly one cause counter (policed, epd,
+// ppd, overflow) in addition to its class counter, so observability can
+// tell a policer doing its job from a congested trunk.
 //
 // Fast path: the VC table is a compressed-trie index (util::VciIndex) keyed
 // by (input port, VCI), incoming trains are routed cell-by-cell but staged
 // per output port with a single armed fabric event (cells that crossed the
 // fabric by the same instant join the output queue together), and the
-// class queues are allocation-free ring buffers.
+// per-VC queues are allocation-free ring buffers created at route install.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "atm/gcra.hpp"
 #include "atm/link.hpp"
 #include "atm/qos.hpp"
 #include "obs/obs.hpp"
@@ -30,6 +50,34 @@
 #include "util/vci_index.hpp"
 
 namespace xunet::atm {
+
+/// What an output port does when its bounded cell buffer is exhausted (or,
+/// for epd_ppd, nearly so).
+enum class DiscardPolicy : std::uint8_t {
+  /// A higher-class arrival evicts the youngest cell of the lowest occupied
+  /// band (the PR-2 behaviour): best-effort occupancy can never crowd out
+  /// reserved traffic.
+  pushout = 0,
+  /// Arrivals to a full buffer are dropped, whatever their class.
+  tail_drop = 1,
+  /// Frame-aware: above the early-packet-discard threshold (3/4 of the
+  /// buffer) whole arriving AAL5 frames are dropped before their first cell
+  /// is queued; once any mid-frame cell is lost to overflow, the rest of
+  /// that frame is discarded too (partial packet discard), keeping the
+  /// end-of-frame delimiter when space allows so the next frame survives.
+  epd_ppd = 2,
+};
+
+/// Why a cell was discarded.  Each discarded cell counts under exactly one
+/// cause (and under its class in cells_dropped).
+enum class DiscardCause : std::uint8_t {
+  policed = 0,   ///< failed GCRA conformance at ingress
+  epd = 1,       ///< whole frame dropped at the EPD threshold
+  ppd = 2,       ///< rest-of-frame dropped after a mid-frame loss
+  overflow = 3,  ///< bounded buffer exhausted (includes push-out victims)
+};
+inline constexpr std::size_t kDiscardCauseCount = 4;
+[[nodiscard]] std::string_view to_string(DiscardCause c) noexcept;
 
 /// One ATM switch.  Ports are numbered from 0; each port is a CellSink for
 /// its incoming link and may have an outgoing CellLink attached.  The VC
@@ -52,8 +100,14 @@ class AtmSwitch {
   /// Attach the outgoing link of `port`.  The link must outlive the switch.
   void set_output(int port, CellLink& out);
 
+  /// Overload shedding policy for every output port of this switch.
+  void set_discard_policy(DiscardPolicy p) noexcept { policy_ = p; }
+  [[nodiscard]] DiscardPolicy discard_policy() const noexcept { return policy_; }
+
   /// Install a VC route, performing admission control on the output port
   /// when `qos` requires a reservation (capacity = output link rate).
+  /// A contract carrying PCR/SCR/MBS descriptors arms the dual-GCRA
+  /// policer at ingress; the reservation weights the VC's egress queue.
   /// Fails with `duplicate` when (in_port, in_vci) is already routed and
   /// `no_resources` when the reservation does not fit.
   [[nodiscard]] util::Result<void> install_route(int in_port, Vci in_vci,
@@ -66,8 +120,15 @@ class AtmSwitch {
 
   /// Bandwidth currently reserved on `port`'s output.
   [[nodiscard]] std::uint64_t reserved_bps(int port) const;
+  /// Rate of `port`'s output link; 0 when no output link is attached.
+  [[nodiscard]] std::uint64_t output_rate_bps(int port) const;
   /// Number of installed VC routes (leak audits use this).
   [[nodiscard]] std::size_t route_count() const noexcept { return table_.size(); }
+
+  /// SABOTAGE SEAM — chaos-checker self-tests only: inflate a port's
+  /// reservation ledger without admission control, so the qos-overcommit
+  /// invariant has a live bug to catch.  Never called by production code.
+  void debug_overreserve(int port, std::uint64_t bps);
 
   /// One installed route, as exposed to cross-layer audits.
   struct RouteInfo {
@@ -86,17 +147,39 @@ class AtmSwitch {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::uint64_t cells_switched() const noexcept { return cells_switched_; }
   [[nodiscard]] std::uint64_t cells_unroutable() const noexcept { return cells_unroutable_; }
-  /// Cells dropped at `port`'s bounded output queue for `c`-class traffic.
+  /// Cells of class `c` discarded at `port`, any cause.  Policing drops
+  /// count at the ingress port; queue discards count at the egress port.
   [[nodiscard]] std::uint64_t cells_dropped(int port, ServiceClass c) const;
-  /// Cells currently queued at `port` (all classes).
+  /// Cells discarded at `port` for `cause` (disjoint causes; their sum over
+  /// causes equals the sum of cells_dropped over classes).
+  [[nodiscard]] std::uint64_t cells_discarded(int port, DiscardCause cause) const;
+  /// Cells currently queued at `port` (all VCs, all bands).
   [[nodiscard]] std::size_t queue_depth(int port) const;
+  /// Installed routes whose egress is `port`'s ABR band (RM fair share).
+  [[nodiscard]] std::size_t abr_route_count(int port) const;
 
  private:
+  /// One VC's egress queue: a FIFO of cells plus its SCFQ scheduling state
+  /// and AAL5 frame-discard state.  Owned by the output port, keyed by the
+  /// outgoing VCI; created at route install so the cell path never
+  /// allocates.
+  struct VcQueue {
+    util::RingQueue<Cell> q;
+    Vci vci = kInvalidVci;
+    ServiceClass band = ServiceClass::best_effort;
+    std::uint64_t weight = 1;  ///< Mb/s of reservation, >= 1
+    std::uint64_t finish = 0;  ///< SCFQ virtual finish tag of the head cell
+    std::uint32_t refs = 0;    ///< routes sharing this outgoing VCI
+    bool active = false;       ///< listed in the band's active set
+    bool in_frame = false;     ///< mid-frame in the *arrival* stream
+    bool skipping_epd = false; ///< dropping the current frame (EPD)
+    bool discarding_ppd = false;  ///< dropping the rest of a frame (PPD)
+  };
+
   /// A routed cell crossing the fabric toward its output port.
   struct Staged {
     sim::SimTime ready;
     Cell cell;
-    ServiceClass svc_class = ServiceClass::best_effort;
   };
 
   struct Port : CellSink {
@@ -114,9 +197,22 @@ class AtmSwitch {
     /// Cells in flight across the fabric to this output port, ready-order.
     util::RingQueue<Staged> fabric;
     sim::EventId fabric_armed = 0;
-    /// Output queues, one per service class (index = ServiceClass value).
-    std::array<util::RingQueue<Cell>, 3> queues;
-    std::array<std::uint64_t, 3> drops{};
+    /// Per-VC egress queues, keyed by outgoing VCI.  unique_ptr so VcQueue
+    /// addresses stay stable across map rebalancing (active lists hold
+    /// pointers).
+    std::map<Vci, std::unique_ptr<VcQueue>> vc_queues;
+    /// Non-empty VC queues per band, in activation order; the scheduler
+    /// picks the minimum SCFQ finish tag (ties to the lowest VCI).
+    std::array<std::vector<VcQueue*>, kServiceClassCount> active;
+    /// SCFQ virtual clock per band.
+    std::array<std::uint64_t, kServiceClassCount> vtime{};
+    /// Cells queued per band / in total (all VCs).
+    std::array<std::size_t, kServiceClassCount> band_depth{};
+    std::size_t depth = 0;
+    std::array<std::uint64_t, kServiceClassCount> drops{};
+    std::array<std::uint64_t, kDiscardCauseCount> discards{};
+    std::array<obs::Gauge*, kServiceClassCount> depth_gauges{};
+    std::size_t abr_routes = 0;
     bool draining = false;
   };
 
@@ -125,24 +221,42 @@ class AtmSwitch {
     Vci out_vci = kInvalidVci;
     std::uint64_t reserved_bps = 0;
     ServiceClass svc_class = ServiceClass::best_effort;
+    DualGcra police;  ///< armed only when the contract carries descriptors
   };
 
   [[nodiscard]] static std::uint64_t route_key(int in_port, Vci in_vci) noexcept {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(in_port)) << 16) | in_vci;
   }
+  /// SCFQ cost of one cell for a queue: the virtual clock advances by the
+  /// inverse weight, scaled to keep integer precision.
+  [[nodiscard]] static std::uint64_t wfq_cost(const VcQueue& vq) noexcept {
+    return kWfqScale / vq.weight;
+  }
+  static constexpr std::uint64_t kWfqScale = 1u << 16;
 
   void handle_cells(int in_port, const Cell* cells, std::size_t n);
   void fabric_deliver(Port& out);
-  void enqueue_out(Port& out, const Cell& cell, ServiceClass c);
+  void enqueue_out(Port& out, VcQueue& vq, Cell cell);
+  void drop_cell(Port& at, ServiceClass band, DiscardCause cause);
+  void activate(Port& out, VcQueue& vq);
+  void deactivate(Port& out, VcQueue& vq);
+  /// Pick the served band (highest non-empty) and its min-finish queue.
+  [[nodiscard]] VcQueue* select(Port& out);
+  void stamp_rm(Port& out, Cell& cell) const;
   void drain(Port& out);
+  [[nodiscard]] std::size_t epd_threshold() const noexcept {
+    return port_queue_cells_ - port_queue_cells_ / 4;
+  }
 
   sim::Simulator& sim_;
   std::string name_;
   sim::SimDuration per_cell_latency_;
   std::size_t port_queue_cells_;
+  DiscardPolicy policy_ = DiscardPolicy::pushout;
   obs::Observability* obs_ = nullptr;
   obs::Counter* m_cells_ = nullptr;
   obs::Counter* m_unroutable_ = nullptr;
+  std::array<obs::Counter*, kDiscardCauseCount> m_discards_{};
   std::vector<std::unique_ptr<Port>> ports_;
   /// VC table behind the compressed-trie index: ordered iteration for the
   /// audit surface, O(key bits) lookups at millions of routes.

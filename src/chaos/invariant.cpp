@@ -124,6 +124,12 @@ Snapshot capture(core::Testbed& tb) {
   }
   std::sort(snap.routes_installed.begin(), snap.routes_installed.end());
   std::sort(snap.routes_expected.begin(), snap.routes_expected.end());
+
+  for (const atm::AtmNetwork::ReservationAudit& r :
+       tb.network().audit_reservations()) {
+    snap.reservations.push_back(
+        {r.sw, r.port, r.reserved_bps, r.capacity_bps});
+  }
   return snap;
 }
 
@@ -256,7 +262,23 @@ std::vector<Violation> check(const Snapshot& snap,
             " unresolved=" + std::to_string(workload.unresolved));
   }
 
-  // 7. Liveness: once faults heal, nothing may still be pending.
+  // 7. QoS conservation: at quiescence the sum of granted guaranteed
+  //    bandwidth on any trunk must not exceed its capacity — whatever
+  //    crashes, trunk flaps and recoveries the run injected, admission
+  //    control must never have double-granted a reservation it later
+  //    could not unwind.  (Ports with no output link carry no traffic and
+  //    can hold no reservation worth checking.)
+  for (const ReservationView& rv : snap.reservations) {
+    if (rv.capacity_bps == 0) continue;
+    if (rv.reserved_bps > rv.capacity_bps) {
+      add(kQosOvercommit,
+          "sw=" + rv.sw + " port=" + std::to_string(rv.port) +
+              " reserved=" + std::to_string(rv.reserved_bps) +
+              " capacity=" + std::to_string(rv.capacity_bps));
+    }
+  }
+
+  // 8. Liveness: once faults heal, nothing may still be pending.
   if (workload.unresolved > 0) {
     add(kLiveness, "opens unresolved at quiescence: " +
                        std::to_string(workload.unresolved));

@@ -61,6 +61,15 @@ struct RouteView {
   [[nodiscard]] auto operator<=>(const RouteView&) const = default;
 };
 
+/// One switch output port's bandwidth ledger (QoS conservation).
+struct ReservationView {
+  std::string sw;
+  int port = -1;
+  std::uint64_t reserved_bps = 0;
+  std::uint64_t capacity_bps = 0;  ///< 0 = no output link attached
+  [[nodiscard]] auto operator<=>(const ReservationView&) const = default;
+};
+
 /// All four layers, flattened and sorted (deterministic for a given run).
 struct Snapshot {
   std::vector<KernelVciView> kernel_vcis;
@@ -69,6 +78,7 @@ struct Snapshot {
   std::vector<VcView> vcs;
   std::vector<RouteView> routes_installed;  ///< what the switches hold
   std::vector<RouteView> routes_expected;   ///< what active VCs own
+  std::vector<ReservationView> reservations;  ///< per-port bandwidth ledgers
 };
 
 /// What the workload observed, for conservation and liveness.
@@ -99,6 +109,7 @@ inline constexpr const char* kMissingSwitchRoute = "missing-switch-route";
 inline constexpr const char* kDoubleListedCall = "double-listed-call";
 inline constexpr const char* kCallConservation = "call-conservation";
 inline constexpr const char* kLiveness = "liveness";
+inline constexpr const char* kQosOvercommit = "qos-overcommit";
 
 /// Flatten every layer of `tb` at the current instant.  Null-safe against
 /// crashed sighosts (their SighostView reports alive=false).

@@ -402,8 +402,12 @@ void UserLib::open_connection(const std::string& dst,
                               const std::string& qos, const OpenOptions& opts,
                               OpenFn on_done, CookieFn on_req_id) {
   const sim::SimTime give_up = k_.simulator().now() + opts.deadline;
-  retry_open(dst, service, comment, qos, opts, give_up, opts.retry_backoff,
-             std::move(on_done),
+  // A typed contract in the options wins over the freeform string: render
+  // it to the wire format once, here, so every retry carries it.
+  const std::string& wire_qos =
+      opts.qos.has_value() ? atm::to_string(*opts.qos) : qos;
+  retry_open(dst, service, comment, wire_qos, opts, give_up,
+             opts.retry_backoff, std::move(on_done),
              std::make_shared<CookieFn>(std::move(on_req_id)));
 }
 

@@ -13,7 +13,9 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 
+#include "atm/qos.hpp"
 #include "kern/kernel.hpp"
 #include "signaling/messages.hpp"
 #include "signaling/stub_proto.hpp"
@@ -50,6 +52,12 @@ struct OpenOptions {
   /// First retry delay; doubles per retry up to `retry_backoff_max`.
   sim::SimDuration retry_backoff = sim::milliseconds(200);
   sim::SimDuration retry_backoff_max = sim::seconds(2);
+  /// Typed traffic contract.  When set, it is rendered to the wire string
+  /// and OVERRIDES the `qos` string argument of open_connection — callers
+  /// with a structured contract (class + bandwidth + PCR/SCR/MBS) need not
+  /// hand-assemble key=value text.  The wire format is unchanged either
+  /// way; servers see the same string.
+  std::optional<atm::Qos> qos;
 };
 
 /// The library.  One instance per application process.

@@ -193,6 +193,57 @@ TEST(InvariantChecker, CrashedSighostSuspendsItsAudits) {
   EXPECT_TRUE(has_rule(vs, chaos::kLiveness));
 }
 
+TEST(InvariantChecker, ReservationLedgerWithinCapacityAuditsClean) {
+  chaos::Snapshot s = consistent_snapshot();
+  s.reservations.push_back({"s1", 0, 1'000'000, 45'000'000});
+  s.reservations.push_back({"s1", 1, 45'000'000, 45'000'000});  // exactly full
+  s.reservations.push_back({"s2", 0, 5'000'000, 0});  // no output link: skip
+  const auto vs = chaos::check(s, clean_counts());
+  EXPECT_FALSE(has_rule(vs, chaos::kQosOvercommit));
+}
+
+TEST(InvariantChecker, NamesQosOvercommit) {
+  chaos::Snapshot s = consistent_snapshot();
+  s.reservations.push_back({"s1", 2, 46'000'000, 45'000'000});
+  const auto vs = chaos::check(s, clean_counts());
+  ASSERT_TRUE(has_rule(vs, chaos::kQosOvercommit));
+  const auto it = std::find_if(vs.begin(), vs.end(), [](const Violation& v) {
+    return v.rule == chaos::kQosOvercommit;
+  });
+  EXPECT_NE(it->detail.find("sw=s1"), std::string::npos) << it->detail;
+  EXPECT_NE(it->detail.find("port=2"), std::string::npos) << it->detail;
+}
+
+TEST(InvariantChecker, OverreserveSabotageSeamIsCaughtEndToEnd) {
+  // Self-test of the conservation rule against a LIVE deployment, not a
+  // hand-edited snapshot: corrupt one switch's bandwidth ledger through the
+  // debug seam and the audit must name it; the same deployment untouched
+  // must audit clean.  This is what keeps the rule honest — it proves
+  // capture() really reads the switches, not a cached expectation.
+  auto tb = core::TestbedConfig{}.build_deferred();
+  ASSERT_TRUE(tb->bring_up().ok());
+  tb->sim().run_for(sim::milliseconds(500));
+
+  const auto before = chaos::check(chaos::capture(*tb), chaos::WorkloadCounts{});
+  EXPECT_FALSE(has_rule(before, chaos::kQosOvercommit));
+
+  atm::AtmSwitch* sw = tb->network().switch_by_name("s1");
+  ASSERT_NE(sw, nullptr);
+  // Find a port with an output link and push its ledger past capacity.
+  int port = -1;
+  for (int p = 0; p < sw->port_count(); ++p) {
+    if (sw->output_rate_bps(p) > 0) {
+      port = p;
+      break;
+    }
+  }
+  ASSERT_GE(port, 0) << "testbed switch has no output links";
+  sw->debug_overreserve(port, sw->output_rate_bps(port) + 1);
+
+  const auto after = chaos::check(chaos::capture(*tb), chaos::WorkloadCounts{});
+  EXPECT_TRUE(has_rule(after, chaos::kQosOvercommit));
+}
+
 // ------------------------------------------------------- end-to-end runs
 
 TEST(ChaosRun, FixedSeedsAuditCleanOnHealthyDeployment) {

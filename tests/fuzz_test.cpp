@@ -4,6 +4,7 @@
 // protocol surface.
 #include <gtest/gtest.h>
 
+#include "atm/qos.hpp"
 #include "core/apps.hpp"
 #include "core/testbed.hpp"
 #include "ip/packet.hpp"
@@ -83,6 +84,129 @@ TEST_P(ParserFuzz, TcpSegmentParserNeverCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 4));
+
+// ------------------------------------------------------------ QoS fuzzing
+//
+// The QoS string is the only parser whose output reaches admission control
+// and the GCRA policer: a parse that silently mangles a descriptor becomes
+// a wrong traffic contract enforced in hardware.  Round-trip identity and
+// negotiate() monotonicity are the two properties that keep it honest.
+
+class QosFuzz : public ::testing::TestWithParam<int> {};
+
+atm::Qos random_qos(util::Rng& rng) {
+  atm::Qos q;
+  q.service_class = static_cast<atm::ServiceClass>(rng.below(4));
+  // Mix small, large, and zero (= unset) values on every field.
+  auto pick64 = [&]() -> std::uint64_t {
+    switch (rng.below(4)) {
+      case 0: return 0;
+      case 1: return rng.below(1000);
+      case 2: return rng.below(1'000'000'000);
+      default: return rng.next();  // full 64-bit range
+    }
+  };
+  q.bandwidth_bps = pick64();
+  q.pcr_bps = pick64();
+  q.scr_bps = pick64();
+  q.mbs_cells = static_cast<std::uint32_t>(rng.next());
+  if (rng.below(2) == 0) q.mbs_cells = 0;
+  return q;
+}
+
+TEST_P(QosFuzz, ToStringParseRoundTripIsIdentity) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 503 + 11);
+  for (int i = 0; i < 2000; ++i) {
+    const atm::Qos q = random_qos(rng);
+    auto back = atm::parse_qos(atm::to_string(q));
+    ASSERT_TRUE(back.ok()) << atm::to_string(q);
+    EXPECT_EQ(*back, q) << atm::to_string(q);
+  }
+}
+
+TEST_P(QosFuzz, OverflowingDescriptorsAreRejectedNotWrapped) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 19 + 2);
+  for (int i = 0; i < 500; ++i) {
+    // A number strictly wider than the field: 21+ digits for u64 fields,
+    // a value above 2^32 for the u32 MBS field.
+    std::string big(21 + rng.below(20), '0' + static_cast<char>(1 + rng.below(9)));
+    for (const char* key : {"bw", "pcr", "scr", "mbs"}) {
+      std::string s = "class=vbr,";
+      s += key;
+      s += "=";
+      s += big;
+      EXPECT_FALSE(atm::parse_qos(s).ok()) << s;
+    }
+    EXPECT_FALSE(atm::parse_qos("mbs=4294967296").ok()) << "2^32 must not fit u32";
+    EXPECT_FALSE(atm::parse_qos("bw=-1").ok()) << "negative rates are nonsense";
+  }
+}
+
+TEST_P(QosFuzz, MalformedStringsNeverCrashAndAcceptedOnesAreStable) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 401 + 29);
+  // Alphabet biased toward the grammar's separators so junk exercises the
+  // key=value splitter, not just the first-character reject.
+  static constexpr char kAlpha[] = "abcdefghijklmnopqrstuvwxyz0123456789=,._-";
+  for (int i = 0; i < 4000; ++i) {
+    std::string s;
+    const std::size_t len = rng.below(60);
+    for (std::size_t k = 0; k < len; ++k) {
+      s += rng.below(8) == 0 ? static_cast<char>(rng.next())
+                             : kAlpha[rng.below(sizeof(kAlpha) - 1)];
+    }
+    auto r = atm::parse_qos(s);
+    if (r.ok()) {
+      // Whatever parses must be a fixed point: parse(to_string(q)) == q.
+      auto again = atm::parse_qos(atm::to_string(*r));
+      ASSERT_TRUE(again.ok()) << s;
+      EXPECT_EQ(*again, *r) << s;
+    }
+  }
+}
+
+TEST_P(QosFuzz, MutatedClassNamesNeverYieldAnOutOfRangeClass) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 73 + 41);
+  static constexpr std::string_view kNames[] = {
+      "best_effort", "ubr", "abr", "predicted", "vbr", "guaranteed", "cbr"};
+  for (int i = 0; i < 2000; ++i) {
+    std::string name(kNames[rng.below(std::size(kNames))]);
+    const int flips = 1 + static_cast<int>(rng.below(3));
+    for (int f = 0; f < flips; ++f) {
+      name[rng.below(name.size())] ^= static_cast<char>(1 << rng.below(7));
+    }
+    auto c = atm::parse_service_class(name);
+    if (c.ok()) {
+      EXPECT_LT(static_cast<unsigned>(*c), atm::kServiceClassCount) << name;
+    }
+  }
+}
+
+TEST_P(QosFuzz, NegotiateNeverGrantsMoreThanEitherSide) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 997 + 3);
+  // Zero descriptors mean "no cap", so the granted value must equal the
+  // other side's; set-on-both-sides must yield the min.
+  auto capped = [](std::uint64_t granted, std::uint64_t a, std::uint64_t b) {
+    if (a == 0 && b == 0) return granted == 0;
+    if (a == 0 || b == 0) return granted == std::max(a, b);
+    return granted == std::min(a, b);
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const atm::Qos offered = random_qos(rng);
+    const atm::Qos limit = random_qos(rng);
+    const atm::Qos granted = atm::negotiate(offered, limit);
+    EXPECT_LE(granted.service_class, offered.service_class);
+    EXPECT_LE(granted.service_class, limit.service_class);
+    EXPECT_LE(granted.bandwidth_bps, offered.bandwidth_bps);
+    EXPECT_LE(granted.bandwidth_bps, limit.bandwidth_bps);
+    EXPECT_TRUE(capped(granted.pcr_bps, offered.pcr_bps, limit.pcr_bps));
+    EXPECT_TRUE(capped(granted.scr_bps, offered.scr_bps, limit.scr_bps));
+    EXPECT_TRUE(capped(granted.mbs_cells, offered.mbs_cells, limit.mbs_cells));
+    // Negotiation is idempotent: re-offering the grant changes nothing.
+    EXPECT_EQ(atm::negotiate(granted, limit), granted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QosFuzz, ::testing::Range(0, 4));
 
 // ------------------------------------------------------- framer fuzzing
 
