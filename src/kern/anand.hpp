@@ -78,6 +78,13 @@ class AnandDevice {
   void set_readable_handler(ReadableHandler h) { readable_ = std::move(h); }
   void set_down_handler(DownHandler h) { down_ = std::move(h); }
 
+  /// Kernel side: would a post() succeed right now?  Lets durable senders
+  /// hold their message instead of burning it (and the drop counter) on a
+  /// full buffer.
+  [[nodiscard]] bool has_space() const noexcept {
+    return queue_.size() < capacity_;
+  }
+
   void set_capacity(std::size_t n) noexcept { capacity_ = n; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }

@@ -714,11 +714,33 @@ void Kernel::close_xunet(XunetSock& xs) {
     if (xs.state == SocketState::bound || xs.state == SocketState::connected) {
       // "When either client or server closes a PF_XUNET socket, the
       // signaling entity will automatically tear down the associated call."
-      (void)anand_.post(AnandUpMsg{AnandUpType::process_terminated, xs.vci,
-                                   xs.cookie, xs.owner});
+      // This is the only teardown trigger for the call — no watchdog
+      // re-raises it — so it must survive a full anand buffer.
+      post_durable(AnandUpMsg{AnandUpType::process_terminated, xs.vci,
+                              xs.cookie, xs.owner});
     }
   }
   xs.state = SocketState::created;
+}
+
+void Kernel::post_durable(const AnandUpMsg& msg) {
+  if (pending_up_.empty() && anand_.has_space() && anand_.post(msg)) return;
+  pending_up_.push_back(msg);
+  if (!pending_up_drain_armed_) {
+    pending_up_drain_armed_ = true;
+    sim_.schedule(cfg_.context_switch, [this] { drain_pending_up(); });
+  }
+}
+
+void Kernel::drain_pending_up() {
+  while (!pending_up_.empty() && anand_.has_space() &&
+         anand_.post(pending_up_.front())) {
+    pending_up_.pop_front();
+  }
+  pending_up_drain_armed_ = !pending_up_.empty();
+  if (pending_up_drain_armed_) {
+    sim_.schedule(cfg_.context_switch, [this] { drain_pending_up(); });
+  }
 }
 
 // ------------------------------------------------------------------ /dev/anand

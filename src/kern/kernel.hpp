@@ -228,6 +228,10 @@ class Kernel {
   /// Wire kernel-owned receive/close handlers for a fresh connection.
   void attach_tcp_handlers(std::uint64_t handle, tcp::ConnId conn);
   void close_xunet(XunetSock& xs);
+  /// Post an up-indication that must not be lost to a full anand buffer:
+  /// queue it and retry until the sighost drains enough space.
+  void post_durable(const AnandUpMsg& msg);
+  void drain_pending_up();
   void pf_xunet_input(atm::Vci vci, const MbufChain& chain);
   util::Result<void> xunet_output(Pid pid, int fd, const MbufChain& chain);
   void tcp_released(tcp::ConnId conn);
@@ -253,6 +257,13 @@ class Kernel {
   std::unordered_map<atm::Vci, std::uint64_t> xsock_by_vci_;  ///< bound receivers
   std::uint64_t next_handle_ = 1;
   Pid anand_holder_ = -1;
+  /// process_terminated indications awaiting anand buffer space.  Unlike
+  /// bind/connect indications (whose loss the wait_for_bind watchdog
+  /// repairs), a lost process_terminated has no timer backstop — the
+  /// sighost would hold the call forever — so these are retried until
+  /// posted (§5.3: the kernel always knows, and must be heard).
+  std::deque<AnandUpMsg> pending_up_;
+  bool pending_up_drain_armed_ = false;
   std::uint64_t x_dropped_ = 0;
   std::uint32_t sighost_incarnations_ = 0;
 

@@ -1054,7 +1054,21 @@ void Sighost::handle_indication(const StubMsg& m) {
 void Sighost::confirm_endpoint(atm::Vci vci, Cookie cookie,
                                ip::IpAddress origin) {
   VciEntry* e = vci_map_.find(vci);
-  if (e == nullptr) return;  // stale indication
+  if (e == nullptr) {
+    // Stale indication: the call this bind/connect belongs to is already
+    // gone.  Silently ignoring it would leave the endpoint's socket
+    // bound/connected to a dead VCI forever (nothing else will ever
+    // disconnect it) — answer with a downward disconnect so the kernel
+    // marks the socket unusable and the app sees the failure.
+    if (anand_fd_ >= 0) {
+      StubMsg down;
+      down.type = StubMsg::Type::down_disconnect;
+      down.vci = vci;
+      down.machine = origin;
+      (void)k_.tcp_send(pid_, anand_fd_, serialize(down));
+    }
+    return;
+  }
   if (!cookies_.authenticate(vci, cookie)) {
     // §7.1: authentication failure tears the call down and the socket is
     // marked unusable (the teardown's downward disconnect does that).

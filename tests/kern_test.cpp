@@ -270,6 +270,40 @@ TEST_F(KernelFixture, FullAnandBufferLosesIndications) {
   EXPECT_EQ(k->anand().dropped(), 2u);  // binds still succeeded locally
 }
 
+TEST_F(KernelFixture, ProcessTerminationSurvivesFullAnandBuffer) {
+  // Bind/connect indication loss is repaired by the sighost's wait_for_bind
+  // watchdog; a lost process_terminated has no such backstop — the sighost
+  // would hold the call (and the network its VC) forever.  The kernel must
+  // therefore retry the post until the daemon drains buffer space.
+  // (xunet_model relies on this: its product machine models
+  // process_terminated delivery as reliable.)
+  k->anand().set_capacity(2);
+  Pid p = k->spawn("app");
+  auto bound = k->xunet_socket(p);
+  ASSERT_TRUE(k->xunet_bind(p, *bound, 70, 1).ok());
+  // The bind indication plus one filler occupy the whole buffer.
+  auto filler = k->xunet_socket(p);
+  ASSERT_TRUE(k->xunet_bind(p, *filler, 71, 2).ok());
+  EXPECT_EQ(k->anand().queued(), 2u);
+  // Closing the bound socket cannot post process_terminated yet.
+  ASSERT_TRUE(k->close(p, *bound).ok());
+  sim.run_for(cfg.context_switch * 3);
+  EXPECT_EQ(k->anand().queued(), 2u);  // still full, nothing lost to it
+  // The daemon drains one slot; the retry must deliver the termination.
+  (void)k->anand().read();
+  sim.run_for(cfg.context_switch * 3);
+  bool saw_term = false;
+  for (;;) {
+    auto m = k->anand().read();
+    if (!m.ok()) break;
+    if (m->type == AnandUpType::process_terminated && m->vci == 70) {
+      saw_term = true;
+    }
+  }
+  EXPECT_TRUE(saw_term);
+  EXPECT_EQ(k->anand().dropped(), 0u);
+}
+
 TEST_F(KernelFixture, AnandSingleHolder) {
   Pid p1 = k->spawn("daemon1");
   Pid p2 = k->spawn("daemon2");

@@ -1,0 +1,19 @@
+// Fixture header: declares the unordered members det_unord_strict.cpp
+// iterates.  Expected findings: 0 (here).
+#pragma once
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+class MetricsDump {
+ public:
+  std::string render() const;
+  void collect(std::vector<std::uint64_t>& out) const;
+  void collect_sorted(std::vector<std::uint64_t>& out) const;
+  std::size_t total() const;
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> counters_;
+  std::unordered_set<std::uint64_t> live_;
+};

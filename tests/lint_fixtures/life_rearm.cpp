@@ -1,0 +1,50 @@
+// Fixture: self-re-arming timer chains.  A lambda that re-arms itself (or
+// arms another timer) keeps running long after the frame its captures were
+// taken in is gone — a by-reference capture there is a use-after-return on
+// every firing after the first.  Expected LIFE-TIMER-REARM findings: 2 (the
+// stored `tick` chain and the `&backlog` helper); the by-value chain and the
+// lambda passed directly to a sink (LIFE-REF-CAPTURE's territory) are not
+// this rule's findings.
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+struct Sim {
+  template <typename F>
+  void schedule(long delay, F&& fn);
+};
+
+struct Poller {
+  Sim sim_;
+  std::function<void()> tick_;
+  void start();
+  void drain(std::vector<int>& backlog);
+};
+
+void Poller::start() {
+  int beats = 0;
+  tick_ = [this, &beats] {  // finding: &beats dies with start()'s frame
+    ++beats;
+    sim_.schedule(10, tick_);
+  };
+  sim_.schedule(10, tick_);
+}
+
+void Poller::drain(std::vector<int>& backlog) {
+  auto pump = [this, &backlog] {  // finding: re-arms via schedule
+    backlog.pop_back();
+    sim_.schedule(5, [this] { drain(*new std::vector<int>); });
+  };
+  pump();
+
+  // By-value re-arming chain: the sanctioned pattern, no finding.
+  auto safe = [this, n = 3]() mutable {
+    --n;
+    sim_.schedule(7, [] {});
+  };
+  safe();
+
+  // A by-ref lambda handed straight to the sink is LIFE-REF-CAPTURE's
+  // finding, not a TIMER-REARM one.
+  sim_.schedule(9, [&backlog] { backlog.clear(); });
+}

@@ -1,0 +1,48 @@
+// Fixture: a miniature kernel socket layer with a known SocketState
+// assignment set, for exercising the kern_socket STATE rule against the
+// good/undeclared/stale tables next to it.
+// Ground-truth transitions (state, "assign"):
+//   xunet_bind             bound
+//   xunet_connect          connected
+//   mark_vci_disconnected  disconnected   (via ->, inside a helper loop)
+//   close_xunet            created
+// The default member initializer must NOT be extracted.
+#include <cstdint>
+#include <unordered_map>
+
+enum class SocketState : std::uint8_t { created, bound, connected, disconnected };
+
+struct XunetSock {
+  std::uint32_t vci = 0;
+  SocketState state = SocketState::created;  // default init: not a transition
+};
+
+class Kernel {
+ public:
+  void xunet_bind(XunetSock& xs, std::uint32_t vci);
+  void xunet_connect(XunetSock& xs, std::uint32_t vci);
+  void mark_vci_disconnected(std::uint32_t vci);
+  void close_xunet(XunetSock& xs);
+
+ private:
+  std::unordered_map<std::uint64_t, XunetSock> xsocks_;
+};
+
+void Kernel::xunet_bind(XunetSock& xs, std::uint32_t vci) {
+  xs.vci = vci;
+  xs.state = SocketState::bound;
+}
+
+void Kernel::xunet_connect(XunetSock& xs, std::uint32_t vci) {
+  xs.vci = vci;
+  xs.state = SocketState::connected;
+}
+
+void Kernel::mark_vci_disconnected(std::uint32_t vci) {
+  for (auto& [h, xs] : xsocks_) {
+    XunetSock* p = &xs;
+    if (p->vci == vci) p->state = SocketState::disconnected;
+  }
+}
+
+void Kernel::close_xunet(XunetSock& xs) { xs.state = SocketState::created; }

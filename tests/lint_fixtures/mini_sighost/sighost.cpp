@@ -6,6 +6,7 @@
 //   establish_vc        outgoing_requests  erase
 //   establish_vc        vci_mapping        insert   (via operator[] assign)
 //   reset               vci_mapping        clear
+//   sweep_expired       vci_mapping        erase    (free helper, not a member)
 #include <cstdint>
 #include <map>
 #include <set>
@@ -38,3 +39,11 @@ void Sighost::establish_vc(std::uint64_t req, std::uint32_t vci) {
 }
 
 void Sighost::reset() { vci_map_.clear(); }
+
+// Free helper mutating a list it was handed: the extractor must attribute
+// the erase to sweep_expired, not to the preceding member definition.
+namespace {
+void sweep_expired(std::map<std::uint32_t, std::uint64_t>& vci_map_) {
+  vci_map_.erase(0u);
+}
+}  // namespace

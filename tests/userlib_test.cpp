@@ -309,13 +309,17 @@ TEST(AnandStubs, HostIndicationsReachTheRouterSighost) {
   ASSERT_TRUE(fd.ok());
   // Bind to an arbitrary VCI with a garbage cookie: the indication flows
   // host kernel -> anand client -> anand server, which installs VCI_BIND
-  // before relaying to sighost (which will reject it as stale — and tear
-  // nothing down since no such call exists).
+  // before relaying to sighost.  No call exists for the VCI, so the sighost
+  // answers the stale indication with a downward disconnect: the VCI_BIND
+  // is shut again and the host's socket is marked unusable, instead of
+  // being left bound to a dead VCI forever.
   ASSERT_TRUE(h0.kernel->xunet_bind(pid, *fd, 99, 0xDEAD).ok());
   tb->sim().run_for(sim::seconds(1));
-  EXPECT_EQ(tb->router(0).anand_server->forwarded_vci_count(), 1u);
-  // sighost ignored the stale indication: no calls, no teardown.
+  EXPECT_EQ(tb->router(0).anand_server->forwarded_vci_count(), 0u);
+  // No call existed, so nothing counts as a teardown.
   EXPECT_EQ(tb->router(0).sighost->stats().calls_torn_down, 0u);
+  // The downward disconnect reached the host kernel: the socket is dead.
+  EXPECT_FALSE(h0.kernel->xunet_send(pid, *fd, util::Buffer{1, 2, 3}).ok());
 }
 
 TEST(AnandStubs, DownwardDisconnectReachesTheRightHost) {

@@ -1,16 +1,17 @@
 // bench_json_check — CI gate for machine-readable trajectory files
-// (BENCH_*.json benchmark reports, LINT_findings.json lint reports, and
-// the JSONL artifacts: flight-recorder dumps, health alert streams, and
-// chaos-harness repro schedules).
+// (BENCH_*.json benchmark reports, LINT_findings.json lint reports,
+// MODEL_findings.json model-checker reports, and the JSONL artifacts:
+// flight-recorder dumps, health alert streams, and chaos-harness repro
+// schedules).
 //
 // Usage: bench_json_check FILE...
 //
 // For each file: verify it is well-formed enough to trust (single JSON
 // object — or, for JSONL schemas, one object per line — balanced
 // structure, no truncation), carries a known schema marker
-// ("xunet.bench.v1", "xunet.lint.v1", "xunet.trace.v1",
-// "xunet.health.v1" or "xunet.chaos.v1"), and contains every key
-// required for its profile.
+// ("xunet.bench.v1", "xunet.lint.v1", "xunet.model.v1",
+// "xunet.trace.v1", "xunet.health.v1" or "xunet.chaos.v1"), and
+// contains every key required for its profile.
 // Exit 0 only when every file passes; a missing file is a failure (the
 // tool silently not writing its report is exactly the regression this
 // gate exists to catch).
@@ -278,6 +279,21 @@ bool check_file(const char* path) {
     std::fprintf(stderr, "FAIL %s: malformed JSON: %s\n", path, why.c_str());
     return false;
   }
+  if (s.find("\"xunet.model.v1\"") != std::string::npos) {
+    // Model-checker report from tools/xunet_model --json.
+    bool ok = true;
+    for (const char* key :
+         {"tool", "states", "edges", "sighost_declared", "sighost_reached",
+          "kern_declared", "kern_reached", "ok", "findings", "notes"}) {
+      if (!has_key(s, key)) {
+        std::fprintf(stderr, "FAIL %s: model report missing required key %s\n",
+                     path, key);
+        ok = false;
+      }
+    }
+    if (ok) std::printf("OK   %s (model report)\n", path);
+    return ok;
+  }
   if (s.find("\"xunet.lint.v1\"") != std::string::npos) {
     // Static-analysis report from tools/xunet_lint --json.
     bool ok = true;
@@ -295,8 +311,8 @@ bool check_file(const char* path) {
   if (s.find("\"xunet.bench.v1\"") == std::string::npos) {
     std::fprintf(stderr,
                  "FAIL %s: missing schema marker (xunet.bench.v1, "
-                 "xunet.lint.v1, xunet.trace.v1, xunet.health.v1 or "
-                 "xunet.chaos.v1)\n",
+                 "xunet.lint.v1, xunet.model.v1, xunet.trace.v1, "
+                 "xunet.health.v1 or xunet.chaos.v1)\n",
                  path);
     return false;
   }

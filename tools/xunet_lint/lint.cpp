@@ -150,20 +150,34 @@ Report run_lint(const std::vector<std::string>& paths, const Config& cfg) {
     if (u.is_header) by_stem.emplace(stem_of(u.rel), &u);
   }
 
-  // ---- declared state table.
+  // ---- declared state tables.
+  auto table_error = [&r](const std::string& table, const std::string& err) {
+    Finding f;
+    f.rule = "LINT-ANNOT";
+    f.file = table;
+    f.line = 0;
+    f.message = err;
+    r.findings.push_back(std::move(f));
+  };
   std::vector<Transition> declared;
   bool state_enabled = !cfg.state_table.empty();
   if (state_enabled) {
     std::string err;
     declared = load_state_table(cfg.state_table, err);
     if (!err.empty()) {
-      Finding f;
-      f.rule = "LINT-ANNOT";
-      f.file = cfg.state_table;
-      f.line = 0;
-      f.message = err;
-      r.findings.push_back(std::move(f));
+      table_error(cfg.state_table, err);
       state_enabled = false;
+    }
+  }
+  std::vector<Transition> kern_declared;
+  bool kern_enabled = !cfg.kern_state_table.empty();
+  if (kern_enabled) {
+    std::string err;
+    kern_declared = machine_to_transitions(
+        load_machine_table(cfg.kern_state_table, err));
+    if (!err.empty()) {
+      table_error(cfg.kern_state_table, err);
+      kern_enabled = false;
     }
   }
 
@@ -172,6 +186,7 @@ Report run_lint(const std::vector<std::string>& paths, const Config& cfg) {
     rule_det_banned(u, r.findings);
     rule_det_ptr_key(u, r.findings);
     rule_life_ref_capture(u, r.findings);
+    rule_life_timer_rearm(u, r.findings);
     rule_hyg(u, r.findings);
     std::set<std::string> unordered = u.unordered_names;
     if (!u.is_header) {
@@ -181,10 +196,20 @@ Report run_lint(const std::vector<std::string>& paths, const Config& cfg) {
                          hit->second->unordered_names.end());
       }
     }
-    rule_det_unord_iter(u, unordered, r.findings);
+    rule_det_unord_iter(u, unordered, cfg.strict_unord, r.findings);
     if (ends_with(u.rel, cfg.state_file)) {
-      r.transitions = extract_transitions(u);
-      if (state_enabled) rule_state(u, r.transitions, declared, r.findings);
+      r.transitions = extract_machine(u, sighost_machine());
+      if (state_enabled) {
+        rule_state(u, r.transitions, declared, "sighost",
+                   "tools/xunet_lint/sighost_state.tbl", r.findings);
+      }
+    }
+    if (ends_with(u.rel, cfg.kern_state_file)) {
+      r.kern_transitions = extract_machine(u, kern_socket_machine());
+      if (kern_enabled) {
+        rule_state(u, r.kern_transitions, kern_declared, "kern_socket",
+                   "tools/xunet_lint/kern_socket_state.tbl", r.findings);
+      }
     }
     // The annotations themselves are linted: every allow carries a reason.
     for (const Allow& a : u.allows) {

@@ -13,14 +13,20 @@
 //   DET  — determinism.
 //     DET-BANNED      wall clocks / libc randomness outside src/util/rng
 //     DET-UNORD-ITER  range-for over an unordered container whose body
-//                     schedules events or sends wire messages
+//                     schedules events or sends wire messages; in strict
+//                     mode (--strict-unord) also bodies that build ordered
+//                     artifacts (JSON emission, unsorted push_back) in place
 //     DET-PTR-KEY     pointer-keyed std::map/std::set (address-dependent order)
 //   LIFE — event lifetimes.
 //     LIFE-REF-CAPTURE  by-reference lambda capture passed to
 //                       Simulator::schedule/schedule_at or Timer::arm
-//   STATE — sighost state machine.
-//     STATE-UNDECLARED  a five-list mutation in sighost.cpp with no entry in
-//                       the declared transition table
+//     LIFE-TIMER-REARM  by-reference capture in a lambda that itself calls
+//                       schedule/arm — a self-re-arming chain whose every
+//                       firing outlives the capturing frame
+//   STATE — the declared state machines (see statemachine.hpp).
+//     STATE-UNDECLARED  a sighost five-list mutation (sighost.cpp) or kernel
+//                       SocketState assignment (kernel.cpp) with no entry in
+//                       its declared transition table
 //     STATE-MISSING     a declared transition with no code site (stale table)
 //   HYG  — hygiene.
 //     HYG-PRAGMA-ONCE    header without #pragma once
@@ -75,17 +81,26 @@ struct BaselineEntry {
 struct Config {
   /// Paths in findings are reported relative to this directory.
   std::string root = ".";
-  /// The file the STATE rule analyzes (root-relative suffix match).
+  /// The file the sighost STATE rule analyzes (root-relative suffix match).
   std::string state_file = "src/signaling/sighost.cpp";
-  /// Declared transition table; empty disables the STATE rule.
+  /// Declared sighost transition table; empty disables that STATE rule.
   std::string state_table;
+  /// The file the kernel SocketState rule analyzes (suffix match).
+  std::string kern_state_file = "src/kern/kernel.cpp";
+  /// Declared kernel SocketState table (`fn from to` machine format);
+  /// empty disables that STATE rule.
+  std::string kern_state_table;
   /// Baseline file; empty means no baseline.
   std::string baseline;
+  /// Strict DET-UNORD-ITER: also flag unordered walks that build ordered
+  /// artifacts in place.
+  bool strict_unord = false;
 };
 
 struct Report {
   std::vector<Finding> findings;      ///< sorted by (file, line, rule)
-  std::vector<Transition> transitions;///< extracted from the state file
+  std::vector<Transition> transitions;///< extracted from the sighost file
+  std::vector<Transition> kern_transitions;  ///< extracted from kernel.cpp
   std::size_t files_scanned = 0;
   std::vector<std::string> notes;     ///< non-fatal: stale baseline entries etc.
 

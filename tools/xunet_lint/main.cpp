@@ -5,6 +5,10 @@
 //     --root DIR              report paths relative to DIR (default ".")
 //     --baseline FILE         grandfathered findings (rule|file|text|reason)
 //     --state-table FILE      declared sighost transitions (fn list op)
+//     --kern-state-table FILE declared kernel SocketState transitions
+//                             (fn from[,from...]|* to)
+//     --strict-unord          strict DET-UNORD-ITER: also flag unordered
+//                             walks that build ordered artifacts in place
 //     --compile-commands FILE add the translation units listed in a
 //                             compile_commands.json (build-derived file list)
 //     --filter PREFIX         keep only files whose root-relative path starts
@@ -79,6 +83,9 @@ int main(int argc, char** argv) {
     if (a == "--root") cfg.root = need_val("--root");
     else if (a == "--baseline") cfg.baseline = need_val("--baseline");
     else if (a == "--state-table") cfg.state_table = need_val("--state-table");
+    else if (a == "--kern-state-table")
+      cfg.kern_state_table = need_val("--kern-state-table");
+    else if (a == "--strict-unord") cfg.strict_unord = true;
     else if (a == "--compile-commands")
       compile_commands = need_val("--compile-commands");
     else if (a == "--filter") filters.push_back(need_val("--filter"));
@@ -88,6 +95,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: xunet_lint [--root DIR] [--baseline FILE] "
                    "[--state-table FILE]\n"
+                   "                  [--kern-state-table FILE] "
+                   "[--strict-unord]\n"
                    "                  [--compile-commands FILE] "
                    "[--filter PREFIX] [--json FILE]\n"
                    "                  [--dump-state] [path...]\n");
@@ -135,6 +144,10 @@ int main(int argc, char** argv) {
   xunet::lint::Report r = xunet::lint::run_lint(paths, cfg);
   if (dump_state) {
     for (const auto& t : r.transitions) {
+      std::printf("%-28s %-20s %s\n", t.fn.c_str(), t.list.c_str(),
+                  t.op.c_str());
+    }
+    for (const auto& t : r.kern_transitions) {
       std::printf("%-28s %-20s %s\n", t.fn.c_str(), t.list.c_str(),
                   t.op.c_str());
     }

@@ -7,9 +7,8 @@
 #include "xunet_lint/rules.hpp"
 
 #include <algorithm>
-#include <fstream>
+#include <cctype>
 #include <map>
-#include <sstream>
 
 namespace xunet::lint {
 namespace {
@@ -86,8 +85,46 @@ void rule_det_banned(const Unit& u, std::vector<Finding>& out) {
   }
 }
 
+namespace {
+
+/// Strict mode: idents that build an ordered artifact (JSON/JSONL emitters
+/// and friends) directly from iteration order.
+bool ordered_artifact_ident(const std::string& s) {
+  std::string lower;
+  lower.reserve(s.size());
+  for (char c : s) lower += static_cast<char>(std::tolower(c));
+  return lower.find("json") != std::string::npos ||
+         lower.find("jsonl") != std::string::npos || lower == "append" ||
+         lower == "write_line" || lower == "writeline";
+}
+
+/// Strict mode exemption: a loop that fills a sequence and sorts it right
+/// after is the CORRECT pattern (snapshot-then-sort); look for sort /
+/// stable_sort in the loop body or shortly after it.
+bool sorted_nearby(const std::vector<Token>& t, std::size_t body_begin,
+                   std::size_t body_end) {
+  std::size_t horizon = std::min(t.size(), body_end + 48);
+  int depth = 0;
+  for (std::size_t j = body_begin; j < horizon; ++j) {
+    // Past the loop body the scan must stay inside the enclosing scope: a
+    // sort in the NEXT function does not order this loop's artifact.
+    if (j > body_end) {
+      const std::string& s = t[j].text;
+      if (s == "{") ++depth;
+      else if (s == "}" && --depth < 0) break;
+    }
+    if (t[j].kind == Token::Kind::ident &&
+        (t[j].text == "sort" || t[j].text == "stable_sort")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 void rule_det_unord_iter(const Unit& u, const std::set<std::string>& unordered,
-                         std::vector<Finding>& out) {
+                         bool strict, std::vector<Finding>& out) {
   const std::vector<Token>& t = u.toks;
   for (std::size_t i = 0; i + 1 < t.size(); ++i) {
     if (t[i].text != "for" || t[i + 1].text != "(") continue;
@@ -121,6 +158,7 @@ void rule_det_unord_iter(const Unit& u, const std::set<std::string>& unordered,
       body_end = body_begin;
       while (body_end < t.size() && t[body_end].text != ";") ++body_end;
     }
+    bool flagged = false;
     for (std::size_t j = body_begin; j < body_end && j < t.size(); ++j) {
       if (t[j].kind == Token::Kind::ident && effectful_ident(t[j].text)) {
         add(out, u, "DET-UNORD-ITER", t[i].line,
@@ -128,6 +166,35 @@ void rule_det_unord_iter(const Unit& u, const std::set<std::string>& unordered,
                 "' reaches the event queue or the wire (via '" + t[j].text +
                 "'); hash order is not part of the replayed state — iterate "
                 "a sorted snapshot");
+        flagged = true;
+        break;
+      }
+    }
+    if (!strict || flagged) continue;
+    // Strict mode: the body builds an ordered artifact in place.  A loop
+    // whose result is sorted in or right after the body is the sanctioned
+    // snapshot-then-sort idiom and stays clean.
+    for (std::size_t j = body_begin; j < body_end && j < t.size(); ++j) {
+      // `out << ...` in the body appends to a stream in hash order.
+      if (t[j].text == "<<" && !sorted_nearby(t, body_begin, body_end)) {
+        add(out, u, "DET-UNORD-ITER", t[i].line,
+            "strict: iteration over unordered container '" + name +
+                "' appends to a stream in hash order; collect into a "
+                "snapshot and sort it before emitting");
+        break;
+      }
+      if (t[j].kind != Token::Kind::ident) continue;
+      bool emitter = ordered_artifact_ident(t[j].text) || t[j].text == "puts" ||
+                     t[j].text == "printf" || t[j].text == "fprintf";
+      bool seq_build =
+          (t[j].text == "push_back" || t[j].text == "emplace_back") &&
+          !sorted_nearby(t, body_begin, body_end);
+      if (emitter || seq_build) {
+        add(out, u, "DET-UNORD-ITER", t[i].line,
+            "strict: iteration over unordered container '" + name +
+                "' builds an ordered artifact (via '" + t[j].text +
+                "') in hash order; collect into a snapshot and sort it "
+                "before emitting");
         break;
       }
     }
@@ -203,6 +270,79 @@ void rule_life_ref_capture(const Unit& u, std::vector<Finding>& out) {
   }
 }
 
+void rule_life_timer_rearm(const Unit& u, std::vector<Finding>& out) {
+  static const std::set<std::string> kSinks = {"schedule", "schedule_at",
+                                               "arm"};
+  const std::vector<Token>& t = u.toks;
+  // Argument spans of every sink call: lambdas inside them are
+  // LIFE-REF-CAPTURE's territory, not this rule's.
+  std::vector<std::pair<std::size_t, std::size_t>> sink_args;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::ident || kSinks.count(t[i].text) == 0)
+      continue;
+    if (t[i + 1].text != "(") continue;
+    std::size_t close = match_forward(t, i + 1);
+    if (close < t.size()) sink_args.emplace_back(i + 1, close);
+  }
+  auto inside_sink = [&](std::size_t k) {
+    for (const auto& [b, e] : sink_args) {
+      if (b < k && k < e) return true;
+    }
+    return false;
+  };
+  for (std::size_t j = 0; j + 1 < t.size(); ++j) {
+    if (t[j].text != "[") continue;
+    std::size_t cb = match_forward(t, j);
+    if (cb + 1 >= t.size()) continue;
+    // A lambda introducer is a '[...]' followed by '(', '{' or 'mutable'.
+    const std::string& nxt = t[cb + 1].text;
+    if (nxt != "(" && nxt != "{" && nxt != "mutable") continue;
+    if (inside_sink(j)) {
+      j = cb;
+      continue;
+    }
+    bool by_ref = false;
+    for (std::size_t c = j + 1; c < cb; ++c) {
+      bool capture_pos = c == j + 1 || t[c - 1].text == ",";
+      if (capture_pos && (t[c].text == "&" || t[c].text == "&&")) {
+        by_ref = true;
+        break;
+      }
+    }
+    if (!by_ref) {
+      j = cb;
+      continue;
+    }
+    // Locate the lambda body.
+    std::size_t b = cb + 1;
+    if (b < t.size() && t[b].text == "(") b = match_forward(t, b) + 1;
+    while (b < t.size() && t[b].text != "{" && t[b].text != ";" &&
+           t[b].text != ")") {
+      if (t[b].text == "<" || t[b].text == "(") {
+        b = match_forward(t, b) + 1;
+        continue;
+      }
+      ++b;
+    }
+    if (b >= t.size() || t[b].text != "{") {
+      j = cb;
+      continue;
+    }
+    std::size_t body_end = match_forward(t, b);
+    for (std::size_t k = b + 1; k < body_end && k < t.size(); ++k) {
+      if (t[k].kind == Token::Kind::ident && kSinks.count(t[k].text) != 0) {
+        add(out, u, "LIFE-TIMER-REARM", t[j].line,
+            "by-reference capture in a lambda that re-arms via '" + t[k].text +
+                "': every later firing of the chain runs after the frame the "
+                "capture was taken in is gone — capture by value (or a weak "
+                "liveness token)");
+        break;
+      }
+    }
+    j = cb;
+  }
+}
+
 // ----------------------------------------------------------------- HYG
 
 void rule_hyg(const Unit& u, std::vector<Finding>& out) {
@@ -260,101 +400,21 @@ void rule_hyg(const Unit& u, std::vector<Finding>& out) {
 }
 
 // --------------------------------------------------------------- STATE
-
-std::vector<Transition> extract_transitions(const Unit& u) {
-  // Member-list name -> the paper's list name (PAPER.md §5).
-  static const std::map<std::string, const char*> kLists = {
-      {"services_", "service_list"},
-      {"outgoing_", "outgoing_requests"},
-      {"incoming_", "incoming_requests"},
-      {"wait_bind_", "wait_for_bind"},
-      {"vci_map_", "vci_mapping"},
-  };
-  static const std::map<std::string, const char*> kOps = {
-      {"emplace", "insert"}, {"try_emplace", "insert"}, {"insert", "insert"},
-      {"erase", "erase"},    {"clear", "clear"},
-  };
-  std::vector<Transition> out;
-  std::set<std::string> seen;
-  std::string fn = "<file-scope>";
-  const std::vector<Token>& t = u.toks;
-  auto record = [&](const std::string& list, const std::string& op, int line) {
-    std::string key = fn + "|" + list + "|" + op;
-    if (!seen.insert(key).second) return;
-    Transition tr;
-    tr.fn = fn;
-    tr.list = list;
-    tr.op = op;
-    tr.line = line;
-    out.push_back(std::move(tr));
-  };
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    // Track the enclosing member definition: `Sighost :: name (`.
-    if (t[i].text == "Sighost" && i + 3 < t.size() && t[i + 1].text == "::" &&
-        t[i + 2].kind == Token::Kind::ident && t[i + 3].text == "(") {
-      fn = t[i + 2].text;
-      continue;
-    }
-    if (t[i].kind != Token::Kind::ident) continue;
-    auto lit = kLists.find(t[i].text);
-    if (lit == kLists.end() || i + 2 >= t.size()) continue;
-    if (t[i + 1].text == "." && t[i + 2].kind == Token::Kind::ident) {
-      auto oit = kOps.find(t[i + 2].text);
-      if (oit != kOps.end()) record(lit->second, oit->second, t[i].line);
-      continue;
-    }
-    // `list_[key] = value;` inserts through operator[].
-    if (t[i + 1].text == "[") {
-      std::size_t cb = match_forward(t, i + 1);
-      if (cb + 1 < t.size() && t[cb + 1].text == "=") {
-        record(lit->second, "insert", t[i].line);
-      }
-    }
-  }
-  return out;
-}
-
-std::vector<Transition> load_state_table(const std::string& path,
-                                         std::string& err) {
-  std::vector<Transition> out;
-  std::ifstream in(path);
-  if (!in) {
-    err = "cannot read state table: " + path;
-    return out;
-  }
-  std::string line;
-  int lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line = line.substr(0, hash);
-    std::istringstream ss(line);
-    Transition tr;
-    tr.line = lineno;
-    if (!(ss >> tr.fn >> tr.list >> tr.op)) {
-      std::string rest;
-      if (!tr.fn.empty()) {
-        err = "state table line " + std::to_string(lineno) +
-              ": expected '<fn> <list> <op>'";
-        return {};
-      }
-      continue;  // blank / comment-only line
-    }
-    std::string extra;
-    if (ss >> extra) {
-      err = "state table line " + std::to_string(lineno) +
-            ": trailing tokens after '<fn> <list> <op>'";
-      return {};
-    }
-    out.push_back(std::move(tr));
-  }
-  return out;
-}
+//
+// Extraction and table parsing live in statemachine.cpp (shared with
+// tools/xunet_model); only the exhaustive both-direction diff is a rule.
 
 void rule_state(const Unit& u, const std::vector<Transition>& extracted,
                 const std::vector<Transition>& declared,
+                const std::string& machine, const std::string& table,
                 std::vector<Finding>& out) {
   auto key = [](const Transition& t) { return t.fn + "|" + t.list + "|" + t.op; };
+  auto describe = [](const Transition& t) {
+    // Assignment machines read better as "sets state 'x'" than as an op on
+    // a list.
+    if (t.op == "assign") return "sets state '" + t.list + "'";
+    return "does '" + t.op + "' on " + t.list;
+  };
   std::set<std::string> decl;
   for (const Transition& t : declared) decl.insert(key(t));
   std::set<std::string> got;
@@ -362,16 +422,16 @@ void rule_state(const Unit& u, const std::vector<Transition>& extracted,
   for (const Transition& t : extracted) {
     if (decl.count(key(t)) == 0) {
       add(out, u, "STATE-UNDECLARED", t.line,
-          "undeclared sighost transition: " + t.fn + " does '" + t.op +
-              "' on " + t.list + " — declare it in the transition table "
-              "(tools/xunet_lint/sighost_state.tbl) or remove the mutation");
+          "undeclared " + machine + " transition: " + t.fn + " " +
+              describe(t) + " — declare it in the transition table (" +
+              table + ") or remove the mutation");
     }
   }
   for (const Transition& t : declared) {
     if (got.count(key(t)) == 0) {
       add(out, u, "STATE-MISSING", 1,
-          "declared transition has no code site: " + t.fn + " '" + t.op +
-              "' on " + t.list + " (stale table entry, line " +
+          "declared " + machine + " transition has no code site: " + t.fn +
+              " " + describe(t) + " (stale table entry, line " +
               std::to_string(t.line) + ")");
     }
   }
